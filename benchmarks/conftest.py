@@ -1,0 +1,62 @@
+"""Shared fixtures for the benchmark suite.
+
+The expensive full-matrix measurement (Tables II and III) runs once per
+session and is shared by both table benchmarks.  Every benchmark prints the
+paper-style rendering of its experiment and persists text + JSON under
+``results/`` so a benchmark run regenerates the complete evaluation.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.experiments import EvaluationRun
+from repro.workload.generator import QueryGenerator
+from repro.workload.suite import FamilySpec, WorkloadSuite
+
+#: Where experiment text/JSON renderings are written.
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: Benchmark-sized evaluation suite: same six families and mixed join
+#: schemes as the paper's workload, scaled for pure Python (DESIGN.md §3).
+#: Pruning gains grow with query size (§V-D.3), so the sweeps lean toward
+#: the largest sizes pure Python can evaluate in a few minutes.
+BENCH_FAMILY_SPECS = (
+    FamilySpec("chain", sizes=(8, 10, 12, 14, 16), queries_per_size=2),
+    FamilySpec("star", sizes=(6, 7, 8, 9, 10), queries_per_size=2),
+    FamilySpec("cycle", sizes=(8, 10, 12, 14), queries_per_size=2),
+    FamilySpec("clique", sizes=(6, 7, 8, 9, 10), queries_per_size=2),
+    FamilySpec("acyclic", sizes=(8, 10, 12, 14), queries_per_size=2),
+    FamilySpec("cyclic", sizes=(8, 10, 11, 12), queries_per_size=2),
+)
+
+
+@pytest.fixture(scope="session")
+def evaluation_run() -> EvaluationRun:
+    """The shared Table II / Table III measurement."""
+    suite = WorkloadSuite(BENCH_FAMILY_SPECS, seed=20120401)
+    run = EvaluationRun(suite)
+    run.families()  # materialize once, up front
+    return run
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def representative_queries():
+    """Median-size queries per family for the micro-benchmarks."""
+    generator = QueryGenerator(seed=424242)
+    return {
+        "chain": generator.generate("chain", 12),
+        "star": generator.generate("star", 8),
+        "cycle": generator.generate("cycle", 10),
+        "clique": generator.generate("clique", 8),
+        "acyclic": generator.generate("acyclic", 10),
+        "cyclic": generator.generate("cyclic", 9),
+    }

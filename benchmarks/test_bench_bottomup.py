@@ -1,0 +1,67 @@
+"""Extension bench: the bottom-up DP family (DPccp vs DPsize vs DPsub).
+
+Not a paper table — DESIGN.md lists DPsize/DPsub as extension baselines.
+Moerkotte & Neumann's analysis predicts DPccp <= DPsize and DPccp <= DPsub
+in enumerated work; this bench confirms the considered-pair counts and
+records the runtimes.
+"""
+
+import pytest
+
+from repro.baselines.dpccp import DPccp
+from repro.baselines.dpsize import DPsize
+from repro.baselines.dpsub import DPsub
+from repro.cost.haas import HaasCostModel
+
+ALGORITHMS = {"dpccp": DPccp, "dpsize": DPsize, "dpsub": DPsub}
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+@pytest.mark.parametrize("family", ["chain", "clique", "cyclic"])
+def test_bench_bottom_up(benchmark, representative_queries, name, family):
+    query = representative_queries[family]
+    algorithm_cls = ALGORITHMS[name]
+    plan = benchmark.pedantic(
+        lambda: algorithm_cls(query, HaasCostModel()).run(),
+        rounds=3,
+        iterations=1,
+    )
+    assert plan.vertex_set == query.graph.all_vertices
+
+
+def test_bench_bottom_up_work_comparison(benchmark, representative_queries, capsys):
+    """DPccp's enumeration does the least work of the DP family."""
+
+    def measure():
+        rows = []
+        for family in ("chain", "star", "cycle", "clique", "acyclic", "cyclic"):
+            query = representative_queries[family]
+            counts = {}
+            reference_cost = None
+            for name, algorithm_cls in ALGORITHMS.items():
+                algorithm = algorithm_cls(query, HaasCostModel())
+                plan = algorithm.run()
+                counts[name] = (
+                    algorithm.stats.ccps_enumerated
+                    or algorithm.stats.ccps_considered
+                )
+                if reference_cost is None:
+                    reference_cost = plan.cost
+                else:
+                    assert plan.cost == pytest.approx(reference_cost, rel=1e-9)
+            rows.append((family, counts))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = [
+        f"{'family':<10}{'DPccp pairs':>14}{'DPsize pairs':>14}{'DPsub pairs':>14}"
+    ]
+    for family, counts in rows:
+        assert counts["dpccp"] <= counts["dpsize"]
+        assert counts["dpccp"] <= counts["dpsub"]
+        lines.append(
+            f"{family:<10}{counts['dpccp']:>14}{counts['dpsize']:>14}"
+            f"{counts['dpsub']:>14}"
+        )
+    with capsys.disabled():
+        print("\n" + "\n".join(lines))

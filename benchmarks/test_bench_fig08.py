@@ -1,0 +1,32 @@
+"""Fig. 8 benchmark: density of normed runtimes over acyclic queries."""
+
+from repro.bench.experiments import figure8
+from repro.bench.harness import AlgorithmSpec, run_query_matrix
+from repro.workload.generator import QueryGenerator
+
+
+def test_bench_figure8(benchmark, results_dir, capsys):
+    result = benchmark.pedantic(
+        lambda: figure8(sizes=tuple(range(6, 13)), queries_per_size=3),
+        rounds=1, iterations=1,
+    )
+    result.save(results_dir)
+    with capsys.disabled():
+        print("\n" + result.text)
+    # The APCBI distributions sit "farther to the right" of the density
+    # plot than the APCB and unpruned ones; between the two APCBI variants
+    # the medians are noise-level close, so assert dominance, not rank.
+    medians = {
+        label: payload["quartiles"][1] for label, payload in result.data.items()
+    }
+    assert medians["TDMcC_APCBI"] < medians["TDMcL"]
+    assert medians["TDMcC_APCBI"] <= 1.5 * min(medians.values())
+
+
+def test_bench_density_measurement(benchmark):
+    """Micro-benchmark of the per-query measurement underlying Fig. 8."""
+    query = QueryGenerator(seed=88).generate("acyclic", 9, "random")
+    specs = (AlgorithmSpec("mincut_conservative", "apcbi"),)
+    benchmark.pedantic(
+        lambda: run_query_matrix(query, specs), rounds=3, iterations=1
+    )

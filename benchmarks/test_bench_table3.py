@@ -1,0 +1,56 @@
+"""Table III benchmark: normed success/failure counters.
+
+Shares the session-scoped full-matrix run with the Table II benchmark,
+prints the counter table, and asserts the paper's qualitative claims:
+APCBI builds fewer classes than APCB, fails less in the worst case, and
+its counters vary less across enumerators (robustness).
+"""
+
+import pytest
+
+from repro.bench.experiments import table3
+
+
+def test_bench_table3_counters(benchmark, evaluation_run, results_dir, capsys):
+    result = benchmark.pedantic(
+        lambda: table3(evaluation_run), rounds=1, iterations=1
+    )
+    result.save(results_dir)
+    with capsys.disabled():
+        print("\n" + result.text)
+
+    data = result.data
+    for family in ("cycle", "clique", "acyclic", "cyclic"):
+        rows = data[family]["algorithms"]
+        # APCBI's memotable footprint is at most APCB's (§V-D.1).
+        assert rows["TDMcC_APCBI"]["avg_s"] <= rows["TDMcC_APCB"]["avg_s"] + 1e-9
+        # Worst-case failed-build blowup is an APCB phenomenon; APCBI's
+        # max_f stays small (§V-D: "decrease the worst-case behavior").
+        assert rows["TDMcC_APCBI"]["max_f"] <= max(
+            rows["TDMcC_APCB"]["max_f"], 2.0
+        )
+
+    # Star queries: pruning fully disabled -> every class built, none fail.
+    star = data["star"]["algorithms"]
+    for label in ("TDMcL_APCBI", "TDMcB_APCBI", "TDMcC_APCBI"):
+        assert star[label]["avg_s"] == pytest.approx(1.0)
+        assert star[label]["avg_f"] == pytest.approx(0.0)
+
+
+def test_bench_robustness_across_enumerators(benchmark, evaluation_run):
+    """APCBI's pruning behaviour depends less on the enumeration order
+    than APCB's: the spread of avg_s across the three enumerators must be
+    no larger (the paper's robustness claim)."""
+    data = benchmark.pedantic(evaluation_run.data, rounds=1, iterations=1)
+
+    def spread(pruning_suffix, family):
+        values = [
+            data[family]["algorithms"][f"{label}{pruning_suffix}"]["avg_f"]
+            for label in ("TDMcL", "TDMcB", "TDMcC")
+        ]
+        return max(values) - min(values)
+
+    families = ("cyclic", "acyclic", "clique")
+    apcb_spread = sum(spread("_APCB", f) for f in families)
+    apcbi_spread = sum(spread("_APCBI", f) for f in families)
+    assert apcbi_spread <= apcb_spread + 0.05

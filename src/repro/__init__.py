@@ -1,0 +1,119 @@
+"""repro — Effective and Robust Pruning for Top-Down Join Enumeration.
+
+A from-scratch Python reproduction of Fender, Moerkotte, Neumann and Leis
+(ICDE 2012): the MinCutConservative partitioning algorithm, the APCBI
+branch-and-bound pruning strategy with its six advancements, the APCB / PCB
+/ ACB baselines, the MinCutLazy and MinCutBranch enumerators, the DPccp
+bottom-up baseline, the GOO heuristic, a Haas-et-al. I/O cost model, the
+Steinbrunn-style workload generator and the full measurement harness that
+regenerates every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import random_acyclic_query, optimize
+
+    query = random_acyclic_query(10, seed=42)
+    result = optimize(query, enumerator="mincut_conservative", pruning="apcbi")
+    print(result.explain())
+"""
+
+from repro.catalog import Catalog, RelationStats
+from repro.core import (
+    AdvancementConfig,
+    OptimizationResult,
+    Optimizer,
+    algorithm_label,
+    optimize,
+    run_dpccp,
+    run_goo,
+)
+from repro.baselines import DPccp, DPsize, DPsub
+from repro.cost import CoutCostModel, HaasCostModel, StatisticsProvider
+from repro.heuristics import available_heuristics, get_heuristic
+from repro.errors import (
+    CatalogError,
+    DisconnectedGraphError,
+    GraphError,
+    OptimizationError,
+    ReproError,
+    UnknownAlgorithmError,
+)
+from repro.graph import QueryGraph
+from repro.partitioning import available_partitionings, get_partitioning
+from repro.plans import (
+    JoinNode,
+    JoinTree,
+    LeafNode,
+    PlanValidationError,
+    validate_plan,
+)
+from repro.query import Query
+from repro.stats import OptimizationStats
+from repro.workload import (
+    QueryGenerator,
+    WorkloadSuite,
+    chain_query,
+    clique_query,
+    cycle_query,
+    default_suite,
+    generate_query,
+    random_acyclic_query,
+    random_cyclic_query,
+    star_query,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # queries and statistics
+    "Query",
+    "QueryGraph",
+    "Catalog",
+    "RelationStats",
+    "StatisticsProvider",
+    # optimizers
+    "optimize",
+    "Optimizer",
+    "OptimizationResult",
+    "AdvancementConfig",
+    "DPccp",
+    "DPsize",
+    "DPsub",
+    "run_dpccp",
+    "run_goo",
+    "algorithm_label",
+    "get_heuristic",
+    "available_heuristics",
+    # cost models
+    "HaasCostModel",
+    "CoutCostModel",
+    # plans
+    "JoinTree",
+    "JoinNode",
+    "LeafNode",
+    "validate_plan",
+    "PlanValidationError",
+    # workload
+    "QueryGenerator",
+    "WorkloadSuite",
+    "default_suite",
+    "generate_query",
+    "chain_query",
+    "star_query",
+    "cycle_query",
+    "clique_query",
+    "random_acyclic_query",
+    "random_cyclic_query",
+    # partitioning registry
+    "get_partitioning",
+    "available_partitionings",
+    # stats & errors
+    "OptimizationStats",
+    "ReproError",
+    "GraphError",
+    "DisconnectedGraphError",
+    "CatalogError",
+    "OptimizationError",
+    "UnknownAlgorithmError",
+]

@@ -1,0 +1,13 @@
+"""Bottom-up baselines: DPccp (paper baseline), DPsize and DPsub (extras)."""
+
+from repro.baselines.dpccp import DPccp, enumerate_csg, enumerate_csg_cmp_pairs
+from repro.baselines.dpsize import DPsize
+from repro.baselines.dpsub import DPsub
+
+__all__ = [
+    "DPccp",
+    "DPsize",
+    "DPsub",
+    "enumerate_csg",
+    "enumerate_csg_cmp_pairs",
+]

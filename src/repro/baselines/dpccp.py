@@ -1,0 +1,156 @@
+"""DPccp — bottom-up join enumeration via dynamic programming ([2]).
+
+Moerkotte & Neumann's algorithm enumerates every csg-cmp pair of the query
+graph exactly once using the EnumerateCsg / EnumerateCsgRec / EnumerateCmp
+recursion and builds optimal plans bottom-up.  In this library it plays the
+same role as in the paper: the state-of-the-art baseline whose runtime is
+the denominator of every *normed time*, and the oracle that supplies
+optimal per-class costs for APCBI_Opt.
+
+Implementation note: the published emission order is compatible with
+dynamic programming; we nevertheless bucket pairs by the size of their
+union before the DP sweep, which makes the correctness argument local at
+the price of materializing the pair list (fine at the sizes pure Python can
+enumerate; the overhead is charged to DPccp's measured runtime).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.cost.cout import CoutCostModel
+from repro.cost.haas import HaasCostModel
+from repro.cost.model import CostModel
+from repro.cost.statistics import StatisticsProvider
+from repro.errors import OptimizationError
+from repro.graph import bitset
+from repro.graph.query_graph import QueryGraph
+from repro.plans.builder import PlanBuilder
+from repro.plans.join_tree import JoinTree
+from repro.plans.memo import MemoTable
+from repro.query import Query
+from repro.stats.counters import OptimizationStats
+
+__all__ = ["DPccp", "enumerate_csg_cmp_pairs", "enumerate_csg"]
+
+
+def _neighborhood(graph: QueryGraph, subset: int, exclude: int) -> int:
+    """``N(subset) \\ exclude`` within the full graph."""
+    return graph.neighborhood(subset) & ~exclude
+
+
+def _enumerate_csg_rec(
+    graph: QueryGraph, subset: int, exclude: int
+) -> Iterator[int]:
+    """EnumerateCsgRec: emit ``subset`` enlarged by neighborhood subsets."""
+    neighbors = _neighborhood(graph, subset, exclude)
+    if not neighbors:
+        return
+    for extension in bitset.iter_subsets(neighbors):
+        yield subset | extension
+    blocked = exclude | neighbors
+    for extension in bitset.iter_subsets(neighbors):
+        yield from _enumerate_csg_rec(graph, subset | extension, blocked)
+
+
+def enumerate_csg(graph: QueryGraph) -> Iterator[int]:
+    """EnumerateCsg: every connected subset, each exactly once."""
+    n = graph.n_vertices
+    for index in range(n - 1, -1, -1):
+        start = bitset.singleton(index)
+        yield start
+        forbidden = (1 << (index + 1)) - 1  # B_i: all vertices <= index
+        yield from _enumerate_csg_rec(graph, start, forbidden)
+
+
+def _enumerate_cmp(graph: QueryGraph, subset: int) -> Iterator[int]:
+    """EnumerateCmp: connected complements pairing with ``subset``."""
+    min_index = bitset.lowest_index(subset)
+    forbidden = subset | ((1 << (min_index + 1)) - 1)  # B_min(S1) u S1
+    neighbors = _neighborhood(graph, subset, forbidden)
+    remaining = neighbors
+    while remaining:
+        high = 1 << (remaining.bit_length() - 1)
+        remaining ^= high
+        yield high
+        below = (high - 1) & neighbors  # B_i n N
+        yield from _enumerate_csg_rec(graph, high, forbidden | below)
+
+
+def enumerate_csg_cmp_pairs(graph: QueryGraph) -> Iterator[Tuple[int, int]]:
+    """Every csg-cmp pair of the graph, each symmetric pair once."""
+    for left in enumerate_csg(graph):
+        for right in _enumerate_cmp(graph, left):
+            yield (left, right)
+
+
+class DPccp:
+    """Bottom-up optimal bushy join ordering without cross products."""
+
+    name = "dpccp"
+
+    def __init__(
+        self,
+        query: Query,
+        cost_model: Optional[CostModel] = None,
+        stats: Optional[OptimizationStats] = None,
+    ):
+        self._query = query
+        self._graph = query.graph
+        self._provider = StatisticsProvider(query)
+        model = cost_model if cost_model is not None else HaasCostModel()
+        if isinstance(model, CoutCostModel):
+            model.bind(self._provider)
+        self._builder = PlanBuilder(self._provider, model, stats)
+        self._memo = MemoTable()
+
+    @property
+    def memo(self) -> MemoTable:
+        return self._memo
+
+    @property
+    def stats(self) -> OptimizationStats:
+        return self._builder.stats
+
+    def run(self) -> JoinTree:
+        """Build and return the optimal join tree for the whole query."""
+        query = self._query
+        for index in range(query.n_relations):
+            self._memo.register(self._builder.leaf(query, index))
+        if query.n_relations == 1:
+            return self._memo.best(self._graph.all_vertices)
+
+        # Bucket ccps by result size so every sub-plan exists when needed.
+        buckets: Dict[int, List[Tuple[int, int]]] = {}
+        for left, right in enumerate_csg_cmp_pairs(self._graph):
+            self.stats.ccps_enumerated += 1
+            buckets.setdefault(bitset.bit_count(left | right), []).append(
+                (left, right)
+            )
+        for size in sorted(buckets):
+            for left, right in buckets[size]:
+                self.stats.ccps_considered += 1
+                left_tree = self._memo.best(left)
+                right_tree = self._memo.best(right)
+                if left_tree is None or right_tree is None:
+                    raise OptimizationError(
+                        "DPccp visited a ccp before its components were "
+                        "planned — enumeration bug"
+                    )
+                self._builder.build_tree(self._memo, left_tree, right_tree)
+
+        plan = self._memo.best(self._graph.all_vertices)
+        if plan is None:
+            raise OptimizationError("DPccp produced no plan for the full query")
+        self.stats.plan_classes_built = self._memo.n_plan_classes()
+        return plan
+
+    def optimal_class_costs(self) -> Dict[int, float]:
+        """Optimal cost per plan class (the APCBI_Opt oracle ``uB`` table).
+
+        Only valid after :meth:`run`.  Singleton classes are included with
+        cost 0; harmless, since leaves are returned before ``uB`` lookups.
+        """
+        return {
+            vertex_set: tree.cost for vertex_set, tree in self._memo.entries()
+        }

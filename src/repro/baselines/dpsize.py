@@ -1,0 +1,106 @@
+"""DPsize — size-driven bottom-up dynamic programming (extension).
+
+The classic System-R-style generalization analysed in Moerkotte & Neumann
+[2]: plans are built in the order of their result-set size, and for each
+target size every split ``size = k + (size - k)`` is tried by pairing all
+plan classes of size ``k`` with all of size ``size - k``.  Asymptotically
+inferior to DPccp (it tests many pairs that are not ccps), but a useful
+comparison point and a second, structurally different oracle for tests.
+
+Not part of the paper's evaluation; see DESIGN.md ("extension" entries).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cost.cout import CoutCostModel
+from repro.cost.haas import HaasCostModel
+from repro.cost.model import CostModel
+from repro.cost.statistics import StatisticsProvider
+from repro.errors import OptimizationError
+from repro.graph import bitset
+from repro.plans.builder import PlanBuilder
+from repro.plans.join_tree import JoinTree
+from repro.plans.memo import MemoTable
+from repro.query import Query
+from repro.stats.counters import OptimizationStats
+
+__all__ = ["DPsize"]
+
+
+class DPsize:
+    """Bottom-up join ordering, enumerating plans by result size."""
+
+    name = "dpsize"
+
+    def __init__(
+        self,
+        query: Query,
+        cost_model: Optional[CostModel] = None,
+        stats: Optional[OptimizationStats] = None,
+    ):
+        self._query = query
+        self._graph = query.graph
+        self._provider = StatisticsProvider(query)
+        model = cost_model if cost_model is not None else HaasCostModel()
+        if isinstance(model, CoutCostModel):
+            model.bind(self._provider)
+        self._builder = PlanBuilder(self._provider, model, stats)
+        self._memo = MemoTable()
+
+    @property
+    def memo(self) -> MemoTable:
+        return self._memo
+
+    @property
+    def stats(self) -> OptimizationStats:
+        return self._builder.stats
+
+    def run(self) -> JoinTree:
+        query = self._query
+        graph = self._graph
+        n = query.n_relations
+        # classes_by_size[k] lists the connected plan classes with k members.
+        classes_by_size: Dict[int, List[int]] = {1: []}
+        for index in range(n):
+            leaf = self._builder.leaf(query, index)
+            self._memo.register(leaf)
+            classes_by_size[1].append(leaf.vertex_set)
+        if n == 1:
+            return self._memo.best(graph.all_vertices)
+
+        for size in range(2, n + 1):
+            found: List[int] = []
+            found_set = set()
+            for left_size in range(1, size // 2 + 1):
+                right_size = size - left_size
+                for left in classes_by_size.get(left_size, ()):
+                    for right in classes_by_size.get(right_size, ()):
+                        if left_size == right_size and left >= right:
+                            continue  # unordered pair, visit once
+                        # Every candidate pair examined counts as work —
+                        # this is exactly DPsize's inefficiency relative
+                        # to DPccp, which never tests an invalid pair.
+                        self.stats.ccps_enumerated += 1
+                        if left & right:
+                            continue
+                        if not graph.are_connected(left, right):
+                            continue  # no cross products
+                        self.stats.ccps_considered += 1
+                        self._builder.build_tree(
+                            self._memo,
+                            self._memo.best(left),
+                            self._memo.best(right),
+                        )
+                        union = left | right
+                        if union not in found_set:
+                            found_set.add(union)
+                            found.append(union)
+            classes_by_size[size] = found
+
+        plan = self._memo.best(graph.all_vertices)
+        if plan is None:
+            raise OptimizationError("DPsize produced no plan for the full query")
+        self.stats.plan_classes_built = self._memo.n_plan_classes()
+        return plan

@@ -1,0 +1,99 @@
+"""DPsub — subset-driven bottom-up dynamic programming (extension).
+
+The second classic DP variant from Moerkotte & Neumann [2]: iterate over
+all vertex subsets in increasing numeric order (which implies subsets come
+before supersets) and, for each connected subset, try every subset split
+using the Vance & Maier descending-subset trick.  Exponential in the
+number of vertices regardless of graph shape, but simple and a good third
+oracle: its inner loop structure shares nothing with DPccp or DPsize.
+
+Not part of the paper's evaluation; see DESIGN.md ("extension" entries).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cost.cout import CoutCostModel
+from repro.cost.haas import HaasCostModel
+from repro.cost.model import CostModel
+from repro.cost.statistics import StatisticsProvider
+from repro.errors import OptimizationError
+from repro.graph import bitset
+from repro.plans.builder import PlanBuilder
+from repro.plans.join_tree import JoinTree
+from repro.plans.memo import MemoTable
+from repro.query import Query
+from repro.stats.counters import OptimizationStats
+
+__all__ = ["DPsub"]
+
+
+class DPsub:
+    """Bottom-up join ordering, enumerating all subset splits."""
+
+    name = "dpsub"
+
+    def __init__(
+        self,
+        query: Query,
+        cost_model: Optional[CostModel] = None,
+        stats: Optional[OptimizationStats] = None,
+    ):
+        self._query = query
+        self._graph = query.graph
+        self._provider = StatisticsProvider(query)
+        model = cost_model if cost_model is not None else HaasCostModel()
+        if isinstance(model, CoutCostModel):
+            model.bind(self._provider)
+        self._builder = PlanBuilder(self._provider, model, stats)
+        self._memo = MemoTable()
+
+    @property
+    def memo(self) -> MemoTable:
+        return self._memo
+
+    @property
+    def stats(self) -> OptimizationStats:
+        return self._builder.stats
+
+    def run(self) -> JoinTree:
+        query = self._query
+        graph = self._graph
+        for index in range(query.n_relations):
+            self._memo.register(self._builder.leaf(query, index))
+        if query.n_relations == 1:
+            return self._memo.best(graph.all_vertices)
+
+        for subset in range(1, graph.all_vertices + 1):
+            if not subset & (subset - 1):
+                continue  # singleton
+            if not graph.is_connected(subset):
+                continue
+            # Enumerate proper subsets; anchor the lowest vertex in the
+            # left side so each unordered split is visited exactly once.
+            anchor = subset & -subset
+            for other in bitset.iter_subsets(subset & ~anchor):
+                anchor_side = subset & ~other
+                # Every split examined counts as work — DPsub tests all
+                # 2^(|S|-1) - 1 splits of every connected subset, which is
+                # its inefficiency relative to DPccp.
+                self.stats.ccps_enumerated += 1
+                if not graph.is_connected(anchor_side):
+                    continue
+                if not graph.is_connected(other):
+                    continue
+                if not graph.are_connected(anchor_side, other):
+                    continue
+                self.stats.ccps_considered += 1
+                self._builder.build_tree(
+                    self._memo,
+                    self._memo.best(anchor_side),
+                    self._memo.best(other),
+                )
+
+        plan = self._memo.best(graph.all_vertices)
+        if plan is None:
+            raise OptimizationError("DPsub produced no plan for the full query")
+        self.stats.plan_classes_built = self._memo.n_plan_classes()
+        return plan

@@ -1,0 +1,50 @@
+"""Benchmark harness: normed-time measurement and per-figure experiments."""
+
+from repro.bench.ascii_charts import bar_chart, line_chart
+from repro.bench.density import DensityProfile, density_profile, render_density
+from repro.bench.profiling import EnumerationProfile, InstrumentedPartitioning
+from repro.bench.report import load_results, render_report
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    EvaluationRun,
+    ExperimentResult,
+    run_experiment,
+)
+from repro.bench.harness import (
+    CHART_ALGORITHMS,
+    PAPER_ALGORITHMS,
+    AlgorithmSpec,
+    NormedSummary,
+    QueryMeasurement,
+    WorkloadMeasurement,
+    run_query_matrix,
+    run_workload,
+)
+from repro.bench.tables import render_series, render_table2, render_table3
+
+__all__ = [
+    "AlgorithmSpec",
+    "QueryMeasurement",
+    "WorkloadMeasurement",
+    "NormedSummary",
+    "PAPER_ALGORITHMS",
+    "CHART_ALGORITHMS",
+    "run_query_matrix",
+    "run_workload",
+    "render_table2",
+    "render_table3",
+    "render_series",
+    "density_profile",
+    "render_density",
+    "DensityProfile",
+    "ExperimentResult",
+    "EvaluationRun",
+    "EXPERIMENTS",
+    "run_experiment",
+    "InstrumentedPartitioning",
+    "EnumerationProfile",
+    "line_chart",
+    "bar_chart",
+    "load_results",
+    "render_report",
+]

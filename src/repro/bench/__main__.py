@@ -1,0 +1,91 @@
+"""CLI: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.bench list
+    python -m repro.bench run table2 figure15
+    python -m repro.bench run all --results-dir results/
+
+Each experiment prints its paper-style text rendering and writes both the
+text and a machine-readable JSON file to the results directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the tables and figures of the ICDE 2012 "
+        "top-down join enumeration pruning paper.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list available experiments")
+    run_parser = subparsers.add_parser("run", help="run experiments")
+    run_parser.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment names (table2, table3, figure7..figure15) or 'all'",
+    )
+    run_parser.add_argument(
+        "--results-dir",
+        default="results",
+        help="directory for .txt/.json outputs (default: results/)",
+    )
+    report_parser = subparsers.add_parser(
+        "report", help="render a paper-vs-measured markdown summary"
+    )
+    report_parser.add_argument(
+        "--results-dir",
+        default="results",
+        help="directory holding the experiment .json files",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in EXPERIMENTS:
+            doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()[0]
+            print(f"{name:<10} {doc}")
+        return 0
+
+    if args.command == "report":
+        from repro.bench.report import render_report
+
+        print(render_report(Path(args.results_dir)))
+        return 0
+
+    names = list(args.experiments)
+    if names == ["all"]:
+        names = list(EXPERIMENTS)
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        print(f"available: {sorted(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+
+    results_dir = Path(args.results_dir)
+    for name in names:
+        started = time.perf_counter()
+        print(f"=== {name} ===")
+        result = run_experiment(name)
+        print(result.text)
+        path = result.save(results_dir)
+        print(f"[{time.perf_counter() - started:.1f}s] saved {path}")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

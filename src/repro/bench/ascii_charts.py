@@ -1,0 +1,119 @@
+"""ASCII chart rendering for the figure experiments.
+
+The paper's Figs. 7–15 are log-scale line charts and bar charts.  The
+experiment drivers emit aligned numeric tables (precise, diff-able) plus
+the renderings produced here, which make the *shape* — crossovers, the
+APCB outliers, APCBI's flat dominance — visible at a glance in a
+terminal.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["line_chart", "bar_chart"]
+
+#: Glyphs assigned to series, in order.
+_MARKERS = "*o+x#@%&"
+
+
+def _log(value: float) -> float:
+    return math.log10(max(value, 1e-9))
+
+
+def line_chart(
+    series: Dict[str, Dict[int, float]],
+    title: str = "",
+    width: int = 64,
+    height: int = 16,
+    log_y: bool = True,
+    y_label: str = "normed time",
+) -> str:
+    """Render ``{label: {x: y}}`` as an ASCII scatter/line chart.
+
+    X positions are spread over the union of the series' x values; the y
+    axis is logarithmic by default because normed times span orders of
+    magnitude.  Collisions print the marker of the later series.
+    """
+    xs = sorted({x for values in series.values() for x in values})
+    if not xs or not series:
+        return f"{title}\n(no data)"
+    all_y = [y for values in series.values() for y in values.values()]
+    transform = _log if log_y else (lambda v: v)
+    y_low = min(transform(y) for y in all_y)
+    y_high = max(transform(y) for y in all_y)
+    if y_high - y_low < 1e-12:
+        y_high = y_low + 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+
+    def column_of(x: int) -> int:
+        if len(xs) == 1:
+            return width // 2
+        position = xs.index(x) / (len(xs) - 1)
+        return min(width - 1, int(round(position * (width - 1))))
+
+    def row_of(y: float) -> int:
+        position = (transform(y) - y_low) / (y_high - y_low)
+        return min(height - 1, int(round((1.0 - position) * (height - 1))))
+
+    legend = []
+    for index, (label, values) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"{marker} = {label}")
+        points = sorted(values.items())
+        for (x0, y0), (x1, y1) in zip(points, points[1:]):
+            # crude linear interpolation between sample columns
+            c0, c1 = column_of(x0), column_of(x1)
+            for column in range(c0, c1 + 1):
+                if c1 == c0:
+                    y = y0
+                else:
+                    fraction = (column - c0) / (c1 - c0)
+                    ty = transform(y0) + fraction * (transform(y1) - transform(y0))
+                    y = 10**ty if log_y else ty
+                grid[row_of(y)][column] = marker
+        for x, y in points:
+            grid[row_of(y)][column_of(x)] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_value = 10**y_high if log_y else y_high
+    low_value = 10**y_low if log_y else y_low
+    lines.append(f"{y_label} ({'log scale' if log_y else 'linear'})")
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = f"{top_value:8.2f} |"
+        elif row_index == height - 1:
+            prefix = f"{low_value:8.2f} |"
+        else:
+            prefix = " " * 8 + " |"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    x_axis = " " * 10 + f"{xs[0]:<10}{'#relations':^{max(0, width - 20)}}{xs[-1]:>10}"
+    lines.append(x_axis)
+    lines.append("  ".join(legend))
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Dict[str, float],
+    title: str = "",
+    width: int = 48,
+    unit: str = "x",
+) -> str:
+    """Render ``{label: value}`` as a horizontal ASCII bar chart."""
+    if not values:
+        return f"{title}\n(no data)"
+    longest_label = max(len(label) for label in values)
+    peak = max(values.values())
+    lines = [title] if title else []
+    for label, value in values.items():
+        bar_length = 0 if peak <= 0 else int(round(width * value / peak))
+        lines.append(
+            f"{label:<{longest_label}}  "
+            f"{'#' * bar_length:<{width}} {value:8.3f}{unit}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""Density-plot data for the normed-runtime distributions (Figs. 8 and 14).
+
+The paper plots kernel densities of the normed runtime per algorithm.  For
+a text harness we report the same information as a histogram over
+logarithmic buckets plus the quartiles, which preserves what the figures
+demonstrate: TDMcC_APCBI's distribution sits "steeper and farther to the
+right" — i.e. a larger fraction of queries at much smaller normed times.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["DensityProfile", "density_profile", "render_density"]
+
+#: Log10 bucket edges for normed times, from 1/1000 x to 10 x and beyond.
+_BUCKET_EDGES = (0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0)
+
+
+@dataclass
+class DensityProfile:
+    """Histogram + quartiles of one algorithm's normed-runtime series."""
+
+    label: str
+    count: int
+    quartiles: Tuple[float, float, float]
+    #: (upper_edge, fraction) pairs; the last bucket is open-ended.
+    histogram: List[Tuple[float, float]]
+
+    @property
+    def median(self) -> float:
+        return self.quartiles[1]
+
+
+def _quantile(sorted_values: Sequence[float], q: float) -> float:
+    if not sorted_values:
+        return float("nan")
+    position = q * (len(sorted_values) - 1)
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return sorted_values[low]
+    weight = position - low
+    return sorted_values[low] * (1 - weight) + sorted_values[high] * weight
+
+
+def density_profile(label: str, values: Sequence[float]) -> DensityProfile:
+    """Histogram the normed times of one algorithm."""
+    ordered = sorted(values)
+    histogram: List[Tuple[float, float]] = []
+    remaining = list(ordered)
+    total = max(1, len(ordered))
+    for edge in _BUCKET_EDGES:
+        inside = [v for v in remaining if v <= edge]
+        histogram.append((edge, len(inside) / total))
+        remaining = [v for v in remaining if v > edge]
+    histogram.append((float("inf"), len(remaining) / total))
+    return DensityProfile(
+        label=label,
+        count=len(ordered),
+        quartiles=(
+            _quantile(ordered, 0.25),
+            _quantile(ordered, 0.50),
+            _quantile(ordered, 0.75),
+        ),
+        histogram=histogram,
+    )
+
+
+def render_density(profiles: Sequence[DensityProfile]) -> str:
+    """Aligned text rendering of several density profiles."""
+    lines = []
+    header = f"{'normed time <=':>16}" + "".join(
+        f"{p.label:>18}" for p in profiles
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    n_buckets = len(profiles[0].histogram) if profiles else 0
+    for index in range(n_buckets):
+        edge = profiles[0].histogram[index][0]
+        edge_text = "inf" if math.isinf(edge) else f"{edge:g}x"
+        row = [f"{edge_text:>16}"]
+        for profile in profiles:
+            row.append(f"{profile.histogram[index][1] * 100:17.1f}%")
+        lines.append("".join(row))
+    quartile_row = [f"{'median':>16}"]
+    for profile in profiles:
+        quartile_row.append(f"{profile.median:17.4f}x")
+    lines.append("".join(quartile_row))
+    return "\n".join(lines)

@@ -1,0 +1,234 @@
+"""Measurement harness (§V-C).
+
+Runs a matrix of (enumerator, pruning) algorithms over a workload and
+reports *normed times*: each algorithm's elapsed time divided by DPccp's
+elapsed time on the same query.  Normed time divides out the substrate's
+constant factor, which is what makes a pure-Python reproduction comparable
+in shape to the paper's C++ numbers (see DESIGN.md §3).
+
+Besides times, the harness collects the Table III counters: the number of
+plan classes successfully built (*s*) and the number of failed build passes
+(*f*), both normalized by the number of plan classes DPccp builds.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.advancements import AdvancementConfig
+from repro.core.optimizer import Optimizer, algorithm_label, run_dpccp
+from repro.cost.haas import HaasCostModel
+from repro.cost.model import CostModel
+from repro.query import Query
+
+__all__ = [
+    "AlgorithmSpec",
+    "QueryMeasurement",
+    "WorkloadMeasurement",
+    "NormedSummary",
+    "PAPER_ALGORITHMS",
+    "CHART_ALGORITHMS",
+    "run_query_matrix",
+    "run_workload",
+]
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """One column of the evaluation: an enumerator + pruning combination."""
+
+    enumerator: str
+    pruning: str
+    config: Optional[AdvancementConfig] = None
+    #: Display override; defaults to the paper's Table I name.
+    display: str = ""
+
+    @property
+    def label(self) -> str:
+        return self.display or algorithm_label(self.enumerator, self.pruning)
+
+
+def _specs(enumerators: Iterable[str], prunings: Iterable[str]) -> List[AlgorithmSpec]:
+    return [
+        AlgorithmSpec(enumerator, pruning)
+        for enumerator in enumerators
+        for pruning in prunings
+    ]
+
+
+#: The 15 top-down combinations of Table I / Table II.
+PAPER_ALGORITHMS: Tuple[AlgorithmSpec, ...] = tuple(
+    _specs(
+        ("mincut_lazy", "mincut_branch", "mincut_conservative"),
+        ("none", "pcb", "apcb", "apcbi", "apcbi_opt"),
+    )
+)
+
+#: The subset shown in the paper's runtime charts (§V-C, last paragraph).
+CHART_ALGORITHMS: Tuple[AlgorithmSpec, ...] = (
+    AlgorithmSpec("mincut_lazy", "none"),
+    AlgorithmSpec("mincut_lazy", "apcb"),
+    AlgorithmSpec("mincut_branch", "apcb"),
+    AlgorithmSpec("mincut_branch", "apcbi"),
+    AlgorithmSpec("mincut_conservative", "apcbi"),
+)
+
+
+@dataclass
+class QueryMeasurement:
+    """All measurements taken for one query."""
+
+    query: Query
+    dpccp_seconds: float
+    dpccp_classes: int
+    #: label -> normed time (algorithm seconds / DPccp seconds).
+    normed_times: Dict[str, float] = field(default_factory=dict)
+    #: label -> normed successful class builds (Table III "s").
+    normed_success: Dict[str, float] = field(default_factory=dict)
+    #: label -> normed failed build passes (Table III "f").
+    normed_failed: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def n_relations(self) -> int:
+        return self.query.n_relations
+
+    @property
+    def family(self) -> str:
+        return self.query.family
+
+
+@dataclass
+class NormedSummary:
+    """min / max / avg of a series of normed values."""
+
+    minimum: float
+    maximum: float
+    average: float
+    count: int
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "NormedSummary":
+        if not values:
+            return cls(float("nan"), float("nan"), float("nan"), 0)
+        return cls(min(values), max(values), sum(values) / len(values), len(values))
+
+
+@dataclass
+class WorkloadMeasurement:
+    """Measurements for a whole workload (one graph family, typically)."""
+
+    measurements: List[QueryMeasurement]
+    labels: List[str]
+
+    def normed_time_summary(self, label: str) -> NormedSummary:
+        return NormedSummary.of(
+            [m.normed_times[label] for m in self.measurements if label in m.normed_times]
+        )
+
+    def success_summary(self, label: str) -> NormedSummary:
+        return NormedSummary.of(
+            [
+                m.normed_success[label]
+                for m in self.measurements
+                if label in m.normed_success
+            ]
+        )
+
+    def failed_summary(self, label: str) -> NormedSummary:
+        return NormedSummary.of(
+            [
+                m.normed_failed[label]
+                for m in self.measurements
+                if label in m.normed_failed
+            ]
+        )
+
+    def dpccp_summary(self) -> NormedSummary:
+        return NormedSummary.of([m.dpccp_seconds for m in self.measurements])
+
+    def normed_times(self, label: str) -> List[float]:
+        """Raw normed-time series (density plots, Figs. 8 and 14)."""
+        return [
+            m.normed_times[label] for m in self.measurements if label in m.normed_times
+        ]
+
+    def by_size(self, label: str) -> Dict[int, float]:
+        """Average normed time per relation count (scaling charts)."""
+        buckets: Dict[int, List[float]] = {}
+        for m in self.measurements:
+            if label in m.normed_times:
+                buckets.setdefault(m.n_relations, []).append(m.normed_times[label])
+        return {n: sum(v) / len(v) for n, v in sorted(buckets.items())}
+
+    def dpccp_by_size(self) -> Dict[int, float]:
+        """Average DPccp seconds per relation count."""
+        buckets: Dict[int, List[float]] = {}
+        for m in self.measurements:
+            buckets.setdefault(m.n_relations, []).append(m.dpccp_seconds)
+        return {n: sum(v) / len(v) for n, v in sorted(buckets.items())}
+
+
+def run_query_matrix(
+    query: Query,
+    algorithms: Sequence[AlgorithmSpec],
+    cost_model_factory: Callable[[], CostModel] = HaasCostModel,
+    check_costs: bool = True,
+) -> QueryMeasurement:
+    """Measure DPccp plus every algorithm on one query.
+
+    With ``check_costs`` every algorithm's plan cost is verified against
+    DPccp's (pruning must preserve optimality); a mismatch raises, because a
+    benchmark of an incorrect optimizer is meaningless.
+    """
+    baseline = run_dpccp(query, cost_model_factory)
+    measurement = QueryMeasurement(
+        query=query,
+        dpccp_seconds=baseline.elapsed,
+        dpccp_classes=max(1, baseline.stats.plan_classes_built),
+    )
+    for spec in algorithms:
+        optimizer = Optimizer(
+            enumerator=spec.enumerator,
+            pruning=spec.pruning,
+            cost_model_factory=cost_model_factory,
+            config=spec.config,
+        )
+        result = optimizer.optimize(query)
+        if check_costs and abs(result.cost - baseline.cost) > 1e-6 * max(
+            1.0, abs(baseline.cost)
+        ):
+            raise AssertionError(
+                f"{spec.label} returned cost {result.cost!r} but DPccp found "
+                f"{baseline.cost!r} on {query.describe()}"
+            )
+        denominator = max(baseline.elapsed, 1e-9)
+        measurement.normed_times[spec.label] = result.elapsed / denominator
+        measurement.normed_success[spec.label] = (
+            result.stats.plan_classes_built / measurement.dpccp_classes
+        )
+        measurement.normed_failed[spec.label] = (
+            result.stats.failed_builds / measurement.dpccp_classes
+        )
+    return measurement
+
+
+def run_workload(
+    queries: Sequence[Query],
+    algorithms: Sequence[AlgorithmSpec],
+    cost_model_factory: Callable[[], CostModel] = HaasCostModel,
+    check_costs: bool = True,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> WorkloadMeasurement:
+    """Measure a whole workload; see :func:`run_query_matrix`."""
+    measurements = []
+    for index, query in enumerate(queries):
+        measurements.append(
+            run_query_matrix(query, algorithms, cost_model_factory, check_costs)
+        )
+        if progress is not None:
+            progress(index + 1, len(queries))
+    return WorkloadMeasurement(
+        measurements=measurements, labels=[spec.label for spec in algorithms]
+    )

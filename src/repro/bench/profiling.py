@@ -1,0 +1,93 @@
+"""Per-plan-class enumeration profiling.
+
+:class:`InstrumentedPartitioning` wraps any partitioning strategy and
+records, per vertex set, how many times its ccps were enumerated and how
+many ccps each pass produced.  This is the diagnostic behind the APCB
+worst case (§IV-D, fourth advancement): a healthy run enumerates each
+class once; ACB's cascade re-enumerates the same classes with slowly
+rising budgets, and the profile shows exactly which classes and how often.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+from repro.graph import bitset
+from repro.graph.query_graph import QueryGraph
+from repro.partitioning.base import PartitioningStrategy
+
+__all__ = ["InstrumentedPartitioning", "EnumerationProfile"]
+
+
+@dataclass
+class EnumerationProfile:
+    """What one optimizer run asked of its partitioning strategy."""
+
+    #: vertex set -> number of enumeration passes over its ccps.
+    passes: Dict[int, int] = field(default_factory=dict)
+    #: vertex set -> total ccps produced across all passes.
+    ccps: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def total_passes(self) -> int:
+        return sum(self.passes.values())
+
+    @property
+    def distinct_classes(self) -> int:
+        return len(self.passes)
+
+    def re_enumerated_classes(self) -> List[Tuple[int, int]]:
+        """Classes enumerated more than once, worst first."""
+        repeated = [
+            (vertex_set, count)
+            for vertex_set, count in self.passes.items()
+            if count > 1
+        ]
+        repeated.sort(key=lambda item: item[1], reverse=True)
+        return repeated
+
+    def cascade_factor(self) -> float:
+        """Total passes per distinct class — 1.0 means no re-enumeration."""
+        if not self.passes:
+            return 0.0
+        return self.total_passes / self.distinct_classes
+
+    def render(self, limit: int = 10) -> str:
+        """Human-readable summary of the worst re-enumerated classes."""
+        lines = [
+            f"enumeration passes: {self.total_passes} over "
+            f"{self.distinct_classes} classes "
+            f"(cascade factor {self.cascade_factor():.2f})"
+        ]
+        for vertex_set, count in self.re_enumerated_classes()[:limit]:
+            lines.append(
+                f"  {bitset.format_set(vertex_set):<32} enumerated "
+                f"{count} times ({self.ccps[vertex_set]} ccps total)"
+            )
+        return "\n".join(lines)
+
+
+class InstrumentedPartitioning(PartitioningStrategy):
+    """Wrap a strategy, recording per-class enumeration activity.
+
+    Instances are single-use per optimizer run (the profile accumulates);
+    the registry singletons stay untouched.
+    """
+
+    def __init__(self, inner: PartitioningStrategy):
+        self._inner = inner
+        self.name = f"{inner.name}+profile"
+        self.label = inner.label
+        self.profile = EnumerationProfile()
+
+    def partitions(
+        self, graph: QueryGraph, vertex_set: int
+    ) -> Iterator[Tuple[int, int]]:
+        profile = self.profile
+        profile.passes[vertex_set] = profile.passes.get(vertex_set, 0) + 1
+        produced = 0
+        for pair in self._inner.partitions(graph, vertex_set):
+            produced += 1
+            yield pair
+        profile.ccps[vertex_set] = profile.ccps.get(vertex_set, 0) + produced

@@ -1,0 +1,100 @@
+"""Text rendering of the paper's tables from harness measurements.
+
+Formats follow the paper: Table II prints min/max/avg normed runtimes per
+algorithm and graph family with DPccp's absolute seconds in the first row;
+Table III prints avg/max of the normed success (*s*) and failure (*f*)
+counters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.bench.harness import WorkloadMeasurement
+
+__all__ = ["render_table2", "render_table3", "render_series"]
+
+
+def _fmt(value: float, suffix: str = " x") -> str:
+    if value != value:  # NaN
+        return "      -  "
+    return f"{value:9.4f}{suffix}"
+
+
+def render_table2(
+    families: Dict[str, WorkloadMeasurement], labels: Sequence[str]
+) -> str:
+    """Table II: min/max/avg normed runtimes per family and algorithm."""
+    lines: List[str] = []
+    family_names = list(families)
+    header = f"{'Algorithm':<22}" + "".join(
+        f"{name + ' min':>12}{name + ' max':>12}{name + ' avg':>12}"
+        for name in family_names
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    dpccp_cells = []
+    for name in family_names:
+        summary = families[name].dpccp_summary()
+        dpccp_cells.append(
+            f"{summary.minimum:10.4f}s {summary.maximum:10.4f}s {summary.average:10.4f}s"
+        )
+    lines.append(f"{'DPccp (seconds)':<22}" + " ".join(dpccp_cells))
+    for label in labels:
+        cells = []
+        for name in family_names:
+            summary = families[name].normed_time_summary(label)
+            cells.append(
+                f"{_fmt(summary.minimum)}{_fmt(summary.maximum)}{_fmt(summary.average)}"
+            )
+        lines.append(f"{label:<22}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def render_table3(
+    families: Dict[str, WorkloadMeasurement], labels: Sequence[str]
+) -> str:
+    """Table III: avg/max of normed built (s) and failed (f) counters."""
+    lines: List[str] = []
+    family_names = list(families)
+    header = f"{'Algorithm':<22}" + "".join(
+        f"{name + ' avg_s':>12}{name + ' max_s':>12}"
+        f"{name + ' avg_f':>12}{name + ' max_f':>12}"
+        for name in family_names
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label in labels:
+        cells = []
+        for name in family_names:
+            success = families[name].success_summary(label)
+            failed = families[name].failed_summary(label)
+            cells.append(
+                f"{_fmt(success.average, '  ')}{_fmt(success.maximum, '  ')}"
+                f"{_fmt(failed.average, '  ')}{_fmt(failed.maximum, '  ')}"
+            )
+        lines.append(f"{label:<22}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    series: Dict[str, Dict[int, float]],
+    y_format: str = "{:10.4f}",
+) -> str:
+    """Render per-size series (the scaling figures) as an aligned table."""
+    lines = [title]
+    sizes = sorted({x for values in series.values() for x in values})
+    header = f"{x_label:>8}" + "".join(f"{label:>18}" for label in series)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for size in sizes:
+        row = [f"{size:>8}"]
+        for label, values in series.items():
+            if size in values:
+                row.append(f"{y_format.format(values[size]):>18}")
+            else:
+                row.append(f"{'-':>18}")
+        lines.append("".join(row))
+    return "\n".join(lines)

@@ -1,0 +1,15 @@
+"""Statistics substrate: per-relation stats and the per-query catalog."""
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.relation import (
+    DEFAULT_PAGE_SIZE,
+    DEFAULT_TUPLE_WIDTH,
+    RelationStats,
+)
+
+__all__ = [
+    "Catalog",
+    "RelationStats",
+    "DEFAULT_PAGE_SIZE",
+    "DEFAULT_TUPLE_WIDTH",
+]

@@ -1,0 +1,109 @@
+"""The statistics catalog: cardinalities per relation, selectivities per edge.
+
+A :class:`Catalog` is immutable once built and is consulted by the
+cardinality estimator and the cost model.  Selectivities are attached to
+normalized join edges ``(u, v)`` with ``u < v``; the independence assumption
+(selectivities multiply) is applied by the estimator, not here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Tuple
+
+from repro.catalog.relation import RelationStats
+from repro.errors import CatalogError
+from repro.graph.query_graph import QueryGraph
+
+__all__ = ["Catalog"]
+
+
+def _normalize(edge: Tuple[int, int]) -> Tuple[int, int]:
+    u, v = edge
+    return (u, v) if u < v else (v, u)
+
+
+class Catalog:
+    """Statistics for every relation and join edge of one query graph."""
+
+    __slots__ = ("_relations", "_selectivities")
+
+    def __init__(
+        self,
+        relations: Iterable[RelationStats],
+        selectivities: Mapping[Tuple[int, int], float],
+    ):
+        self._relations = tuple(relations)
+        normalized: Dict[Tuple[int, int], float] = {}
+        for edge, selectivity in selectivities.items():
+            if not 0.0 < selectivity <= 1.0:
+                raise CatalogError(
+                    f"selectivity of edge {edge} must be in (0, 1], "
+                    f"got {selectivity}"
+                )
+            normalized[_normalize(edge)] = selectivity
+        self._selectivities = normalized
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_relations(self) -> int:
+        return len(self._relations)
+
+    def relation(self, index: int) -> RelationStats:
+        """Statistics of base relation ``index``."""
+        try:
+            return self._relations[index]
+        except IndexError:
+            raise CatalogError(f"no relation with index {index}") from None
+
+    def cardinality(self, index: int) -> float:
+        return self._relations[index].cardinality
+
+    def selectivity(self, u: int, v: int) -> float:
+        """Selectivity of the join predicate on edge ``(u, v)``."""
+        try:
+            return self._selectivities[_normalize((u, v))]
+        except KeyError:
+            raise CatalogError(f"no selectivity recorded for edge ({u}, {v})") from None
+
+    def has_selectivity(self, u: int, v: int) -> bool:
+        return _normalize((u, v)) in self._selectivities
+
+    @property
+    def selectivities(self) -> Dict[Tuple[int, int], float]:
+        """A copy of the edge -> selectivity mapping."""
+        return dict(self._selectivities)
+
+    # ------------------------------------------------------------------
+
+    def validate_against(self, graph: QueryGraph) -> None:
+        """Check that the catalog covers exactly this graph's shape."""
+        if self.n_relations != graph.n_vertices:
+            raise CatalogError(
+                f"catalog has {self.n_relations} relations but the graph "
+                f"has {graph.n_vertices} vertices"
+            )
+        missing = [e for e in graph.edges if e not in self._selectivities]
+        if missing:
+            raise CatalogError(f"catalog lacks selectivities for edges {missing}")
+
+    def relabel(self, mapping) -> "Catalog":
+        """Return a catalog matching :meth:`QueryGraph.relabel` of the graph.
+
+        ``mapping[i]`` is the new index of old vertex ``i``.
+        """
+        n = self.n_relations
+        relations = [None] * n
+        for old_index, stats in enumerate(self._relations):
+            relations[mapping[old_index]] = stats
+        selectivities = {
+            _normalize((mapping[u], mapping[v])): s
+            for (u, v), s in self._selectivities.items()
+        }
+        return Catalog(relations, selectivities)
+
+    def __repr__(self) -> str:
+        return (
+            f"Catalog(n_relations={self.n_relations}, "
+            f"n_selectivities={len(self._selectivities)})"
+        )

@@ -1,0 +1,36 @@
+"""The paper's core: top-down plan generation and branch-and-bound pruning."""
+
+from repro.core.acb import AcbPlanGenerator
+from repro.core.advancements import ADVANCEMENT_NAMES, AdvancementConfig
+from repro.core.apcb import ApcbPlanGenerator
+from repro.core.apcbi import ApcbiPlanGenerator
+from repro.core.bounds import BoundsTable
+from repro.core.goo import GooResult, run_goo
+from repro.core.optimizer import (
+    OptimizationResult,
+    Optimizer,
+    algorithm_label,
+    optimize,
+    run_dpccp,
+)
+from repro.core.pcb import PcbPlanGenerator
+from repro.core.plangen import PlanGeneratorBase, TopDownPlanGenerator
+
+__all__ = [
+    "TopDownPlanGenerator",
+    "PlanGeneratorBase",
+    "AcbPlanGenerator",
+    "PcbPlanGenerator",
+    "ApcbPlanGenerator",
+    "ApcbiPlanGenerator",
+    "AdvancementConfig",
+    "ADVANCEMENT_NAMES",
+    "BoundsTable",
+    "run_goo",
+    "GooResult",
+    "Optimizer",
+    "OptimizationResult",
+    "optimize",
+    "run_dpccp",
+    "algorithm_label",
+]

@@ -1,0 +1,102 @@
+"""The six pruning advancements of §IV-D as a toggle set.
+
+APCBI is APCB plus six techniques.  The Fig. 15 ablation measures each
+advancement individually on top of APCB, so every technique is an
+independent flag here:
+
+1. ``improved_lbe`` — LBE additionally charges known subtree costs or
+   proven lower bounds of the two inputs.
+2. ``heuristic_upper_bounds`` — run GOO once up front and seed ``uB`` with
+   the cost of the heuristic tree *and all its subtrees*.
+3. ``improved_lower_bounds`` — on failure record ``max(b, nlB)`` instead of
+   plain ``b``, where ``nlB`` is the minimum over the pass of every lower
+   bound observed for a ccp.
+4. ``rising_budget`` — repeated requests for the same ``S`` get a budget of
+   at least ``lB[S] * 2^attempts[S]`` (or jump straight to ``uB[S]``),
+   killing the cascading re-enumeration worst case of plain ACB.
+5. ``tighter_left_budget`` — the left subtree request's budget additionally
+   subtracts the right side's known cost or ``lB``.
+6. ``renumber_graph`` — renumber the query graph by a BFS over the
+   heuristic join tree so that the LSB-first neighbor order of the
+   partitioner plans the heuristic's trees first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Tuple
+
+__all__ = ["AdvancementConfig", "ADVANCEMENT_NAMES"]
+
+#: Flag names in the paper's numbering order (1..6).
+ADVANCEMENT_NAMES: Tuple[str, ...] = (
+    "improved_lbe",
+    "heuristic_upper_bounds",
+    "improved_lower_bounds",
+    "rising_budget",
+    "tighter_left_budget",
+    "renumber_graph",
+)
+
+
+@dataclass(frozen=True)
+class AdvancementConfig:
+    """Which of the six §IV-D techniques are active."""
+
+    improved_lbe: bool = True
+    heuristic_upper_bounds: bool = True
+    improved_lower_bounds: bool = True
+    rising_budget: bool = True
+    tighter_left_budget: bool = True
+    renumber_graph: bool = True
+
+    # -- canned configurations --------------------------------------------
+
+    @classmethod
+    def all_on(cls) -> "AdvancementConfig":
+        """Full APCBI."""
+        return cls()
+
+    @classmethod
+    def all_off(cls) -> "AdvancementConfig":
+        """Plain APCB expressed in the APCBI skeleton."""
+        return cls(**{name: False for name in ADVANCEMENT_NAMES})
+
+    @classmethod
+    def only(cls, name: str) -> "AdvancementConfig":
+        """APCB plus exactly one advancement (one Fig. 15 bar).
+
+        Advancement 6 depends on the heuristic (the paper measures "Goo +
+        remapping" as a unit), so ``only("renumber_graph")`` also enables
+        the heuristic upper bounds.
+        """
+        if name not in ADVANCEMENT_NAMES:
+            raise ValueError(
+                f"unknown advancement {name!r}; choose from {ADVANCEMENT_NAMES}"
+            )
+        config = replace(cls.all_off(), **{name: True})
+        if name == "renumber_graph":
+            config = replace(config, heuristic_upper_bounds=True)
+        return config
+
+    @classmethod
+    def all_but(cls, name: str) -> "AdvancementConfig":
+        """APCBI minus one advancement (e.g. the paper's "all but remap")."""
+        if name not in ADVANCEMENT_NAMES:
+            raise ValueError(
+                f"unknown advancement {name!r}; choose from {ADVANCEMENT_NAMES}"
+            )
+        return replace(cls.all_on(), **{name: False})
+
+    # -- introspection -----------------------------------------------------
+
+    def enabled(self) -> Tuple[str, ...]:
+        """Names of the active advancements, in paper order."""
+        return tuple(
+            name for name in ADVANCEMENT_NAMES if getattr(self, name)
+        )
+
+    @property
+    def needs_heuristic(self) -> bool:
+        """True when GOO must run before enumeration starts."""
+        return self.heuristic_upper_bounds or self.renumber_graph

@@ -1,0 +1,73 @@
+"""Bound bookkeeping for branch-and-bound pruning (§IV).
+
+Three tables parallel the memotable:
+
+* ``lB[S]`` — a proven *lower* bound on the optimal cost for ``S``: every
+  enumeration pass that fails within budget ``b`` proves no plan cheaper
+  than ``b`` (or, with advancement 3, than ``max(b, nlB)``) exists.
+  Unset entries read as 0 (§IV-D: "if the lower bound for S is not set,
+  lB[S] returns 0").
+* ``uB[S]`` — an *upper* bound on the optimal cost for ``S``, populated
+  from the GOO heuristic's subtrees (advancement 2) or from an oracle
+  DPccp pre-pass (APCBI_Opt).  Unset entries are explicitly "unknown"
+  (``None``), never infinity — see DESIGN.md §4.
+* ``attempts[S]`` — how many enumeration passes have been started for
+  ``S``; drives the rising budget (advancement 4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+__all__ = ["BoundsTable"]
+
+
+class BoundsTable:
+    """Lower/upper bounds and request-attempt counts per plan class."""
+
+    __slots__ = ("_lower", "_upper", "_attempts")
+
+    def __init__(self, upper_bounds: Optional[Mapping[int, float]] = None):
+        self._lower: Dict[int, float] = {}
+        self._upper: Dict[int, float] = dict(upper_bounds or {})
+        self._attempts: Dict[int, int] = {}
+
+    # -- lower bounds ----------------------------------------------------
+
+    def lower(self, vertex_set: int) -> float:
+        """``lB[S]``; 0 when no bound has been proven yet."""
+        return self._lower.get(vertex_set, 0.0)
+
+    def raise_lower(self, vertex_set: int, bound: float) -> None:
+        """Record a proven lower bound (kept monotone)."""
+        current = self._lower.get(vertex_set, 0.0)
+        if bound > current:
+            self._lower[vertex_set] = bound
+
+    # -- upper bounds ----------------------------------------------------
+
+    def upper(self, vertex_set: int) -> Optional[float]:
+        """``uB[S]`` or ``None`` when unknown."""
+        return self._upper.get(vertex_set)
+
+    def lower_upper(self, vertex_set: int, bound: float) -> None:
+        """Record an upper bound (kept monotone downward)."""
+        current = self._upper.get(vertex_set)
+        if current is None or bound < current:
+            self._upper[vertex_set] = bound
+
+    # -- attempts ----------------------------------------------------------
+
+    def attempts(self, vertex_set: int) -> int:
+        return self._attempts.get(vertex_set, 0)
+
+    def count_attempt(self, vertex_set: int) -> None:
+        self._attempts[vertex_set] = self._attempts.get(vertex_set, 0) + 1
+
+    # -- diagnostics -------------------------------------------------------
+
+    def n_lower(self) -> int:
+        return len(self._lower)
+
+    def n_upper(self) -> int:
+        return len(self._upper)

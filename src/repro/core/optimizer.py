@@ -1,0 +1,292 @@
+"""The optimizer facade — the library's main entry point.
+
+``optimize(query, enumerator=..., pruning=...)`` wires together a
+partitioning strategy, a pruning policy, a cost model and the shared plan
+infrastructure, runs plan generation, and returns an
+:class:`OptimizationResult` carrying the plan, its cost, the run counters
+and the measured wall time.
+
+Timing semantics follow §V-C: the measured interval covers everything the
+optimizer does at query time — including the GOO heuristic and the graph
+renumbering of APCBI — but *excludes* the DPccp pre-pass that supplies
+APCBI_Opt's oracle upper bounds ("we do not include the pre-computation
+time", §V-C).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Type
+
+from repro.baselines.dpccp import DPccp
+from repro.core.acb import AcbPlanGenerator
+from repro.core.advancements import AdvancementConfig
+from repro.core.apcb import ApcbPlanGenerator
+from repro.core.apcbi import ApcbiPlanGenerator
+from repro.core.goo import run_goo
+from repro.core.pcb import PcbPlanGenerator
+from repro.core.plangen import PlanGeneratorBase, TopDownPlanGenerator
+from repro.cost.cout import CoutCostModel
+from repro.cost.haas import HaasCostModel
+from repro.cost.model import CostModel
+from repro.cost.statistics import StatisticsProvider
+from repro.errors import UnknownAlgorithmError
+from repro.graph.renumber import invert_mapping, remap_bitset, renumber_mapping
+from repro.heuristics.registry import get_heuristic
+from repro.partitioning.registry import get_partitioning
+from repro.plans.builder import PlanBuilder
+from repro.plans.join_tree import JoinTree
+from repro.query import Query
+from repro.stats.counters import OptimizationStats
+
+__all__ = [
+    "OptimizationResult",
+    "Optimizer",
+    "optimize",
+    "run_dpccp",
+    "PRUNING_STRATEGIES",
+    "PRUNING_SUFFIXES",
+    "algorithm_label",
+]
+
+#: Pruning name -> plan generator class for the simple (non-APCBI) variants.
+PRUNING_STRATEGIES: Dict[str, Type[PlanGeneratorBase]] = {
+    "none": TopDownPlanGenerator,
+    "acb": AcbPlanGenerator,
+    "pcb": PcbPlanGenerator,
+    "apcb": ApcbPlanGenerator,
+}
+
+#: Table I display suffixes.
+PRUNING_SUFFIXES: Dict[str, str] = {
+    "none": "",
+    "acb": "_ACB",
+    "pcb": "_PCB",
+    "apcb": "_APCB",
+    "apcbi": "_APCBI",
+    "apcbi_opt": "_APCBI_Opt",
+}
+
+
+def algorithm_label(enumerator: str, pruning: str) -> str:
+    """Paper-style display name, e.g. ``TDMcC_APCBI`` (Table I)."""
+    partitioning = get_partitioning(enumerator)
+    try:
+        suffix = PRUNING_SUFFIXES[pruning]
+    except KeyError:
+        raise UnknownAlgorithmError(
+            f"unknown pruning strategy {pruning!r}; "
+            f"available: {sorted(PRUNING_SUFFIXES)}"
+        ) from None
+    return partitioning.label + suffix
+
+
+@dataclass(frozen=True)
+class OptimizationResult:
+    """Everything one optimizer run produced."""
+
+    plan: JoinTree
+    cost: float
+    stats: OptimizationStats
+    elapsed: float
+    enumerator: str
+    pruning: str
+    memo_entries: int
+    query: Query
+
+    @property
+    def label(self) -> str:
+        """Paper-style algorithm name (Table I)."""
+        if self.pruning == "dpccp":
+            return "DPccp"
+        return algorithm_label(self.enumerator, self.pruning)
+
+    def explain(self) -> str:
+        """EXPLAIN-style rendering of the chosen plan."""
+        return self.plan.explain()
+
+
+class Optimizer:
+    """A reusable (enumerator, pruning, cost model) configuration.
+
+    Parameters
+    ----------
+    enumerator:
+        Partitioning strategy name (``"naive"``, ``"mincut_lazy"``,
+        ``"mincut_branch"``, ``"mincut_conservative"``).
+    pruning:
+        ``"none"``, ``"acb"``, ``"pcb"``, ``"apcb"``, ``"apcbi"`` or
+        ``"apcbi_opt"``.
+    cost_model_factory:
+        Zero-argument callable producing a fresh cost model per query
+        (models may bind per-query state, e.g. :class:`CoutCostModel`).
+    config:
+        Advancement toggles for APCBI; ignored by other prunings.
+    heuristic:
+        Join-heuristic name for APCBI's advancement 2 (``"goo"``,
+        ``"quickpick"``, ``"min_selectivity"``); ignored by other prunings.
+    """
+
+    def __init__(
+        self,
+        enumerator: str = "mincut_conservative",
+        pruning: str = "apcbi",
+        cost_model_factory: Callable[[], CostModel] = HaasCostModel,
+        config: Optional[AdvancementConfig] = None,
+        heuristic: str = "goo",
+    ):
+        self.enumerator = enumerator
+        self.pruning = pruning
+        self._cost_model_factory = cost_model_factory
+        self.config = config if config is not None else AdvancementConfig.all_on()
+        self.heuristic = heuristic
+        # Fail fast on typos.
+        get_partitioning(enumerator)
+        get_heuristic(heuristic)
+        if pruning not in PRUNING_SUFFIXES:
+            raise UnknownAlgorithmError(
+                f"unknown pruning strategy {pruning!r}; "
+                f"available: {sorted(PRUNING_SUFFIXES)}"
+            )
+
+    # ------------------------------------------------------------------
+
+    def optimize(self, query: Query) -> OptimizationResult:
+        """Find an optimal join tree for ``query``."""
+        if self.pruning in PRUNING_STRATEGIES:
+            return self._optimize_simple(query)
+        return self._optimize_apcbi(query)
+
+    # -- simple strategies (none / acb / pcb / apcb) -----------------------
+
+    def _optimize_simple(self, query: Query) -> OptimizationResult:
+        partitioning = get_partitioning(self.enumerator)
+        stats = OptimizationStats()
+        generator_cls = PRUNING_STRATEGIES[self.pruning]
+        model = self._cost_model_factory()
+        started = time.perf_counter()
+        generator = generator_cls(query, partitioning, model, stats)
+        plan = generator.run()
+        elapsed = time.perf_counter() - started
+        return OptimizationResult(
+            plan=plan,
+            cost=plan.cost,
+            stats=stats,
+            elapsed=elapsed,
+            enumerator=self.enumerator,
+            pruning=self.pruning,
+            memo_entries=len(generator.memo),
+            query=query,
+        )
+
+    # -- APCBI / APCBI_Opt -------------------------------------------------
+
+    def _optimize_apcbi(self, query: Query) -> OptimizationResult:
+        partitioning = get_partitioning(self.enumerator)
+        stats = OptimizationStats()
+        config = self.config
+        model = self._cost_model_factory()
+
+        # APCBI_Opt: oracle upper bounds from an *untimed* DPccp pre-pass.
+        oracle_plan: Optional[JoinTree] = None
+        oracle_bounds: Optional[Dict[int, float]] = None
+        if self.pruning == "apcbi_opt":
+            oracle = DPccp(query, self._cost_model_factory())
+            oracle_plan = oracle.run()
+            oracle_bounds = oracle.optimal_class_costs()
+
+        started = time.perf_counter()
+        run_query = query
+        mapping = None
+        upper_bounds = oracle_bounds
+        if config.renumber_graph and query.n_relations > 2:
+            # Advancement 6 needs a heuristic join tree before enumeration.
+            # For APCBI_Opt the oracle's optimal tree doubles as the
+            # heuristic; otherwise GOO runs here (its time is measured and
+            # its tree also seeds the uB table, advancement 2).
+            if oracle_plan is not None:
+                heuristic_tree = oracle_plan
+            else:
+                provider = StatisticsProvider(query)
+                if isinstance(model, CoutCostModel):
+                    model.bind(provider)
+                heuristic_result = get_heuristic(self.heuristic).build(
+                    query, PlanBuilder(provider, model, stats)
+                )
+                heuristic_tree = heuristic_result.tree
+                if config.heuristic_upper_bounds:
+                    upper_bounds = dict(heuristic_result.subtree_costs)
+                else:
+                    upper_bounds = {}
+            mapping = renumber_mapping(heuristic_tree, query.n_relations)
+            run_query = query.relabel(mapping)
+            if upper_bounds:
+                upper_bounds = {
+                    remap_bitset(vertex_set, mapping): cost
+                    for vertex_set, cost in upper_bounds.items()
+                }
+
+        generator = ApcbiPlanGenerator(
+            run_query,
+            partitioning,
+            model,
+            stats,
+            config=config,
+            upper_bounds=upper_bounds,
+            heuristic=get_heuristic(self.heuristic),
+        )
+        plan = generator.run()
+        if mapping is not None:
+            plan = plan.relabel(invert_mapping(mapping))
+        elapsed = time.perf_counter() - started
+        return OptimizationResult(
+            plan=plan,
+            cost=plan.cost,
+            stats=stats,
+            elapsed=elapsed,
+            enumerator=self.enumerator,
+            pruning=self.pruning,
+            memo_entries=len(generator.memo),
+            query=query,
+        )
+
+
+def optimize(
+    query: Query,
+    enumerator: str = "mincut_conservative",
+    pruning: str = "apcbi",
+    cost_model_factory: Callable[[], CostModel] = HaasCostModel,
+    config: Optional[AdvancementConfig] = None,
+    heuristic: str = "goo",
+) -> OptimizationResult:
+    """One-shot convenience wrapper around :class:`Optimizer`."""
+    return Optimizer(
+        enumerator=enumerator,
+        pruning=pruning,
+        cost_model_factory=cost_model_factory,
+        config=config,
+        heuristic=heuristic,
+    ).optimize(query)
+
+
+def run_dpccp(
+    query: Query,
+    cost_model_factory: Callable[[], CostModel] = HaasCostModel,
+) -> OptimizationResult:
+    """Run the bottom-up baseline with the same result envelope."""
+    stats = OptimizationStats()
+    started = time.perf_counter()
+    algorithm = DPccp(query, cost_model_factory(), stats)
+    plan = algorithm.run()
+    elapsed = time.perf_counter() - started
+    return OptimizationResult(
+        plan=plan,
+        cost=plan.cost,
+        stats=stats,
+        elapsed=elapsed,
+        enumerator="dpccp",
+        pruning="dpccp",
+        memo_entries=len(algorithm.memo),
+        query=query,
+    )

@@ -1,0 +1,138 @@
+"""Generic top-down join enumeration (TDPLANGEN, §II-B, Fig. 1).
+
+:class:`PlanGeneratorBase` owns everything the pruning variants share — the
+memotable, the plan builder, the statistics provider, the partitioning
+strategy and the counters — and :class:`TopDownPlanGenerator` is the
+unpruned instantiation: a straight memoization recursion over
+``P_ccp_sym(S)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from repro.cost.cout import CoutCostModel
+from repro.cost.haas import HaasCostModel
+from repro.cost.model import CostModel
+from repro.cost.statistics import StatisticsProvider
+from repro.errors import OptimizationError
+from repro.graph import bitset
+from repro.partitioning.base import PartitioningStrategy
+from repro.plans.builder import PlanBuilder
+from repro.plans.join_tree import JoinTree
+from repro.plans.memo import MemoTable
+from repro.query import Query
+from repro.stats.counters import OptimizationStats
+
+__all__ = ["PlanGeneratorBase", "TopDownPlanGenerator", "INFINITY"]
+
+INFINITY = float("inf")
+
+
+class PlanGeneratorBase:
+    """Shared infrastructure of all top-down plan generators (§V-A).
+
+    Subclasses implement :meth:`run`.  Construction wires one query to one
+    partitioning strategy and one cost model; instances are single-use
+    (state accumulates in the memotable and counters).
+    """
+
+    #: Registry name of the pruning strategy ("none", "acb", ...).
+    pruning_name = "abstract"
+
+    def __init__(
+        self,
+        query: Query,
+        partitioning: PartitioningStrategy,
+        cost_model: Optional[CostModel] = None,
+        stats: Optional[OptimizationStats] = None,
+    ):
+        self._query = query
+        self._graph = query.graph
+        self._partitioning = partitioning
+        self._provider = StatisticsProvider(query)
+        model = cost_model if cost_model is not None else HaasCostModel()
+        if isinstance(model, CoutCostModel):
+            model.bind(self._provider)
+        self._cost_model = model
+        self._builder = PlanBuilder(self._provider, model, stats)
+        self._memo = MemoTable()
+        for index in range(query.n_relations):
+            self._memo.register(self._builder.leaf(query, index))
+
+    # -- accessors shared with tests and the harness ------------------------
+
+    @property
+    def memo(self) -> MemoTable:
+        return self._memo
+
+    @property
+    def stats(self) -> OptimizationStats:
+        return self._builder.stats
+
+    @property
+    def builder(self) -> PlanBuilder:
+        return self._builder
+
+    @property
+    def query(self) -> Query:
+        return self._query
+
+    @property
+    def partitioning(self) -> PartitioningStrategy:
+        return self._partitioning
+
+    # -- helpers -------------------------------------------------------------
+
+    def _partitions(self, vertex_set: int) -> Iterator[Tuple[int, int]]:
+        """Enumerate ``P_ccp_sym(S)``, with accounting."""
+        for pair in self._partitioning.partitions(self._graph, vertex_set):
+            self.stats.ccps_enumerated += 1
+            yield pair
+
+    def _finish(self) -> JoinTree:
+        """Fetch the final plan and fold terminal counters."""
+        plan = self._memo.best(self._graph.all_vertices)
+        if plan is None:
+            raise OptimizationError(
+                "plan generation ended without a plan for the full query; "
+                "this indicates a bug in the pruning logic"
+            )
+        self.stats.plan_classes_built = self._memo.n_plan_classes()
+        return plan
+
+    def run(self) -> JoinTree:
+        """Produce an optimal join tree for the whole query."""
+        raise NotImplementedError
+
+
+class TopDownPlanGenerator(PlanGeneratorBase):
+    """TDPLANGEN (Fig. 1): memoization without pruning."""
+
+    pruning_name = "none"
+
+    def run(self) -> JoinTree:
+        self._tdpgsub(self._graph.all_vertices)
+        return self._finish()
+
+    def _tdpgsub(self, vertex_set: int) -> JoinTree:
+        """TDPGSUB: optimal join tree for a connected ``vertex_set``."""
+        tree = self._memo.best(vertex_set)
+        if tree is not None:
+            if vertex_set & (vertex_set - 1):
+                self.stats.memo_hits += 1
+            return tree
+        for left, right in self._partitions(vertex_set):
+            self.stats.ccps_considered += 1
+            self._builder.build_tree(
+                self._memo,
+                self._tdpgsub(left),
+                self._tdpgsub(right),
+                INFINITY,
+            )
+        tree = self._memo.best(vertex_set)
+        if tree is None:  # pragma: no cover - guarded by graph connectivity
+            raise OptimizationError(
+                f"no ccp produced a plan for {bitset.format_set(vertex_set)}"
+            )
+        return tree

@@ -1,0 +1,18 @@
+"""Cost estimation: intermediate statistics, join cost models, LBE."""
+
+from repro.cost.cout import CoutCostModel
+from repro.cost.haas import DEFAULT_BUFFER_PAGES, HaasCostModel
+from repro.cost.lower_bound import ImprovedLowerBoundEstimator, LowerBoundEstimator
+from repro.cost.model import CostModel
+from repro.cost.statistics import IntermediateStats, StatisticsProvider
+
+__all__ = [
+    "CostModel",
+    "HaasCostModel",
+    "CoutCostModel",
+    "IntermediateStats",
+    "StatisticsProvider",
+    "LowerBoundEstimator",
+    "ImprovedLowerBoundEstimator",
+    "DEFAULT_BUFFER_PAGES",
+]

@@ -1,0 +1,81 @@
+"""Lower bound estimation (LBE) for predicted-cost bounding (§IV-B).
+
+``LBE(S1, S2)`` must lower-bound the total cost of *any* join tree for
+``S = S1 u S2`` whose final join combines ``S1`` with ``S2``.  The total
+cost decomposes into
+
+    cost(tree(S1)) + cost(tree(S2)) + cost(S1 join S2)
+
+so any admissible bound on each summand yields an admissible LBE.  The
+baseline estimator (as in DeHaan & Tompa) bounds the two subtree terms by
+zero and the operator term by the cost model's ``lower_bound`` — "based on
+the intermediate relations that are the input for the next join".
+
+Advancement 1 of §IV-D sharpens the subtree terms with information the
+optimizer already has: the exact cost when ``BestTree`` is known, otherwise
+the proven lower bound ``lB``.  LBE runs once per enumerated ccp — the
+hottest path of every pruned plan generator — so the improved estimator
+talks to the memotable and bounds table directly instead of through
+callbacks.
+"""
+
+from __future__ import annotations
+
+from repro.cost.model import CostModel
+from repro.cost.statistics import StatisticsProvider
+
+__all__ = ["LowerBoundEstimator", "ImprovedLowerBoundEstimator"]
+
+
+class LowerBoundEstimator:
+    """The baseline LBE of [3]: operator lower bound only."""
+
+    def __init__(self, provider: StatisticsProvider, cost_model: CostModel):
+        self._provider = provider
+        self._cost_model = cost_model
+
+    def estimate(self, left_set: int, right_set: int) -> float:
+        """Admissible lower bound for any tree joining these two sets."""
+        stats = self._provider.stats
+        return self._cost_model.lower_bound(stats(left_set), stats(right_set))
+
+
+class ImprovedLowerBoundEstimator(LowerBoundEstimator):
+    """Advancement 1: add known subtree costs / proven lower bounds.
+
+    Parameters
+    ----------
+    memo:
+        The plan generator's memotable (anything with a ``best(S)`` method
+        returning a tree with a ``cost`` or ``None``).  When a subtree's
+        optimal plan is registered, its exact cost enters the estimate.
+    bounds:
+        The bounds table (anything with ``lower(S) -> float``); consulted
+        only when no tree is registered yet (§IV-D, first advancement).
+    """
+
+    def __init__(
+        self,
+        provider: StatisticsProvider,
+        cost_model: CostModel,
+        memo,
+        bounds,
+    ):
+        super().__init__(provider, cost_model)
+        self._memo = memo
+        self._bounds = bounds
+
+    def estimate(self, left_set: int, right_set: int) -> float:
+        stats = self._provider.stats
+        total = self._cost_model.lower_bound(stats(left_set), stats(right_set))
+        left_tree = self._memo.best(left_set)
+        total += (
+            left_tree.cost if left_tree is not None
+            else self._bounds.lower(left_set)
+        )
+        right_tree = self._memo.best(right_set)
+        total += (
+            right_tree.cost if right_tree is not None
+            else self._bounds.lower(right_set)
+        )
+        return total

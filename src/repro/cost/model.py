@@ -1,0 +1,66 @@
+"""Cost model interface.
+
+A cost model prices a single two-way join given the
+:class:`~repro.cost.statistics.IntermediateStats` of its two inputs.  The
+cost of a join *tree* is the sum of its operators' costs; base-relation
+scans are charged inside the join that consumes them (the Haas et al. ad hoc
+join formulas include reading both inputs), so leaves have cost zero.
+
+Two properties of a model matter to the algorithms in this library and are
+covered by property tests:
+
+* **commute rule** (Appendix A): if ``card(x) <= card(y)`` then
+  ``join_cost(x, y) <= join_cost(y, x)``.  BUILDTREE relies on this when it
+  prices both orders of a ccp together.
+* **LBE admissibility** (§IV-B): :meth:`lower_bound` must never exceed the
+  true minimal operator cost, otherwise predicted-cost bounding would prune
+  optimal plans.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.cost.statistics import IntermediateStats
+
+__all__ = ["CostModel"]
+
+
+class CostModel(ABC):
+    """Prices one join operator; see the module docstring for contracts."""
+
+    #: Registry/display name, overridden by subclasses.
+    name = "abstract"
+
+    @abstractmethod
+    def join_cost(self, outer: IntermediateStats, inner: IntermediateStats) -> float:
+        """Cost of joining ``outer`` (left) with ``inner`` (right).
+
+        Implementations should return the cheapest cost over the join
+        algorithms they model for this fixed argument order.
+        """
+
+    def min_join_cost(
+        self, left: IntermediateStats, right: IntermediateStats
+    ) -> float:
+        """Cheapest cost over both argument orders.
+
+        This is the ``c_join`` of TDPG_ACB line 3 / TDPG_APCBI line 17: it
+        can be computed from the two input sets alone, before any subtree is
+        built.
+        """
+        return min(self.join_cost(left, right), self.join_cost(right, left))
+
+    def lower_bound(
+        self, left: IntermediateStats, right: IntermediateStats
+    ) -> float:
+        """Admissible lower bound on the operator cost (defaults to exact).
+
+        The default is the exact minimal operator cost, which is trivially
+        admissible; models whose ``join_cost`` is expensive may override
+        this with a cheaper bound.
+        """
+        return self.min_join_cost(left, right)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

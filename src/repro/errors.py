@@ -1,0 +1,41 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised intentionally by this package derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "DisconnectedGraphError",
+    "CatalogError",
+    "OptimizationError",
+    "UnknownAlgorithmError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised for structurally invalid query graphs or vertex sets."""
+
+
+class DisconnectedGraphError(GraphError):
+    """Raised when an operation requires a connected (sub)graph."""
+
+
+class CatalogError(ReproError):
+    """Raised for missing or inconsistent statistics in a catalog."""
+
+
+class OptimizationError(ReproError):
+    """Raised when plan generation fails to produce a complete plan."""
+
+
+class UnknownAlgorithmError(ReproError, KeyError):
+    """Raised when an enumerator or pruning strategy name is not registered."""

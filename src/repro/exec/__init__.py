@@ -1,0 +1,23 @@
+"""Execution substrate: synthetic data, join operators, plan execution."""
+
+from repro.exec.data import Database, Table, synthesize
+from repro.exec.executor import (
+    ExecutionResult,
+    execute_plan,
+    result_signature,
+    validate_estimates,
+)
+from repro.exec.operators import hash_join, nested_loop_join, scan
+
+__all__ = [
+    "Database",
+    "Table",
+    "synthesize",
+    "ExecutionResult",
+    "execute_plan",
+    "result_signature",
+    "validate_estimates",
+    "scan",
+    "hash_join",
+    "nested_loop_join",
+]

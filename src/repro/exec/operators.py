@@ -1,0 +1,104 @@
+"""Tuple-at-a-time join operators over materialized tables.
+
+Rows flowing between operators are dictionaries mapping a relation index
+to that relation's original row tuple — simple, order-independent, and
+directly comparable across different join trees for the same query.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from repro.exec.data import Database
+
+__all__ = ["CompositeRow", "scan", "hash_join", "nested_loop_join"]
+
+#: A row of an intermediate result: relation index -> base-table row.
+CompositeRow = Dict[int, Tuple[int, ...]]
+
+
+def scan(database: Database, relation: int) -> Iterator[CompositeRow]:
+    """Produce one composite row per base-table row."""
+    for row in database.table(relation).rows:
+        yield {relation: row}
+
+
+def _join_keys(
+    database: Database,
+    row: CompositeRow,
+    predicates: List[Tuple[Tuple[int, int], int, int]],
+    side: int,
+) -> Tuple[int, ...]:
+    """Extract the join-key vector of one side for the given predicates.
+
+    ``predicates`` holds ``(edge, left_relation, right_relation)`` triples;
+    ``side`` selects which relation of each predicate this row covers.
+    """
+    keys = []
+    for edge, left_relation, right_relation in predicates:
+        relation = left_relation if side == 0 else right_relation
+        column = database.table(relation).column_of(edge)
+        keys.append(row[relation][column])
+    return tuple(keys)
+
+
+def join_predicates(
+    database: Database, left_set: int, right_set: int
+) -> List[Tuple[Tuple[int, int], int, int]]:
+    """All query-graph edges crossing the two input sets."""
+    predicates = []
+    for u, v in database.query.graph.edges_between(left_set, right_set):
+        edge = (min(u, v), max(u, v))
+        if (1 << u) & left_set:
+            predicates.append((edge, u, v))
+        else:
+            predicates.append((edge, v, u))
+    return predicates
+
+
+def hash_join(
+    database: Database,
+    left_rows: Iterable[CompositeRow],
+    right_rows: Iterable[CompositeRow],
+    left_set: int,
+    right_set: int,
+) -> Iterator[CompositeRow]:
+    """In-memory hash join on all crossing equality predicates.
+
+    Builds on the left input; a query without a crossing edge would be a
+    cross product, which the enumerators never generate — guarded anyway.
+    """
+    predicates = join_predicates(database, left_set, right_set)
+    if not predicates:
+        raise ValueError("refusing to execute a cross product")
+    buckets: Dict[Tuple[int, ...], List[CompositeRow]] = defaultdict(list)
+    for row in left_rows:
+        buckets[_join_keys(database, row, predicates, 0)].append(row)
+    for right_row in right_rows:
+        key = _join_keys(database, right_row, predicates, 1)
+        for left_row in buckets.get(key, ()):
+            merged = dict(left_row)
+            merged.update(right_row)
+            yield merged
+
+
+def nested_loop_join(
+    database: Database,
+    left_rows: Iterable[CompositeRow],
+    right_rows: Iterable[CompositeRow],
+    left_set: int,
+    right_set: int,
+) -> Iterator[CompositeRow]:
+    """Naive nested-loop join; the executor's cross-check operator."""
+    predicates = join_predicates(database, left_set, right_set)
+    if not predicates:
+        raise ValueError("refusing to execute a cross product")
+    materialized_right = list(right_rows)
+    for left_row in left_rows:
+        left_key = _join_keys(database, left_row, predicates, 0)
+        for right_row in materialized_right:
+            if left_key == _join_keys(database, right_row, predicates, 1):
+                merged = dict(left_row)
+                merged.update(right_row)
+                yield merged

@@ -1,0 +1,21 @@
+"""Query-graph substrate: bitsets, graphs, shape generators, renumbering."""
+
+from repro.graph.generators import (
+    chain_graph,
+    clique_graph,
+    cycle_graph,
+    random_acyclic_graph,
+    random_cyclic_graph,
+    star_graph,
+)
+from repro.graph.query_graph import QueryGraph
+
+__all__ = [
+    "QueryGraph",
+    "chain_graph",
+    "star_graph",
+    "cycle_graph",
+    "clique_graph",
+    "random_acyclic_graph",
+    "random_cyclic_graph",
+]

@@ -1,0 +1,73 @@
+"""Graph renumbering from a heuristic join tree (§IV-D, advancement 6).
+
+The partitioning algorithms pick the next neighbor as the least significant
+bit of the remaining-neighborhood bitset, so vertex numbering determines
+enumeration order.  Advancement 6 renumbers the vertices by a breadth-first
+traversal of the join tree produced by the heuristic: relations that the
+heuristic joins near the root get the smallest indices, so the heuristic's
+tree and subtrees are mostly planned first — and, with the GOO upper bounds
+seeded, immediately give tight budgets to everything planned afterwards.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Sequence
+
+from repro.graph import bitset
+from repro.plans.join_tree import JoinNode, JoinTree, LeafNode
+
+__all__ = ["bfs_leaf_order", "renumber_mapping", "invert_mapping", "remap_bitset"]
+
+
+def bfs_leaf_order(tree: JoinTree) -> List[int]:
+    """Relation indices in breadth-first traversal order of the tree."""
+    order: List[int] = []
+    queue = deque([tree])
+    while queue:
+        node = queue.popleft()
+        if isinstance(node, LeafNode):
+            order.append(node.relation)
+        elif isinstance(node, JoinNode):
+            queue.append(node.left)
+            queue.append(node.right)
+        else:  # pragma: no cover - trees only contain these two node kinds
+            raise TypeError(f"unexpected join tree node {type(node).__name__}")
+    return order
+
+
+def renumber_mapping(tree: JoinTree, n_vertices: int) -> List[int]:
+    """``mapping[old_index] = new_index`` from the BFS leaf order.
+
+    The first leaf encountered breadth-first becomes vertex 0 and so on;
+    relations missing from the tree (never the case for complete join
+    trees) would keep trailing indices.
+    """
+    order = bfs_leaf_order(tree)
+    mapping = [-1] * n_vertices
+    next_index = 0
+    for relation in order:
+        if mapping[relation] == -1:
+            mapping[relation] = next_index
+            next_index += 1
+    for relation in range(n_vertices):
+        if mapping[relation] == -1:
+            mapping[relation] = next_index
+            next_index += 1
+    return mapping
+
+
+def invert_mapping(mapping: Sequence[int]) -> List[int]:
+    """Inverse permutation: ``inverse[mapping[i]] = i``."""
+    inverse = [-1] * len(mapping)
+    for old_index, new_index in enumerate(mapping):
+        inverse[new_index] = old_index
+    return inverse
+
+
+def remap_bitset(vertex_set: int, mapping: Sequence[int]) -> int:
+    """Translate a vertex-set bitset through a renumbering."""
+    result = 0
+    for index in bitset.iter_bits(vertex_set):
+        result |= 1 << mapping[index]
+    return result

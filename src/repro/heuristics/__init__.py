@@ -1,0 +1,29 @@
+"""Join heuristics: GOO (the paper's choice) plus pluggable alternatives."""
+
+from repro.heuristics.base import (
+    HeuristicResult,
+    JoinHeuristic,
+    collect_subtree_costs,
+)
+from repro.heuristics.goo import GreedyOperatorOrdering
+from repro.heuristics.ikkbz import IKKBZ
+from repro.heuristics.min_selectivity import MinSelectivity
+from repro.heuristics.quickpick import QuickPick
+from repro.heuristics.registry import (
+    HEURISTICS,
+    available_heuristics,
+    get_heuristic,
+)
+
+__all__ = [
+    "JoinHeuristic",
+    "HeuristicResult",
+    "collect_subtree_costs",
+    "GreedyOperatorOrdering",
+    "QuickPick",
+    "MinSelectivity",
+    "IKKBZ",
+    "get_heuristic",
+    "available_heuristics",
+    "HEURISTICS",
+]

@@ -1,0 +1,56 @@
+"""Join-heuristic interface (extension around §IV-D advancement 2).
+
+The paper uses GOO to seed APCBI's upper-bound table and to drive the
+graph renumbering, noting only that *a* join heuristic is needed ("For our
+implementation we have used Goo").  This package makes the heuristic a
+first-class, pluggable component: every heuristic produces a complete
+join tree plus the cost of each of its subtrees, exactly the payload
+advancement 2 consumes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict
+
+from repro.core.goo import GooResult
+from repro.plans.builder import PlanBuilder
+from repro.query import Query
+
+__all__ = ["JoinHeuristic", "HeuristicResult", "collect_subtree_costs"]
+
+#: Heuristics reuse the GOO result envelope: a tree + per-subtree costs.
+HeuristicResult = GooResult
+
+
+def collect_subtree_costs(tree) -> Dict[int, float]:
+    """Walk a join tree and map every join node's vertex set to its cost."""
+    from repro.plans.join_tree import JoinNode
+
+    costs: Dict[int, float] = {}
+    stack = [tree]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, JoinNode):
+            costs[node.vertex_set] = node.cost
+            stack.extend((node.left, node.right))
+    return costs
+
+
+class JoinHeuristic(ABC):
+    """Builds one complete (possibly sub-optimal) join tree quickly."""
+
+    #: Registry name (``"goo"``, ``"quickpick"``, ``"min_selectivity"``).
+    name = "abstract"
+
+    @abstractmethod
+    def build(self, query: Query, builder: PlanBuilder) -> HeuristicResult:
+        """Produce a cross-product-free join tree covering all relations.
+
+        The ``builder``'s cost model prices the tree; its counters account
+        the heuristic's work (which is part of the optimizer's measured
+        runtime, §V-C).
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,19 @@
+"""GOO as a :class:`JoinHeuristic` (the paper's choice for advancement 2)."""
+
+from __future__ import annotations
+
+from repro.core.goo import run_goo
+from repro.heuristics.base import HeuristicResult, JoinHeuristic
+from repro.plans.builder import PlanBuilder
+from repro.query import Query
+
+__all__ = ["GreedyOperatorOrdering"]
+
+
+class GreedyOperatorOrdering(JoinHeuristic):
+    """Fegaras' GOO: greedily join the pair with the smallest result."""
+
+    name = "goo"
+
+    def build(self, query: Query, builder: PlanBuilder) -> HeuristicResult:
+        return run_goo(query, builder)

@@ -1,0 +1,214 @@
+"""IKKBZ — the Ibaraki/Kameda + Krishnamurthy/Boral/Zaniolo heuristic.
+
+A classic polynomial-time join-ordering algorithm (extension; the paper
+only requires *some* heuristic for advancement 2 and picked GOO).  IKKBZ
+produces the optimal **left-deep** plan for tree-shaped query graphs under
+an ASI (adjacent sequence interchange) cost function; we use the standard
+``C_out``-style ASI form where every relation contributes
+``T(R) = |R| * product(selectivities to its predecessor set)``.
+
+Implementation outline (Kleinberg-free, textbook version):
+
+* pick each relation once as the root of the precedence tree (the query
+  graph must be a tree; for cyclic graphs we first fall back to a minimum
+  spanning tree under selectivity, the usual generalization);
+* normalize the precedence tree bottom-up: repeatedly merge a child chain
+  into its parent when ranks are out of order, where
+  ``rank(seq) = (T(seq) - 1) / C(seq)``;
+* read off the relation sequence, keep the cheapest root.
+
+The resulting sequence is turned into a left-deep join tree priced with
+the *library's* cost model (so the returned upper bounds are sound for
+APCBI even though the internal ranking used the ASI surrogate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import GraphError
+from repro.graph.query_graph import QueryGraph
+from repro.heuristics.base import (
+    HeuristicResult,
+    JoinHeuristic,
+    collect_subtree_costs,
+)
+from repro.plans.builder import PlanBuilder
+from repro.plans.join_tree import JoinTree
+from repro.query import Query
+
+__all__ = ["IKKBZ"]
+
+
+@dataclass
+class _Module:
+    """A merged sequence of relations with aggregated ASI statistics.
+
+    ``t`` is the product of the members' ``T`` values, ``c`` the
+    accumulated ASI cost of the sequence; ``rank = (t - 1) / c``.
+    """
+
+    relations: List[int]
+    t: float
+    c: float
+
+    @property
+    def rank(self) -> float:
+        if self.c == 0:
+            return float("-inf")
+        return (self.t - 1.0) / self.c
+
+    def merge(self, other: "_Module") -> "_Module":
+        return _Module(
+            relations=self.relations + other.relations,
+            t=self.t * other.t,
+            c=self.c + self.t * other.c,
+        )
+
+
+class IKKBZ(JoinHeuristic):
+    """Optimal left-deep ordering for tree queries under an ASI cost."""
+
+    name = "ikkbz"
+
+    def build(self, query: Query, builder: PlanBuilder) -> HeuristicResult:
+        if query.n_relations == 1:
+            tree = builder.leaf(query, 0)
+            return HeuristicResult(tree, {})
+        spanning = self._spanning_tree(query)
+        best_tree: Optional[JoinTree] = None
+        for root in range(query.n_relations):
+            sequence = self._sequence_for_root(query, spanning, root)
+            tree = self._left_deep_tree(query, builder, sequence)
+            if best_tree is None or tree.cost < best_tree.cost:
+                best_tree = tree
+        assert best_tree is not None
+        return HeuristicResult(best_tree, collect_subtree_costs(best_tree))
+
+    # ------------------------------------------------------------------
+    # Precedence-graph machinery
+    # ------------------------------------------------------------------
+
+    def _spanning_tree(self, query: Query) -> Dict[int, List[int]]:
+        """Adjacency of the (selectivity-minimal) spanning tree.
+
+        For acyclic query graphs this is the graph itself; for cyclic
+        graphs we run Kruskal over edges sorted by ascending selectivity —
+        the standard way to apply IKKBZ beyond trees.
+        """
+        graph = query.graph
+        n = graph.n_vertices
+        edges = sorted(
+            graph.edges, key=lambda e: query.catalog.selectivity(*e)
+        )
+        parent = list(range(n))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        adjacency: Dict[int, List[int]] = {v: [] for v in range(n)}
+        for u, v in edges:
+            root_u, root_v = find(u), find(v)
+            if root_u != root_v:
+                parent[root_u] = root_v
+                adjacency[u].append(v)
+                adjacency[v].append(u)
+        if sum(len(neighbors) for neighbors in adjacency.values()) != 2 * (n - 1):
+            raise GraphError("query graph is not connected")  # pragma: no cover
+        return adjacency
+
+    def _selectivity_to_parent(
+        self, query: Query, parent_of: Dict[int, int], vertex: int
+    ) -> float:
+        return query.catalog.selectivity(vertex, parent_of[vertex])
+
+    def _sequence_for_root(
+        self, query: Query, adjacency: Dict[int, List[int]], root: int
+    ) -> List[int]:
+        """IKKBZ normalization for one precedence-tree root."""
+        # Build parent pointers and children lists by BFS from the root.
+        parent_of: Dict[int, int] = {}
+        children: Dict[int, List[int]] = {v: [] for v in adjacency}
+        order = [root]
+        seen = {root}
+        for vertex in order:
+            for neighbor in adjacency[vertex]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    parent_of[neighbor] = vertex
+                    children[vertex].append(neighbor)
+                    order.append(neighbor)
+
+        # Each non-root relation contributes T = |R| * sel(R, parent(R)).
+        def base_module(vertex: int) -> _Module:
+            t = query.catalog.cardinality(vertex) * self._selectivity_to_parent(
+                query, parent_of, vertex
+            )
+            return _Module(relations=[vertex], t=t, c=t)
+
+        # chains[v]: normalized sequence of modules below v (v excluded).
+        chains: Dict[int, List[_Module]] = {}
+        for vertex in reversed(order):
+            if not children[vertex]:
+                chains[vertex] = []
+                continue
+            # Merge the children's chains by ascending rank; each child
+            # contributes itself (as a module) followed by its own chain.
+            branches = []
+            for child in children[vertex]:
+                branch = [base_module(child)] + chains[child]
+                branches.append(self._normalize(branch))
+            merged = self._merge_by_rank(branches)
+            chains[vertex] = self._normalize(merged)
+
+        sequence = [root]
+        for module in chains[root]:
+            sequence.extend(module.relations)
+        return sequence
+
+    def _normalize(self, chain: List[_Module]) -> List[_Module]:
+        """Fold out-of-rank-order adjacent modules (the ASI contraction)."""
+        result: List[_Module] = []
+        for module in chain:
+            result.append(module)
+            while len(result) >= 2 and result[-2].rank > result[-1].rank:
+                low = result.pop()
+                high = result.pop()
+                result.append(high.merge(low))
+        return result
+
+    def _merge_by_rank(self, branches: List[List[_Module]]) -> List[_Module]:
+        """Merge normalized chains into one rank-ascending sequence."""
+        merged: List[_Module] = []
+        cursors = [0] * len(branches)
+        while True:
+            best_index = -1
+            best_rank = float("inf")
+            for index, branch in enumerate(branches):
+                if cursors[index] < len(branch):
+                    rank = branch[cursors[index]].rank
+                    if rank < best_rank:
+                        best_rank = rank
+                        best_index = index
+            if best_index < 0:
+                return merged
+            merged.append(branches[best_index][cursors[best_index]])
+            cursors[best_index] += 1
+
+    # ------------------------------------------------------------------
+
+    def _left_deep_tree(
+        self, query: Query, builder: PlanBuilder, sequence: List[int]
+    ) -> JoinTree:
+        """Price the sequence as a left-deep tree with the real cost model."""
+        tree: JoinTree = builder.leaf(query, sequence[0])
+        for vertex in sequence[1:]:
+            leaf = builder.leaf(query, vertex)
+            first = builder.create_tree(tree, leaf)
+            second = builder.create_tree(leaf, tree)
+            tree = first if first.cost <= second.cost else second
+        return tree

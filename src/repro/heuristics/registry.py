@@ -1,0 +1,37 @@
+"""Name -> join heuristic registry."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import UnknownAlgorithmError
+from repro.heuristics.base import JoinHeuristic
+from repro.heuristics.goo import GreedyOperatorOrdering
+from repro.heuristics.ikkbz import IKKBZ
+from repro.heuristics.min_selectivity import MinSelectivity
+from repro.heuristics.quickpick import QuickPick
+
+__all__ = ["get_heuristic", "available_heuristics", "HEURISTICS"]
+
+#: Factories rather than singletons: QuickPick carries RNG state knobs.
+HEURISTICS: Dict[str, Callable[[], JoinHeuristic]] = {
+    "goo": GreedyOperatorOrdering,
+    "quickpick": QuickPick,
+    "min_selectivity": MinSelectivity,
+    "ikkbz": IKKBZ,
+}
+
+
+def get_heuristic(name: str) -> JoinHeuristic:
+    """Instantiate a join heuristic by registry name."""
+    try:
+        return HEURISTICS[name]()
+    except KeyError:
+        raise UnknownAlgorithmError(
+            f"unknown join heuristic {name!r}; available: {sorted(HEURISTICS)}"
+        ) from None
+
+
+def available_heuristics() -> List[str]:
+    """Registry names of all join heuristics."""
+    return sorted(HEURISTICS)

@@ -1,0 +1,12 @@
+"""Hypergraph substrate and optimizer for complex join predicates."""
+
+from repro.hyper.hypergraph import Hyperedge, Hypergraph, from_query_graph
+from repro.hyper.hyperdp import HyperDP, HyperPlan
+
+__all__ = [
+    "Hyperedge",
+    "Hypergraph",
+    "from_query_graph",
+    "HyperDP",
+    "HyperPlan",
+]

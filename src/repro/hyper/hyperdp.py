@@ -1,0 +1,123 @@
+"""Optimal bushy join ordering over hypergraphs (extension).
+
+A DPsub-style bottom-up optimizer for hypergraph queries: iterate
+connected subsets in ascending numeric order (so every proper subset is
+solved first) and combine each subset's csg-cmp pairs.  Correct for any
+hypergraph; exponential like DPsub, which is the honest trade-off until a
+DPhyp-grade neighborhood enumeration is added (see DESIGN.md).
+
+The optimizer is deliberately decoupled from the catalog machinery: it
+takes the join cost as a callable over vertex-set pairs, so it composes
+with the library's cost models (via ``PlanBuilder.operator_cost``) as well
+as with hand-written costs for hyperedge predicates, whose cardinality
+estimation is application-specific.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from repro.errors import OptimizationError
+from repro.graph import bitset
+from repro.hyper.hypergraph import Hypergraph
+
+__all__ = ["HyperPlan", "HyperDP"]
+
+#: Nested plan shape: a vertex index (leaf) or a (left, right) pair.
+PlanShape = Union[int, Tuple["PlanShape", "PlanShape"]]
+
+
+@dataclass(frozen=True)
+class HyperPlan:
+    """Best plan found for one connected hypernode."""
+
+    vertex_set: int
+    cost: float
+    shape: PlanShape
+
+    def sexpr(self) -> str:
+        def render(shape: PlanShape) -> str:
+            if isinstance(shape, int):
+                return f"R{shape}"
+            left, right = shape
+            return f"({render(left)} x {render(right)})"
+
+        return render(self.shape)
+
+
+class HyperDP:
+    """Bottom-up optimal join ordering for hypergraph queries.
+
+    Parameters
+    ----------
+    hypergraph:
+        The (connected) query hypergraph.
+    join_cost:
+        ``join_cost(left_set, right_set) -> float``: the operator cost of
+        joining the two intermediates; must be symmetric (price both
+        orders and take the minimum, as
+        :meth:`repro.plans.PlanBuilder.operator_cost` does).
+    """
+
+    def __init__(
+        self,
+        hypergraph: Hypergraph,
+        join_cost: Callable[[int, int], float],
+    ):
+        self._hypergraph = hypergraph
+        self._join_cost = join_cost
+        self._best: Dict[int, HyperPlan] = {}
+
+    @property
+    def memo(self) -> Dict[int, HyperPlan]:
+        return self._best
+
+    def run(self) -> HyperPlan:
+        """Return the optimal plan for the full vertex set."""
+        hypergraph = self._hypergraph
+        full = hypergraph.all_vertices
+        if not hypergraph.is_connected(full):
+            raise OptimizationError(
+                "the query hypergraph is disconnected; HyperDP would need "
+                "cross products, which are outside this library's scope"
+            )
+        for index in range(hypergraph.n_vertices):
+            leaf = bitset.singleton(index)
+            self._best[leaf] = HyperPlan(leaf, 0.0, index)
+
+        for subset in hypergraph.connected_subsets():
+            if subset & (subset - 1) == 0:
+                continue  # singleton
+            best: Optional[HyperPlan] = None
+            for left, right in hypergraph.csg_cmp_pairs(subset):
+                left_plan = self._best.get(left)
+                right_plan = self._best.get(right)
+                if left_plan is None or right_plan is None:
+                    # A connected component whose own subsets cannot all be
+                    # planned (possible with exotic hyperedges where a
+                    # connected set has no ccp at all) — skip this split.
+                    continue
+                cost = (
+                    left_plan.cost
+                    + right_plan.cost
+                    + self._join_cost(left, right)
+                )
+                if best is None or cost < best.cost:
+                    best = HyperPlan(
+                        subset, cost, (left_plan.shape, right_plan.shape)
+                    )
+            if best is not None:
+                self._best[subset] = best
+
+        plan = self._best.get(full)
+        if plan is None:
+            raise OptimizationError(
+                "no cross-product-free plan exists for this hypergraph "
+                "(some hyperedge shapes admit no binary decomposition)"
+            )
+        return plan
+
+    def n_plan_classes(self) -> int:
+        """Plan classes with at least two relations (diagnostics)."""
+        return sum(1 for key in self._best if key & (key - 1))

@@ -1,0 +1,183 @@
+"""Hypergraphs for complex join predicates (extension).
+
+The paper's algorithms operate on simple query graphs; the natural next
+step in this research lineage (Moerkotte & Neumann, SIGMOD 2008) handles
+*hyperedges*: predicates that reference more than two relations, such as
+``R1.a + R2.b = R3.c``.  This module provides the substrate — hypernodes
+as bitsets, hyperedges as pairs of disjoint hypernodes, connectivity and
+csg-cmp-pair semantics — plus a brute-force pair enumerator that serves
+as the oracle for the optimizer in :mod:`repro.hyper.hyperdp`.
+
+Connectivity follows the standard definition: a hyperedge is *usable*
+inside a set ``S`` only when both of its endpoints lie entirely within
+``S``, and a usable edge connects all its vertices at once.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Iterator, List, Tuple
+
+from repro.errors import GraphError
+from repro.graph import bitset
+from repro.graph.query_graph import QueryGraph
+
+__all__ = ["Hyperedge", "Hypergraph", "from_query_graph"]
+
+
+class Hyperedge:
+    """An undirected hyperedge between two disjoint vertex sets."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: int, right: int):
+        if not left or not right:
+            raise GraphError("hyperedge endpoints must be non-empty")
+        if left & right:
+            raise GraphError("hyperedge endpoints must be disjoint")
+        # Normalize orientation for equality/hashing.
+        if left > right:
+            left, right = right, left
+        self.left = left
+        self.right = right
+
+    @property
+    def vertices(self) -> int:
+        return self.left | self.right
+
+    @property
+    def is_simple(self) -> bool:
+        """True when both endpoints are single vertices."""
+        return (
+            self.left & (self.left - 1) == 0
+            and self.right & (self.right - 1) == 0
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Hyperedge):
+            return NotImplemented
+        return self.left == other.left and self.right == other.right
+
+    def __hash__(self) -> int:
+        return hash((self.left, self.right))
+
+    def __repr__(self) -> str:
+        return (
+            f"Hyperedge({bitset.format_set(self.left)}, "
+            f"{bitset.format_set(self.right)})"
+        )
+
+
+class Hypergraph:
+    """An immutable hypergraph over vertices ``0 .. n-1``."""
+
+    __slots__ = ("_n", "_edges", "_all")
+
+    def __init__(self, n_vertices: int, edges: Iterable[Hyperedge]):
+        if n_vertices < 1:
+            raise GraphError(f"need >= 1 vertex, got {n_vertices}")
+        self._n = n_vertices
+        self._all = (1 << n_vertices) - 1
+        normalized = []
+        seen = set()
+        for edge in edges:
+            if edge.vertices & ~self._all:
+                raise GraphError(f"{edge!r} references unknown vertices")
+            if edge not in seen:
+                seen.add(edge)
+                normalized.append(edge)
+        self._edges = tuple(normalized)
+
+    @property
+    def n_vertices(self) -> int:
+        return self._n
+
+    @property
+    def all_vertices(self) -> int:
+        return self._all
+
+    @property
+    def edges(self) -> Tuple[Hyperedge, ...]:
+        return self._edges
+
+    # ------------------------------------------------------------------
+
+    def usable_edges(self, subset: int) -> Iterator[Hyperedge]:
+        """Hyperedges whose both endpoints lie entirely inside ``subset``."""
+        for edge in self._edges:
+            if edge.vertices & ~subset == 0:
+                yield edge
+
+    def is_connected(self, subset: int) -> bool:
+        """Connectivity under the usable-edge semantics (see module doc)."""
+        if not subset:
+            return False
+        if subset & (subset - 1) == 0:
+            return True
+        # Union-find over the members of `subset`.
+        parents = {index: index for index in bitset.iter_bits(subset)}
+
+        def find(x: int) -> int:
+            while parents[x] != x:
+                parents[x] = parents[parents[x]]
+                x = parents[x]
+            return x
+
+        for edge in self.usable_edges(subset):
+            members = list(bitset.iter_bits(edge.vertices))
+            head = members[0]
+            for other in members[1:]:
+                parents[find(other)] = find(head)
+        roots = {find(index) for index in parents}
+        return len(roots) == 1
+
+    def crosses(self, left: int, right: int) -> bool:
+        """True when a hyperedge joins ``left`` with ``right``."""
+        for edge in self._edges:
+            if (edge.left & ~left == 0 and edge.right & ~right == 0) or (
+                edge.left & ~right == 0 and edge.right & ~left == 0
+            ):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+
+    def csg_cmp_pairs(self, subset: int) -> Iterator[Tuple[int, int]]:
+        """All ccps of ``subset``, each symmetric pair once (oracle-grade).
+
+        Brute-force by design: every split with the lowest vertex anchored
+        in the first component.  Exponential in ``|subset|`` — fine as the
+        oracle and for the DPsub-style optimizer at the sizes pure Python
+        handles; the clever neighborhood-guided enumeration of DPhyp is
+        future work (DESIGN.md).
+        """
+        if subset & (subset - 1) == 0:
+            return
+        anchor = subset & -subset
+        for other in bitset.iter_subsets(subset & ~anchor):
+            anchor_side = subset & ~other
+            if not self.is_connected(anchor_side):
+                continue
+            if not self.is_connected(other):
+                continue
+            if not self.crosses(anchor_side, other):
+                continue
+            yield (anchor_side, other)
+
+    def connected_subsets(self) -> List[int]:
+        """Every connected subset, ascending (subsets before supersets)."""
+        return [
+            subset
+            for subset in range(1, self._all + 1)
+            if self.is_connected(subset)
+        ]
+
+    def __repr__(self) -> str:
+        return f"Hypergraph(n_vertices={self._n}, n_edges={len(self._edges)})"
+
+
+def from_query_graph(graph: QueryGraph) -> Hypergraph:
+    """Lift a simple query graph into the hypergraph representation."""
+    return Hypergraph(
+        graph.n_vertices,
+        (Hyperedge(1 << u, 1 << v) for u, v in sorted(graph.edges)),
+    )

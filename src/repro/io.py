@@ -1,0 +1,154 @@
+"""Query (de)serialization: JSON round-trip for queries and plans.
+
+Lets users describe their own schemas/queries in a plain JSON document and
+optimize them with the library, and lets the harness persist queries for
+later re-runs.  The format is deliberately simple::
+
+    {
+      "relations": [
+        {"name": "sales", "cardinality": 6000000, "tuple_width": 120},
+        {"name": "date_dim", "cardinality": 2500}
+      ],
+      "joins": [
+        {"left": 0, "right": 1, "selectivity": 0.0004}
+      ],
+      "family": "custom"            // optional metadata
+    }
+
+Relation order defines the vertex indices; ``left``/``right`` may also be
+relation names.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.relation import DEFAULT_TUPLE_WIDTH, RelationStats
+from repro.errors import CatalogError
+from repro.graph.query_graph import QueryGraph
+from repro.plans.join_tree import JoinNode, JoinTree, LeafNode
+from repro.query import Query
+
+__all__ = [
+    "query_to_dict",
+    "query_from_dict",
+    "load_query",
+    "save_query",
+    "plan_to_dict",
+]
+
+
+def query_to_dict(query: Query) -> Dict:
+    """Serialize a query to the JSON-ready dictionary format."""
+    relations = []
+    for index in range(query.n_relations):
+        stats = query.catalog.relation(index)
+        relations.append(
+            {
+                "name": stats.name or f"R{index}",
+                "cardinality": stats.cardinality,
+                "tuple_width": stats.tuple_width,
+                "domain_sizes": list(stats.domain_sizes),
+            }
+        )
+    joins = [
+        {"left": u, "right": v, "selectivity": query.catalog.selectivity(u, v)}
+        for u, v in sorted(query.graph.edges)
+    ]
+    payload = {"relations": relations, "joins": joins}
+    if query.family:
+        payload["family"] = query.family
+    if query.seed is not None:
+        payload["seed"] = query.seed
+    return payload
+
+
+def _resolve_endpoint(
+    endpoint: Union[int, str], names: Dict[str, int], n_relations: int
+) -> int:
+    if isinstance(endpoint, str):
+        try:
+            return names[endpoint]
+        except KeyError:
+            raise CatalogError(f"unknown relation name {endpoint!r}") from None
+    index = int(endpoint)
+    if not 0 <= index < n_relations:
+        raise CatalogError(
+            f"relation index {index} out of range for {n_relations} relations"
+        )
+    return index
+
+
+def query_from_dict(payload: Dict) -> Query:
+    """Deserialize a query; validates structure and statistics."""
+    try:
+        raw_relations = payload["relations"]
+        raw_joins = payload["joins"]
+    except KeyError as missing:
+        raise CatalogError(f"query document lacks the {missing} section") from None
+    if not raw_relations:
+        raise CatalogError("query document declares no relations")
+
+    relations: List[RelationStats] = []
+    names: Dict[str, int] = {}
+    for index, raw in enumerate(raw_relations):
+        name = raw.get("name", f"R{index}")
+        if name in names:
+            raise CatalogError(f"duplicate relation name {name!r}")
+        names[name] = index
+        relations.append(
+            RelationStats(
+                cardinality=float(raw["cardinality"]),
+                tuple_width=int(raw.get("tuple_width", DEFAULT_TUPLE_WIDTH)),
+                domain_sizes=tuple(raw.get("domain_sizes", ())),
+                name=name,
+            )
+        )
+
+    edges = []
+    selectivities = {}
+    for raw in raw_joins:
+        left = _resolve_endpoint(raw["left"], names, len(relations))
+        right = _resolve_endpoint(raw["right"], names, len(relations))
+        edges.append((left, right))
+        selectivities[(left, right)] = float(raw["selectivity"])
+
+    return Query(
+        graph=QueryGraph(len(relations), edges),
+        catalog=Catalog(relations, selectivities),
+        family=payload.get("family", ""),
+        seed=payload.get("seed"),
+    )
+
+
+def save_query(query: Query, path: Union[str, Path]) -> None:
+    """Write a query document to ``path`` as pretty-printed JSON."""
+    Path(path).write_text(json.dumps(query_to_dict(query), indent=2))
+
+
+def load_query(path: Union[str, Path]) -> Query:
+    """Read a query document from ``path``."""
+    return query_from_dict(json.loads(Path(path).read_text()))
+
+
+def plan_to_dict(plan: JoinTree) -> Dict:
+    """Serialize a join tree (for result reporting; plans are not re-read)."""
+    if isinstance(plan, LeafNode):
+        return {
+            "scan": plan.name,
+            "relation": plan.relation,
+            "cardinality": plan.cardinality,
+        }
+    assert isinstance(plan, JoinNode)
+    return {
+        "join": {
+            "left": plan_to_dict(plan.left),
+            "right": plan_to_dict(plan.right),
+        },
+        "cardinality": plan.cardinality,
+        "operator_cost": plan.operator_cost,
+        "total_cost": plan.cost,
+    }

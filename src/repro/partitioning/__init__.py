@@ -1,0 +1,31 @@
+"""Partitioning strategies: enumeration of csg-cmp pairs (ccps)."""
+
+from repro.partitioning.base import PartitioningStrategy
+from repro.partitioning.connected_parts import (
+    connected_parts_simple,
+    get_connected_parts,
+)
+from repro.partitioning.mincut_agat import MinCutAGaT
+from repro.partitioning.mincut_branch import MinCutBranch
+from repro.partitioning.mincut_conservative import MinCutConservative
+from repro.partitioning.mincut_lazy import MinCutLazy
+from repro.partitioning.naive import NaivePartitioning
+from repro.partitioning.registry import (
+    PARTITIONINGS,
+    available_partitionings,
+    get_partitioning,
+)
+
+__all__ = [
+    "PartitioningStrategy",
+    "NaivePartitioning",
+    "MinCutAGaT",
+    "MinCutLazy",
+    "MinCutBranch",
+    "MinCutConservative",
+    "get_connected_parts",
+    "connected_parts_simple",
+    "get_partitioning",
+    "available_partitionings",
+    "PARTITIONINGS",
+]

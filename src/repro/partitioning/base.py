@@ -1,0 +1,46 @@
+"""Partitioning strategy interface.
+
+A partitioning strategy enumerates ``P_ccp_sym(S)`` — all connected
+subgraph / connected complement pairs of a connected vertex set ``S``
+(Def. 2.2), with each symmetric pair emitted exactly once.  The generic
+top-down plan generators consume this interface; the three MinCut*
+algorithms and the naive generate-and-test strategy implement it.
+
+Strategies are stateless with respect to a query: they are constructed once
+and handed the graph per call, so a single instance can serve a whole
+workload run.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator, Tuple
+
+from repro.graph.query_graph import QueryGraph
+
+__all__ = ["PartitioningStrategy"]
+
+
+class PartitioningStrategy(ABC):
+    """Enumerates ccps for connected vertex sets of a query graph."""
+
+    #: Registry name (``"naive"``, ``"mincut_lazy"``, ...).
+    name = "abstract"
+
+    #: Short display label used by the benchmark tables (``TDMcC`` etc.).
+    label = "?"
+
+    @abstractmethod
+    def partitions(
+        self, graph: QueryGraph, vertex_set: int
+    ) -> Iterator[Tuple[int, int]]:
+        """Yield every ccp ``(S1, S2)`` for ``vertex_set``, symmetric once.
+
+        ``vertex_set`` must induce a connected subgraph with at least two
+        vertices.  The union of each emitted pair is ``vertex_set``, both
+        sides induce connected subgraphs, and at least one join edge links
+        them (Def. 2.1/2.2).
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,55 @@
+"""MinCutAGaT — advanced generate-and-test partitioning ([5]).
+
+§III-A introduces MinCutConservative as "an improvement of the advanced
+generate-and-test approach presented in [5]".  This module implements that
+predecessor: grow a connected set ``C`` (containing the start vertex) one
+neighbor at a time with the usual duplicate filter ``X``, and *test* the
+complement's connectivity at every candidate — emitting when it holds and
+recursing regardless.
+
+Unlike the conservative algorithm it therefore visits every connected
+subset of ``S`` that contains ``t``, including the exponentially many
+whose complement is disconnected; on star queries this is the
+"exponential overhead" §III-C describes.  It is included as the fourth
+enumeration order for robustness studies and as the pedagogical contrast
+to the conservative jump — not as a production strategy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from repro.graph.query_graph import QueryGraph
+from repro.partitioning.base import PartitioningStrategy
+
+__all__ = ["MinCutAGaT"]
+
+
+class MinCutAGaT(PartitioningStrategy):
+    """Advanced generate-and-test partitioning (the pre-conservative [5])."""
+
+    name = "mincut_agat"
+    label = "TDMcA"
+
+    def partitions(
+        self, graph: QueryGraph, vertex_set: int
+    ) -> Iterator[Tuple[int, int]]:
+        start = vertex_set & -vertex_set  # t = lowest vertex of S
+        yield from self._grow(graph, vertex_set, start, 0)
+
+    def _grow(
+        self, graph: QueryGraph, s: int, c: int, x: int
+    ) -> Iterator[Tuple[int, int]]:
+        complement = s & ~c
+        # Test: emit when the complement is connected (the "test" half).
+        if complement and graph.is_connected(complement):
+            yield (c, complement)
+        # Generate: extend C by every unfiltered neighbor (the "generate"
+        # half), excluding each processed neighbor from later branches.
+        neighbors = graph.neighborhood(c, s) & ~x
+        x_prime = x
+        while neighbors:
+            v = neighbors & -neighbors
+            neighbors ^= v
+            yield from self._grow(graph, s, c | v, x_prime)
+            x_prime |= v

@@ -1,0 +1,84 @@
+"""MinCutConservative — the paper's novel partitioning algorithm (§III, Fig. 2).
+
+The strategy grows a connected set ``C`` (always containing the start
+vertex ``t``, which guarantees each symmetric pair is emitted once) by
+members of its neighborhood.  Before recursing it calls GETCONNECTEDPARTS:
+when adding a neighbor ``v`` would disconnect the complement into parts
+``O_1 .. O_k``, it *conservatively* jumps straight to the enlarged sets
+``C' = S \\ O_i`` whose complements are connected again — so, unlike plain
+generate-and-test, it never visits a candidate whose complement is
+disconnected.  The filter set ``X`` prevents duplicate emissions exactly as
+in Fig. 2 (line 10: a processed neighbor is excluded from all later
+branches of the same invocation).
+
+Neighbor processing order follows the paper's implementation note
+(§IV-D, advancement 6): the next neighbor is the least significant bit of
+the remaining neighborhood bitset, which is what makes the graph
+renumbering advancement effective.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from repro.graph.query_graph import QueryGraph
+from repro.partitioning.base import PartitioningStrategy
+from repro.partitioning.connected_parts import get_connected_parts
+
+__all__ = ["MinCutConservative"]
+
+
+class MinCutConservative(PartitioningStrategy):
+    """Conservative graph partitioning (Fig. 2)."""
+
+    name = "mincut_conservative"
+    label = "TDMcC"
+
+    def partitions(
+        self, graph: QueryGraph, vertex_set: int
+    ) -> Iterator[Tuple[int, int]]:
+        # PARTITION_MinCutConservative: start with C = X = empty; the
+        # footnote of Fig. 2 defines N(empty) = {t} with t an arbitrary
+        # element of S — we pick the lowest-indexed vertex.
+        yield from self._mincut(graph, vertex_set, 0, 0)
+
+    def _mincut(
+        self, graph: QueryGraph, s: int, c: int, x: int
+    ) -> Iterator[Tuple[int, int]]:
+        # Lines 1-2: C = S means the complement is empty; nothing to emit.
+        if c == s:
+            return
+        # Lines 3-4: every invocation with a non-empty C represents one ccp
+        # (its complement is connected by construction).
+        if c:
+            yield (c, s & ~c)
+        # Line 5 and the loop of lines 6-10.
+        x_prime = x
+        if c:
+            neighbors = graph.neighborhood(c, s) & ~x
+        else:
+            neighbors = s & -s  # N(empty) = {t}, t = lowest vertex of S
+        while neighbors:
+            v = neighbors & -neighbors
+            neighbors ^= v
+            # Line 7: components of S \ (C u {v}).
+            parts = get_connected_parts(graph, s, c | v, v)
+            # Lines 8-9: one recursive branch per component O_i, continuing
+            # with C' = S \ O_i (when the complement stayed connected this
+            # is exactly C u {v}).
+            # When C u {v} = S, get_connected_parts returns no parts and the
+            # loop body recurses zero times (the paper's version recurses
+            # once into the immediately-returning C = S state instead).
+            for part in parts:
+                new_c = s & ~part
+                # Fig. 2 states the invariant C n X = empty for every
+                # invocation.  A jump branch absorbs the *other* complement
+                # components into C'; when one of them contains an
+                # already-filtered neighbor, this C' (and its whole subtree)
+                # was reached through that neighbor's earlier branch, so
+                # descending again would emit duplicates.
+                if new_c & x_prime:
+                    continue
+                yield from self._mincut(graph, s, new_c, x_prime)
+            # Line 10: exclude v from all later branches of this invocation.
+            x_prime |= v

@@ -1,0 +1,39 @@
+"""Naive generate-and-test partitioning (Appendix B, Fig. 17).
+
+Enumerates every non-empty proper subset ``S1`` of ``S`` that does not
+contain the highest-indexed vertex (so each symmetric pair appears once,
+with the max-index relation always in the complement — the convention the
+paper attributes to DeHaan & Tompa's strategies) and emits those whose both
+sides induce connected subgraphs.  Exponential in ``|S|``; it exists as the
+correctness oracle for the efficient strategies and as a pedagogical
+baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from repro.graph import bitset
+from repro.graph.query_graph import QueryGraph
+from repro.partitioning.base import PartitioningStrategy
+
+__all__ = ["NaivePartitioning"]
+
+
+class NaivePartitioning(PartitioningStrategy):
+    """Subset enumeration + connectivity tests (Fig. 17)."""
+
+    name = "naive"
+    label = "TDNaive"
+
+    def partitions(
+        self, graph: QueryGraph, vertex_set: int
+    ) -> Iterator[Tuple[int, int]]:
+        highest = 1 << bitset.highest_index(vertex_set)
+        candidates = vertex_set & ~highest
+        # Vance & Maier subset enumeration over S minus the anchor vertex;
+        # every emitted S1 therefore satisfies max(S1) < max(S2).
+        for left in bitset.iter_subsets(candidates):
+            right = vertex_set & ~left
+            if graph.is_connected(left) and graph.is_connected(right):
+                yield (left, right)

@@ -1,0 +1,47 @@
+"""Name -> partitioning strategy registry.
+
+Strategies are stateless, so the registry hands out shared singleton
+instances.  ``get_partitioning("mincut_conservative")`` is what the
+optimizer facade and the benchmark harness use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import UnknownAlgorithmError
+from repro.partitioning.base import PartitioningStrategy
+from repro.partitioning.mincut_agat import MinCutAGaT
+from repro.partitioning.mincut_branch import MinCutBranch
+from repro.partitioning.mincut_conservative import MinCutConservative
+from repro.partitioning.mincut_lazy import MinCutLazy
+from repro.partitioning.naive import NaivePartitioning
+
+__all__ = ["get_partitioning", "available_partitionings", "PARTITIONINGS"]
+
+PARTITIONINGS: Dict[str, PartitioningStrategy] = {
+    strategy.name: strategy
+    for strategy in (
+        NaivePartitioning(),
+        MinCutAGaT(),
+        MinCutLazy(),
+        MinCutBranch(),
+        MinCutConservative(),
+    )
+}
+
+
+def get_partitioning(name: str) -> PartitioningStrategy:
+    """Look up a partitioning strategy by registry name."""
+    try:
+        return PARTITIONINGS[name]
+    except KeyError:
+        raise UnknownAlgorithmError(
+            f"unknown partitioning strategy {name!r}; "
+            f"available: {sorted(PARTITIONINGS)}"
+        ) from None
+
+
+def available_partitionings() -> List[str]:
+    """Registry names of all partitioning strategies."""
+    return sorted(PARTITIONINGS)

@@ -1,0 +1,21 @@
+"""Plan infrastructure: join trees, the memotable, BUILDTREE/CREATETREE."""
+
+from repro.plans.builder import PlanBuilder
+from repro.plans.join_tree import JoinNode, JoinTree, LeafNode
+from repro.plans.memo import MemoTable
+from repro.plans.validation import (
+    PlanValidationError,
+    recompute_cost,
+    validate_plan,
+)
+
+__all__ = [
+    "JoinTree",
+    "LeafNode",
+    "JoinNode",
+    "MemoTable",
+    "PlanBuilder",
+    "validate_plan",
+    "recompute_cost",
+    "PlanValidationError",
+]

@@ -1,0 +1,106 @@
+"""CREATETREE / BUILDTREE (Appendix A) plus leaf construction.
+
+BUILDTREE prices both orders of a ccp — ``(T1, T2)`` and ``(T2, T1)`` — and
+registers the cheaper one with the memotable, provided it is within the
+budget ``b``.  Pricing both orders in one call (instead of relying on the
+symmetric pair being enumerated separately) is what lets the enumerators
+emit each symmetric pair only once.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cost.model import CostModel
+from repro.cost.statistics import StatisticsProvider
+from repro.plans.join_tree import JoinNode, JoinTree, LeafNode
+from repro.plans.memo import MemoTable
+from repro.query import Query
+from repro.stats.counters import OptimizationStats
+
+__all__ = ["PlanBuilder"]
+
+INFINITY = float("inf")
+
+
+class PlanBuilder:
+    """Constructs and registers join trees for one query.
+
+    The builder owns the per-run counters so every tree construction is
+    accounted for, whichever plan generator drives it.
+    """
+
+    __slots__ = ("_provider", "_cost_model", "stats")
+
+    def __init__(
+        self,
+        provider: StatisticsProvider,
+        cost_model: CostModel,
+        stats: Optional[OptimizationStats] = None,
+    ):
+        self._provider = provider
+        self._cost_model = cost_model
+        self.stats = stats if stats is not None else OptimizationStats()
+
+    @property
+    def provider(self) -> StatisticsProvider:
+        return self._provider
+
+    @property
+    def cost_model(self) -> CostModel:
+        return self._cost_model
+
+    # ------------------------------------------------------------------
+
+    def leaf(self, query: Query, relation: int) -> LeafNode:
+        """Build the leaf node for one base relation."""
+        stats = query.catalog.relation(relation)
+        return LeafNode(relation, stats.cardinality, stats.name)
+
+    def create_tree(self, outer: JoinTree, inner: JoinTree) -> JoinNode:
+        """CREATETREE: join ``outer`` with ``inner`` in this fixed order.
+
+        The operator cost is the cheapest join algorithm for this order;
+        the resulting cardinality depends only on the union set.
+        """
+        self.stats.trees_created += 1
+        outer_stats = self._provider.stats(outer.vertex_set)
+        inner_stats = self._provider.stats(inner.vertex_set)
+        operator_cost = self._cost_model.join_cost(outer_stats, inner_stats)
+        cardinality = self._provider.cardinality(
+            outer.vertex_set | inner.vertex_set
+        )
+        return JoinNode(outer, inner, cardinality, operator_cost)
+
+    def build_tree(
+        self,
+        memo: MemoTable,
+        tree_1: JoinTree,
+        tree_2: JoinTree,
+        budget: float = INFINITY,
+    ) -> Optional[JoinTree]:
+        """BUILDTREE (Fig. 16): try both orders, keep the cheapest in budget.
+
+        Returns the tree that ended up registered for this ccp (the cheaper
+        of the two orders) when it improved the memotable, else ``None``.
+        """
+        registered: Optional[JoinTree] = None
+        for outer, inner in ((tree_1, tree_2), (tree_2, tree_1)):
+            candidate = self.create_tree(outer, inner)
+            if candidate.cost <= budget and memo.register(candidate):
+                if registered is not None:
+                    # Second order beat the first: count it as an
+                    # improvement of an existing entry, not a new class.
+                    self.stats.plan_improvements += 1
+                registered = candidate
+        return registered
+
+    def operator_cost(self, left_set: int, right_set: int) -> float:
+        """``c_join``: the minimal operator cost for joining the two sets.
+
+        Known before any subtree exists — used by the budget arithmetic of
+        TDPG_ACB (line 3) and TDPG_APCBI (line 17).
+        """
+        return self._cost_model.min_join_cost(
+            self._provider.stats(left_set), self._provider.stats(right_set)
+        )

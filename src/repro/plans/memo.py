@@ -1,0 +1,64 @@
+"""The memotable (§II-B).
+
+``BestTree[S]`` maps a vertex set (bitset) to the best join tree known for
+it.  Top-down enumeration fills it on demand; DPccp fills it bottom-up.
+The table also serves as the Table III *s* counter: the number of
+non-singleton entries at the end of a run is the number of plan classes for
+which a plan was successfully built.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.graph import bitset
+from repro.plans.join_tree import JoinTree
+
+__all__ = ["MemoTable"]
+
+
+class MemoTable:
+    """Best-known join tree per plan class."""
+
+    __slots__ = ("_table",)
+
+    def __init__(self) -> None:
+        self._table: Dict[int, JoinTree] = {}
+
+    def best(self, vertex_set: int) -> Optional[JoinTree]:
+        """``BestTree[S]``, or ``None`` when no tree is registered."""
+        return self._table.get(vertex_set)
+
+    def best_cost(self, vertex_set: int) -> float:
+        """Cost of ``BestTree[S]``; infinity when no tree is registered."""
+        tree = self._table.get(vertex_set)
+        return tree.cost if tree is not None else float("inf")
+
+    def register(self, tree: JoinTree) -> bool:
+        """Install ``tree`` if it beats the registered one.
+
+        Returns ``True`` when the table changed (first registration or an
+        improvement), ``False`` otherwise.
+        """
+        incumbent = self._table.get(tree.vertex_set)
+        if incumbent is None or tree.cost < incumbent.cost:
+            self._table[tree.vertex_set] = tree
+            return True
+        return False
+
+    def __contains__(self, vertex_set: int) -> bool:
+        return vertex_set in self._table
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def n_plan_classes(self) -> int:
+        """Entries with at least two relations (Table III numerator)."""
+        return sum(1 for key in self._table if key & (key - 1))
+
+    def entries(self) -> Iterator[Tuple[int, JoinTree]]:
+        """All (vertex set, best tree) pairs, unordered."""
+        return iter(self._table.items())
+
+    def __repr__(self) -> str:
+        return f"MemoTable(entries={len(self._table)})"

@@ -1,0 +1,139 @@
+"""Structural and cost validation of join trees.
+
+Used by tests and available to applications as a safety net: given a plan
+and its query, :func:`validate_plan` checks every invariant an optimal
+bushy cross-product-free join tree must satisfy and recomputes the
+accumulated costs from scratch with the given cost model.  Violations
+raise :class:`PlanValidationError` with a precise description.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cost.model import CostModel
+from repro.cost.statistics import StatisticsProvider
+from repro.errors import ReproError
+from repro.graph import bitset
+from repro.plans.join_tree import JoinNode, JoinTree, LeafNode
+from repro.query import Query
+
+__all__ = ["PlanValidationError", "validate_plan", "recompute_cost"]
+
+#: Relative tolerance for cost recomputation (costs are sums of
+#: integer-valued page counts, so this is generous).
+_COST_TOLERANCE = 1e-9
+
+
+class PlanValidationError(ReproError):
+    """Raised when a join tree violates a structural or cost invariant."""
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise PlanValidationError(message)
+
+
+def validate_plan(
+    plan: JoinTree,
+    query: Query,
+    cost_model: Optional[CostModel] = None,
+) -> None:
+    """Validate ``plan`` against ``query``; raises on the first violation.
+
+    Checks:
+
+    * the plan covers exactly the query's relations, each once;
+    * every join node's vertex set is the disjoint union of its inputs;
+    * both inputs of every join induce connected subgraphs and are linked
+      by at least one join edge (no cross products, §II-A);
+    * cardinalities match the statistics provider's estimates;
+    * when a ``cost_model`` is given, every node's accumulated cost equals
+      a from-scratch recomputation.
+    """
+    _check(
+        plan.vertex_set == query.graph.all_vertices,
+        "plan does not cover exactly the query's relations: "
+        f"{bitset.format_set(plan.vertex_set)} != "
+        f"{bitset.format_set(query.graph.all_vertices)}",
+    )
+    seen = set()
+    for leaf in plan.leaves():
+        _check(
+            leaf.relation not in seen,
+            f"relation R{leaf.relation} appears more than once in the plan",
+        )
+        seen.add(leaf.relation)
+    provider = StatisticsProvider(query)
+    _validate_node(plan, query, provider)
+    if cost_model is not None:
+        recomputed = recompute_cost(plan, provider, cost_model)
+        _check(
+            abs(recomputed - plan.cost)
+            <= _COST_TOLERANCE * max(1.0, abs(recomputed)),
+            f"plan cost {plan.cost!r} does not match recomputation "
+            f"{recomputed!r}",
+        )
+
+
+def _validate_node(
+    node: JoinTree, query: Query, provider: StatisticsProvider
+) -> None:
+    graph = query.graph
+    if isinstance(node, LeafNode):
+        _check(
+            node.cardinality == query.catalog.cardinality(node.relation),
+            f"leaf R{node.relation} carries cardinality {node.cardinality}, "
+            f"catalog says {query.catalog.cardinality(node.relation)}",
+        )
+        _check(node.cost == 0.0, "leaf nodes must have zero cost")
+        return
+    assert isinstance(node, JoinNode)
+    left, right = node.left, node.right
+    _check(
+        left.vertex_set & right.vertex_set == 0,
+        f"join inputs overlap at {bitset.format_set(node.vertex_set)}",
+    )
+    _check(
+        left.vertex_set | right.vertex_set == node.vertex_set,
+        f"join vertex set is not the union of its inputs at "
+        f"{bitset.format_set(node.vertex_set)}",
+    )
+    _check(
+        graph.is_connected(left.vertex_set),
+        f"left input {bitset.format_set(left.vertex_set)} is disconnected",
+    )
+    _check(
+        graph.is_connected(right.vertex_set),
+        f"right input {bitset.format_set(right.vertex_set)} is disconnected",
+    )
+    _check(
+        graph.are_connected(left.vertex_set, right.vertex_set),
+        f"cross product at {bitset.format_set(node.vertex_set)}: no join "
+        "edge between the inputs",
+    )
+    expected_cardinality = provider.cardinality(node.vertex_set)
+    _check(
+        abs(node.cardinality - expected_cardinality)
+        <= 1e-9 * max(1.0, expected_cardinality),
+        f"cardinality mismatch at {bitset.format_set(node.vertex_set)}: "
+        f"plan says {node.cardinality}, estimator says {expected_cardinality}",
+    )
+    _validate_node(left, query, provider)
+    _validate_node(right, query, provider)
+
+
+def recompute_cost(
+    node: JoinTree, provider: StatisticsProvider, cost_model: CostModel
+) -> float:
+    """Re-price a tree bottom-up, ignoring the costs stored on its nodes."""
+    if isinstance(node, LeafNode):
+        return 0.0
+    assert isinstance(node, JoinNode)
+    left_cost = recompute_cost(node.left, provider, cost_model)
+    right_cost = recompute_cost(node.right, provider, cost_model)
+    operator = cost_model.join_cost(
+        provider.stats(node.left.vertex_set),
+        provider.stats(node.right.vertex_set),
+    )
+    return left_cost + right_cost + operator

@@ -1,0 +1,63 @@
+"""The :class:`Query` bundle: a graph plus its statistics catalog.
+
+This is the unit all optimizers in this library consume.  It also carries
+light metadata (family name, seed) so workload suites and the benchmark
+harness can report where a query came from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.catalog.catalog import Catalog
+from repro.graph.query_graph import QueryGraph
+
+__all__ = ["Query"]
+
+
+@dataclass(frozen=True)
+class Query:
+    """A connected query graph together with its statistics.
+
+    Attributes
+    ----------
+    graph:
+        The (connected) query graph.
+    catalog:
+        Cardinalities and selectivities matching the graph.
+    family:
+        Workload family label (``"chain"``, ``"star"``, ...), informational.
+    seed:
+        RNG seed used to generate the query, informational.
+    """
+
+    graph: QueryGraph
+    catalog: Catalog
+    family: str = ""
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.catalog.validate_against(self.graph)
+        self.graph.require_connected(self.graph.all_vertices)
+
+    @property
+    def n_relations(self) -> int:
+        return self.graph.n_vertices
+
+    def relabel(self, mapping: Sequence[int]) -> "Query":
+        """Renumber relations; used by advancement 6 (graph re-mapping)."""
+        return Query(
+            graph=self.graph.relabel(mapping),
+            catalog=self.catalog.relabel(mapping),
+            family=self.family,
+            seed=self.seed,
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable description for logs."""
+        label = self.family or "query"
+        return (
+            f"{label}(n={self.n_relations}, edges={len(self.graph.edges)}, "
+            f"seed={self.seed})"
+        )

@@ -1,0 +1,5 @@
+"""Run statistics: counters for Table III and diagnostics."""
+
+from repro.stats.counters import OptimizationStats
+
+__all__ = ["OptimizationStats"]

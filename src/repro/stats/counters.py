@@ -1,0 +1,85 @@
+"""Counters collected during one optimization run.
+
+Table III of the paper reports, per query, the number of plan classes for
+which a join tree was successfully built (subscript *s*) and the number of
+times a join tree was requested but *not* built within its budget
+(subscript *f*), both normalized by the number of plan classes DPccp
+builds.  :class:`OptimizationStats` collects those plus a handful of
+secondary counters that the ablation analysis and the tests use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["OptimizationStats"]
+
+
+@dataclass
+class OptimizationStats:
+    """Mutable counters for one optimizer run.
+
+    Attributes
+    ----------
+    ccps_enumerated:
+        ccps produced by the partitioning strategy (symmetric pairs once).
+    ccps_considered:
+        ccps that survived predicted-cost bounding and were priced.
+    trees_created:
+        Join trees constructed by CREATETREE (both orders counted).
+    plan_classes_built:
+        Distinct vertex sets (|S| >= 2) for which a best tree was
+        registered — the *s* numerator of Table III.
+    failed_builds:
+        Enumeration passes over some ``P_ccp(S)`` that ended without a tree
+        within the budget — the *f* numerator of Table III.
+    memo_hits:
+        Requests answered directly from the memotable.
+    bound_rejections:
+        Requests rejected immediately because the budget was below the
+        proven lower bound ``lB[S]``.
+    pcb_prunes:
+        ccps skipped by predicted-cost bounding (LBE above the bound).
+    plan_improvements:
+        Times a newly created tree replaced a registered (worse) tree.
+    budget_raises:
+        Times the rising-budget advancement lifted a request's budget.
+    lbe_evaluations:
+        Lower-bound estimator invocations (the expensive part of PCB).
+    """
+
+    ccps_enumerated: int = 0
+    ccps_considered: int = 0
+    trees_created: int = 0
+    plan_classes_built: int = 0
+    failed_builds: int = 0
+    memo_hits: int = 0
+    bound_rejections: int = 0
+    pcb_prunes: int = 0
+    plan_improvements: int = 0
+    budget_raises: int = 0
+    lbe_evaluations: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view for JSON reports."""
+        return {
+            "ccps_enumerated": self.ccps_enumerated,
+            "ccps_considered": self.ccps_considered,
+            "trees_created": self.trees_created,
+            "plan_classes_built": self.plan_classes_built,
+            "failed_builds": self.failed_builds,
+            "memo_hits": self.memo_hits,
+            "bound_rejections": self.bound_rejections,
+            "pcb_prunes": self.pcb_prunes,
+            "plan_improvements": self.plan_improvements,
+            "budget_raises": self.budget_raises,
+            "lbe_evaluations": self.lbe_evaluations,
+        }
+
+    def merge(self, other: "OptimizationStats") -> "OptimizationStats":
+        """Element-wise sum (used when aggregating workload runs)."""
+        merged = OptimizationStats()
+        for key, value in self.as_dict().items():
+            setattr(merged, key, value + getattr(other, key))
+        return merged

@@ -1,0 +1,33 @@
+"""Workload substrate: Steinbrunn statistics, query generation, suites."""
+
+from repro.workload.generator import (
+    QueryGenerator,
+    chain_query,
+    clique_query,
+    cycle_query,
+    generate_query,
+    random_acyclic_query,
+    random_cyclic_query,
+    star_query,
+)
+from repro.workload.suite import (
+    DEFAULT_FAMILY_SPECS,
+    FamilySpec,
+    WorkloadSuite,
+    default_suite,
+)
+
+__all__ = [
+    "QueryGenerator",
+    "generate_query",
+    "chain_query",
+    "star_query",
+    "cycle_query",
+    "clique_query",
+    "random_acyclic_query",
+    "random_cyclic_query",
+    "FamilySpec",
+    "WorkloadSuite",
+    "default_suite",
+    "DEFAULT_FAMILY_SPECS",
+]

@@ -1,0 +1,225 @@
+"""Query generation: graph shapes + Steinbrunn statistics (paper §V-B).
+
+Three selectivity schemes are implemented, exactly following the paper:
+
+* **random joins** — each edge's selectivity is ``1 / max(dom(A1), dom(A2))``
+  for two randomly drawn attribute domains, the original Steinbrunn et al.
+  proposal;
+* **foreign-key joins** — with probability 90% an edge behaves like a
+  foreign-key/key join (the join result has the cardinality of the
+  foreign-key side, i.e. selectivity ``1 / |key side|``), otherwise the
+  random scheme is used.  The paper argues this avoids the unrealistic
+  sub-1 intermediate cardinalities of the pure random scheme;
+* **pruning-disabled stars** — every hub-leaf edge gets selectivity
+  ``1 / |dimension|`` so that every join preserves the fact-table
+  cardinality, which drives the chance of pruning to zero (§V-B last
+  paragraph).  These queries measure pure pruning *overhead*.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Tuple
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.relation import DEFAULT_TUPLE_WIDTH, RelationStats
+from repro.graph import generators
+from repro.graph.query_graph import QueryGraph
+from repro.query import Query
+from repro.workload import steinbrunn
+
+__all__ = [
+    "QueryGenerator",
+    "generate_query",
+    "random_acyclic_query",
+    "random_cyclic_query",
+    "chain_query",
+    "star_query",
+    "cycle_query",
+    "clique_query",
+]
+
+#: Probability that an edge of a foreign-key workload is a true fk/key join.
+FK_EDGE_PROBABILITY = 0.90
+
+
+class QueryGenerator:
+    """Reproducible generator of complete queries (graph + catalog).
+
+    Parameters
+    ----------
+    seed:
+        Seed for the internal RNG; every generated query also records the
+        per-query seed so single queries can be regenerated.
+    join_scheme:
+        ``"fk"`` (default, the paper's preferred foreign-key scheme) or
+        ``"random"`` (pure Steinbrunn selectivities).
+    tuple_width:
+        Bytes per tuple handed to the cost model.
+    """
+
+    def __init__(
+        self,
+        seed: Optional[int] = None,
+        join_scheme: str = "fk",
+        tuple_width: int = DEFAULT_TUPLE_WIDTH,
+    ):
+        if join_scheme not in ("fk", "random"):
+            raise ValueError(f"unknown join scheme {join_scheme!r}")
+        self._rng = random.Random(seed)
+        self._seed = seed
+        self._join_scheme = join_scheme
+        self._tuple_width = tuple_width
+
+    # ------------------------------------------------------------------
+
+    def generate(
+        self, family: str, n: int, join_scheme: Optional[str] = None
+    ) -> Query:
+        """Generate one query of the given family with ``n`` relations.
+
+        ``join_scheme`` overrides the generator-wide scheme for this one
+        query; workload suites use this to mix foreign-key and random join
+        queries as the paper's workload does.
+        """
+        scheme = join_scheme if join_scheme is not None else self._join_scheme
+        if scheme not in ("fk", "random"):
+            raise ValueError(f"unknown join scheme {scheme!r}")
+        query_seed = self._rng.randrange(2**31)
+        rng = random.Random(query_seed)
+        try:
+            make_graph = generators.GRAPH_FAMILIES[family]
+        except KeyError:
+            raise ValueError(f"unknown graph family {family!r}") from None
+        graph = make_graph(n, rng)
+        if family == "star":
+            catalog = self._star_catalog(graph, rng)
+        else:
+            catalog = self._catalog(graph, rng, scheme)
+        return Query(graph=graph, catalog=catalog, family=family, seed=query_seed)
+
+    # ------------------------------------------------------------------
+    # Catalog construction
+    # ------------------------------------------------------------------
+
+    def _sample_relations(self, graph: QueryGraph, rng: random.Random):
+        relations = []
+        for index in range(graph.n_vertices):
+            cardinality = steinbrunn.sample_relation_size(rng)
+            degree = bin(graph.adjacency(index)).count("1")
+            domains = tuple(
+                min(steinbrunn.sample_domain_size(rng), cardinality)
+                for _ in range(max(1, degree))
+            )
+            relations.append(
+                RelationStats(
+                    cardinality=float(cardinality),
+                    tuple_width=self._tuple_width,
+                    domain_sizes=domains,
+                    name=f"R{index}",
+                )
+            )
+        return relations
+
+    def _random_selectivity(
+        self, left: RelationStats, right: RelationStats, rng: random.Random
+    ) -> float:
+        """Steinbrunn: ``1 / max(dom(A1), dom(A2))`` for random attributes."""
+        dom_left = rng.choice(left.domain_sizes)
+        dom_right = rng.choice(right.domain_sizes)
+        return 1.0 / max(dom_left, dom_right)
+
+    def _fk_selectivity(
+        self, left: RelationStats, right: RelationStats, rng: random.Random
+    ) -> float:
+        """Foreign-key join: result cardinality equals the fk side's.
+
+        ``|L >< R| = |L| * |R| * sel``; forcing the result to ``|fk side|``
+        means ``sel = 1 / |key side|``.  The key side is drawn uniformly.
+        """
+        key_side = left if rng.random() < 0.5 else right
+        return 1.0 / key_side.cardinality
+
+    def _catalog(
+        self, graph: QueryGraph, rng: random.Random, scheme: str
+    ) -> Catalog:
+        relations = self._sample_relations(graph, rng)
+        selectivities: Dict[Tuple[int, int], float] = {}
+        for u, v in sorted(graph.edges):
+            if scheme == "fk" and rng.random() < FK_EDGE_PROBABILITY:
+                selectivity = self._fk_selectivity(relations[u], relations[v], rng)
+            else:
+                selectivity = self._random_selectivity(relations[u], relations[v], rng)
+            selectivities[(u, v)] = min(1.0, selectivity)
+        return Catalog(relations, selectivities)
+
+    def _star_catalog(self, graph: QueryGraph, rng: random.Random) -> Catalog:
+        """Pruning-disabled star statistics (§V-B, last paragraph).
+
+        Vertex 0 is the hub (fact table).  Every edge ``(0, leaf)`` gets
+        selectivity ``1 / |leaf|`` so any join order yields the hub's
+        cardinality at every intermediate step, and all dimensions share
+        one sampled cardinality so every join order has *identical* cost —
+        no plan ever dominates, bounding never fires, and the runs measure
+        pure pruning overhead (the paper confirms this via avg_s = 1).
+        """
+        hub = RelationStats(
+            cardinality=float(steinbrunn.sample_relation_size(rng)),
+            tuple_width=self._tuple_width,
+            domain_sizes=(steinbrunn.sample_domain_size(rng),),
+            name="R0",
+        )
+        dimension_cardinality = float(steinbrunn.sample_relation_size(rng))
+        relations = [hub] + [
+            RelationStats(
+                cardinality=dimension_cardinality,
+                tuple_width=self._tuple_width,
+                domain_sizes=(steinbrunn.sample_domain_size(rng),),
+                name=f"R{index}",
+            )
+            for index in range(1, graph.n_vertices)
+        ]
+        selectivities = {
+            (u, v): 1.0 / relations[max(u, v)].cardinality
+            for u, v in sorted(graph.edges)
+        }
+        return Catalog(relations, selectivities)
+
+
+# ----------------------------------------------------------------------
+# Convenience one-shot constructors (the quickstart API)
+# ----------------------------------------------------------------------
+
+
+def generate_query(
+    family: str,
+    n: int,
+    seed: Optional[int] = None,
+    join_scheme: str = "fk",
+) -> Query:
+    """Generate a single query of ``family`` with ``n`` relations."""
+    return QueryGenerator(seed=seed, join_scheme=join_scheme).generate(family, n)
+
+
+def chain_query(n: int, seed: Optional[int] = None) -> Query:
+    return generate_query("chain", n, seed)
+
+
+def star_query(n: int, seed: Optional[int] = None) -> Query:
+    return generate_query("star", n, seed)
+
+
+def cycle_query(n: int, seed: Optional[int] = None) -> Query:
+    return generate_query("cycle", n, seed)
+
+
+def clique_query(n: int, seed: Optional[int] = None) -> Query:
+    return generate_query("clique", n, seed)
+
+
+def random_acyclic_query(n: int, seed: Optional[int] = None) -> Query:
+    return generate_query("acyclic", n, seed)
+
+
+def random_cyclic_query(n: int, seed: Optional[int] = None) -> Query:
+    return generate_query("cyclic", n, seed)

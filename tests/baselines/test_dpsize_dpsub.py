@@ -1,0 +1,55 @@
+"""Tests for the DPsize and DPsub extension baselines."""
+
+import pytest
+from hypothesis import given
+
+from repro.baselines.dpccp import DPccp
+from repro.baselines.dpsize import DPsize
+from repro.baselines.dpsub import DPsub
+from repro.cost.haas import HaasCostModel
+from tests.conftest import small_queries
+
+
+@pytest.mark.parametrize("algorithm_cls", [DPsize, DPsub])
+class TestAgainstDPccp:
+    @given(query=small_queries(max_n=7))
+    def test_same_optimal_cost(self, algorithm_cls, query):
+        reference = DPccp(query, HaasCostModel()).run()
+        plan = algorithm_cls(query, HaasCostModel()).run()
+        assert plan.cost == pytest.approx(reference.cost, rel=1e-9)
+
+    @given(query=small_queries(max_n=6))
+    def test_same_plan_class_count(self, algorithm_cls, query):
+        """All three DP variants build exactly the connected plan classes."""
+        reference = DPccp(query, HaasCostModel())
+        reference.run()
+        algorithm = algorithm_cls(query, HaasCostModel())
+        algorithm.run()
+        assert (
+            algorithm.stats.plan_classes_built
+            == reference.stats.plan_classes_built
+        )
+
+    def test_single_relation(self, algorithm_cls, generator):
+        query = generator.generate("chain", 1)
+        plan = algorithm_cls(query, HaasCostModel()).run()
+        assert plan.cost == 0.0
+        assert plan.vertex_set == 1
+
+
+class TestConsideredPairCounts:
+    def test_dpsub_considers_every_valid_split_once(self, small_query):
+        """DPsub's considered count equals the total |P_ccp_sym|."""
+        reference = DPccp(small_query, HaasCostModel())
+        reference.run()
+        algorithm = DPsub(small_query, HaasCostModel())
+        algorithm.run()
+        assert algorithm.stats.ccps_considered == reference.stats.ccps_enumerated
+
+    def test_dpsize_considers_at_least_every_ccp(self, small_query):
+        """DPsize tests more pairs than there are ccps (its inefficiency)."""
+        reference = DPccp(small_query, HaasCostModel())
+        reference.run()
+        algorithm = DPsize(small_query, HaasCostModel())
+        algorithm.run()
+        assert algorithm.stats.ccps_considered >= reference.stats.ccps_enumerated

@@ -1,0 +1,59 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.bench.ascii_charts import bar_chart, line_chart
+
+
+class TestLineChart:
+    def test_renders_all_series_markers(self):
+        chart = line_chart(
+            {
+                "fast": {5: 0.1, 6: 0.2, 7: 0.1},
+                "slow": {5: 1.5, 6: 2.0, 7: 4.0},
+            },
+            title="demo",
+        )
+        assert "demo" in chart
+        assert "* = fast" in chart
+        assert "o = slow" in chart
+        assert "#relations" in chart
+
+    def test_log_scale_spreads_magnitudes(self):
+        chart = line_chart({"a": {1: 0.01, 2: 10.0}}, height=10)
+        rows = [line for line in chart.splitlines() if "|" in line]
+        marked = [index for index, row in enumerate(rows) if "*" in row]
+        # the two points land near opposite ends of the y axis
+        assert max(marked) - min(marked) >= 7
+
+    def test_empty_series(self):
+        assert "(no data)" in line_chart({}, title="t")
+
+    def test_single_point(self):
+        chart = line_chart({"a": {4: 1.0}})
+        assert "*" in chart
+
+    def test_linear_scale(self):
+        chart = line_chart({"a": {1: 1.0, 2: 2.0}}, log_y=False)
+        assert "linear" in chart
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        chart = bar_chart({"small": 1.0, "big": 4.0}, width=40)
+        lines = chart.splitlines()
+        small_bar = next(line for line in lines if line.startswith("small"))
+        big_bar = next(line for line in lines if line.startswith("big"))
+        assert big_bar.count("#") == 40
+        assert small_bar.count("#") == 10
+
+    def test_values_printed(self):
+        chart = bar_chart({"a": 1.234}, unit="x")
+        assert "1.234x" in chart
+
+    def test_empty(self):
+        assert "(no data)" in bar_chart({}, title="t")
+
+    def test_zero_peak(self):
+        chart = bar_chart({"a": 0.0})
+        assert "#" not in chart

@@ -1,0 +1,47 @@
+"""Tests for the repro-bench CLI (list / run / report subcommands)."""
+
+import json
+
+import pytest
+
+from repro.bench.__main__ import main
+from repro.bench.experiments import EXPERIMENTS
+
+
+class TestList:
+    def test_lists_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in output
+
+
+class TestRun:
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["run", "figure99"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_run_one_experiment(self, tmp_path, capsys, monkeypatch):
+        # Patch in a fast fake so the CLI path is exercised without the
+        # real measurement cost.
+        from repro.bench.experiments import ExperimentResult
+
+        def fake_driver():
+            """A fast fake experiment."""
+            return ExperimentResult(
+                name="figure13", description="fake", text="FAKE TEXT",
+                data={"x": 1},
+            )
+
+        monkeypatch.setitem(EXPERIMENTS, "figure13", fake_driver)
+        assert main(["run", "figure13", "--results-dir", str(tmp_path)]) == 0
+        output = capsys.readouterr().out
+        assert "FAKE TEXT" in output
+        assert json.loads((tmp_path / "figure13.json").read_text()) == {"x": 1}
+        assert "fake" in (tmp_path / "figure13.txt").read_text()
+
+
+class TestReport:
+    def test_report_subcommand(self, tmp_path, capsys):
+        assert main(["report", "--results-dir", str(tmp_path)]) == 0
+        assert "Paper vs. measured" in capsys.readouterr().out

@@ -1,0 +1,40 @@
+"""Tests for the density-profile helpers."""
+
+import math
+
+import pytest
+
+from repro.bench.density import density_profile, render_density
+
+
+class TestDensityProfile:
+    def test_quartiles(self):
+        profile = density_profile("x", [0.1, 0.2, 0.3, 0.4])
+        assert profile.quartiles[0] <= profile.median <= profile.quartiles[2]
+        assert profile.median == pytest.approx(0.25)
+        assert profile.count == 4
+
+    def test_histogram_is_cumulative_partition(self):
+        profile = density_profile("x", [0.005, 0.05, 0.5, 5.0, 50.0])
+        total = sum(fraction for _, fraction in profile.histogram)
+        assert total == pytest.approx(1.0)
+        assert math.isinf(profile.histogram[-1][0])
+        # One value (50.0) exceeds the last finite edge (10x).
+        assert profile.histogram[-1][1] == pytest.approx(0.2)
+
+    def test_empty_series(self):
+        profile = density_profile("x", [])
+        assert profile.count == 0
+        assert all(fraction == 0 for _, fraction in profile.histogram)
+
+
+class TestRenderDensity:
+    def test_renders_all_labels(self):
+        profiles = [
+            density_profile("fast", [0.01, 0.02]),
+            density_profile("slow", [1.5, 2.5]),
+        ]
+        text = render_density(profiles)
+        assert "fast" in text and "slow" in text
+        assert "median" in text
+        assert "inf" in text

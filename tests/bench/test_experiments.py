@@ -1,0 +1,107 @@
+"""Smoke tests for the experiment drivers (tiny parameters)."""
+
+import json
+
+import pytest
+
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    EvaluationRun,
+    figure7,
+    figure8,
+    figure10,
+    figure13,
+    figure14,
+    figure15,
+    run_experiment,
+    table2,
+    table3,
+)
+from repro.workload.suite import FamilySpec, WorkloadSuite
+
+
+@pytest.fixture(scope="module")
+def tiny_run():
+    suite = WorkloadSuite(
+        [
+            FamilySpec("chain", sizes=(5,), queries_per_size=2),
+            FamilySpec("star", sizes=(5,), queries_per_size=2),
+        ],
+        seed=99,
+    )
+    return EvaluationRun(suite)
+
+
+class TestTables:
+    def test_table2_renders_and_serializes(self, tiny_run, tmp_path):
+        result = table2(tiny_run)
+        assert "DPccp" in result.text
+        path = result.save(tmp_path)
+        payload = json.loads(path.read_text())
+        assert "chain" in payload and "star" in payload
+
+    def test_table3_shares_the_run(self, tiny_run):
+        result = table3(tiny_run)
+        assert "avg_s" in result.text
+
+    def test_star_overhead_visible_in_table2_data(self, tiny_run):
+        """Pruning-disabled stars: APCBI builds every class (avg_s = 1)."""
+        data = tiny_run.data()
+        star = data["star"]["algorithms"]["TDMcC_APCBI"]
+        assert star["avg_s"] == pytest.approx(1.0)
+
+
+class TestScalingFigures:
+    def test_figure7_tiny(self):
+        result = figure7(sizes=(5, 6), queries_per_size=1)
+        assert "#relations" in result.text
+        assert "normed_time_by_size" in result.data
+        series = result.data["normed_time_by_size"]["TDMcC_APCBI"]
+        assert set(series) == {5, 6}
+
+    def test_figure10_star_overhead(self):
+        result = figure10(sizes=(5, 6), queries_per_size=1)
+        series = result.data["normed_time_by_size"]
+        # On pruning-disabled stars no algorithm can win big; the APCB
+        # variants pay overhead (normed time around or above 1).
+        assert all(v > 0.3 for v in series["TDMcL_APCB"].values())
+
+
+class TestFixedSizeFigures:
+    def test_figure13_tiny(self):
+        result = figure13(n_relations=7, n_queries=2)
+        assert result.data["n_relations"] == 7
+        assert "TDMcC_APCBI" in result.data["avg_normed_time"]
+
+    def test_figure8_density(self):
+        result = figure8(sizes=(5, 6), queries_per_size=1)
+        assert "median" in result.text
+        assert "TDMcC_APCBI" in result.data
+
+    def test_figure14_density(self):
+        result = figure14(n_relations=7, n_queries=2)
+        assert "TDMcC_APCBI" in result.data
+
+
+class TestAblation:
+    def test_figure15_tiny(self):
+        result = figure15(
+            acyclic_sizes=(6,), cyclic_sizes=(6,), queries_per_size=1
+        )
+        assert "APCB" in result.text
+        assert set(result.data) == {"acyclic", "cyclic"}
+        assert "APCBI" in result.data["acyclic"]
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {
+            "table2", "table3",
+            "figure7", "figure8", "figure9", "figure10", "figure11",
+            "figure12", "figure13", "figure14", "figure15",
+            "enumerator_overhead",
+        }
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("figure99")

@@ -1,0 +1,108 @@
+"""Tests for the measurement harness."""
+
+import pytest
+
+from repro.bench.harness import (
+    CHART_ALGORITHMS,
+    PAPER_ALGORITHMS,
+    AlgorithmSpec,
+    NormedSummary,
+    run_query_matrix,
+    run_workload,
+)
+from repro.workload.generator import QueryGenerator
+
+FAST = (
+    AlgorithmSpec("mincut_conservative", "none"),
+    AlgorithmSpec("mincut_conservative", "apcbi"),
+)
+
+
+class TestSpecs:
+    def test_paper_matrix_has_fifteen_combinations(self):
+        assert len(PAPER_ALGORITHMS) == 15
+
+    def test_chart_subset_matches_section_vc(self):
+        labels = [spec.label for spec in CHART_ALGORITHMS]
+        assert labels == [
+            "TDMcL", "TDMcL_APCB", "TDMcB_APCB", "TDMcB_APCBI", "TDMcC_APCBI",
+        ]
+
+    def test_display_override(self):
+        spec = AlgorithmSpec("mincut_lazy", "apcb", display="custom")
+        assert spec.label == "custom"
+
+
+class TestNormedSummary:
+    def test_of_values(self):
+        summary = NormedSummary.of([1.0, 3.0, 2.0])
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert summary.average == 2.0
+        assert summary.count == 3
+
+    def test_of_empty(self):
+        summary = NormedSummary.of([])
+        assert summary.count == 0
+        assert summary.average != summary.average  # NaN
+
+
+class TestRunQueryMatrix:
+    def test_measures_all_algorithms(self, small_query):
+        measurement = run_query_matrix(small_query, FAST)
+        assert set(measurement.normed_times) == {spec.label for spec in FAST}
+        assert all(v > 0 for v in measurement.normed_times.values())
+        assert measurement.dpccp_classes > 0
+
+    def test_success_counters_normalized(self, small_query):
+        measurement = run_query_matrix(small_query, FAST)
+        # Unpruned top-down builds exactly DPccp's classes.
+        assert measurement.normed_success["TDMcC"] == pytest.approx(1.0)
+        assert measurement.normed_success["TDMcC_APCBI"] <= 1.0 + 1e-9
+
+    def test_check_costs_can_be_disabled(self, small_query):
+        measurement = run_query_matrix(small_query, FAST, check_costs=False)
+        assert set(measurement.normed_times) == {spec.label for spec in FAST}
+
+    def test_config_override_flows_through(self, small_query):
+        from repro.core.advancements import AdvancementConfig
+
+        spec = AlgorithmSpec(
+            "mincut_conservative",
+            "apcbi",
+            config=AdvancementConfig.all_off(),
+            display="bare",
+        )
+        measurement = run_query_matrix(small_query, [spec])
+        assert "bare" in measurement.normed_times
+
+
+class TestRunWorkload:
+    @pytest.fixture
+    def workload(self):
+        generator = QueryGenerator(seed=3)
+        return [generator.generate("acyclic", n) for n in (5, 5, 6, 6)]
+
+    def test_summaries(self, workload):
+        measurement = run_workload(workload, FAST)
+        summary = measurement.normed_time_summary("TDMcC_APCBI")
+        assert summary.count == 4
+        assert summary.minimum <= summary.average <= summary.maximum
+
+    def test_by_size_buckets(self, workload):
+        measurement = run_workload(workload, FAST)
+        by_size = measurement.by_size("TDMcC")
+        assert set(by_size) == {5, 6}
+
+    def test_dpccp_by_size(self, workload):
+        measurement = run_workload(workload, FAST)
+        assert set(measurement.dpccp_by_size()) == {5, 6}
+
+    def test_progress_callback(self, workload):
+        seen = []
+        run_workload(workload, FAST, progress=lambda i, n: seen.append((i, n)))
+        assert seen == [(1, 4), (2, 4), (3, 4), (4, 4)]
+
+    def test_normed_times_series(self, workload):
+        measurement = run_workload(workload, FAST)
+        assert len(measurement.normed_times("TDMcC")) == 4

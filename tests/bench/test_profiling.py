@@ -1,0 +1,75 @@
+"""Tests for the per-class enumeration profiler."""
+
+import pytest
+
+from repro.bench.profiling import EnumerationProfile, InstrumentedPartitioning
+from repro.core.apcb import ApcbPlanGenerator
+from repro.core.apcbi import ApcbiPlanGenerator
+from repro.core.plangen import TopDownPlanGenerator
+from repro.cost.haas import HaasCostModel
+from repro.partitioning import MinCutConservative
+from repro.workload.generator import QueryGenerator
+
+
+@pytest.fixture
+def cascade_query():
+    """An fk cyclic query — the shape where APCB re-enumerates heavily."""
+    return QueryGenerator(seed=5).generate("cyclic", 9, "fk")
+
+
+def _profiled_run(generator_cls, query):
+    instrumented = InstrumentedPartitioning(MinCutConservative())
+    generator = generator_cls(query, instrumented, HaasCostModel())
+    generator.run()
+    return instrumented.profile
+
+
+class TestInstrumentedPartitioning:
+    def test_wrapping_preserves_emissions(self, small_query):
+        instrumented = InstrumentedPartitioning(MinCutConservative())
+        plain = list(
+            MinCutConservative().partitions(
+                small_query.graph, small_query.graph.all_vertices
+            )
+        )
+        wrapped = list(
+            instrumented.partitions(
+                small_query.graph, small_query.graph.all_vertices
+            )
+        )
+        assert wrapped == plain
+        assert instrumented.profile.ccps[small_query.graph.all_vertices] == len(
+            plain
+        )
+
+    def test_label_passthrough(self):
+        instrumented = InstrumentedPartitioning(MinCutConservative())
+        assert instrumented.label == "TDMcC"
+        assert "profile" in instrumented.name
+
+
+class TestCascadeDiagnosis:
+    def test_unpruned_enumeration_is_cascade_free(self, cascade_query):
+        profile = _profiled_run(TopDownPlanGenerator, cascade_query)
+        assert profile.cascade_factor() == pytest.approx(1.0)
+        assert profile.re_enumerated_classes() == []
+
+    def test_apcb_re_enumerates_and_apcbi_recovers(self, cascade_query):
+        """The §IV-D worst case made visible per class."""
+        apcb = _profiled_run(ApcbPlanGenerator, cascade_query)
+        apcbi = _profiled_run(ApcbiPlanGenerator, cascade_query)
+        assert apcb.cascade_factor() > apcbi.cascade_factor()
+        assert apcb.re_enumerated_classes(), "expected an APCB cascade here"
+
+    def test_render_mentions_cascade_factor(self, cascade_query):
+        profile = _profiled_run(ApcbPlanGenerator, cascade_query)
+        text = profile.render(limit=3)
+        assert "cascade factor" in text
+
+
+class TestEnumerationProfile:
+    def test_empty_profile(self):
+        profile = EnumerationProfile()
+        assert profile.cascade_factor() == 0.0
+        assert profile.total_passes == 0
+        assert "0 classes" in profile.render()

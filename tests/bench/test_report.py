@@ -1,0 +1,73 @@
+"""Tests for the paper-vs-measured report generator."""
+
+import json
+
+from repro.bench.report import CLAIMS, load_results, render_report
+
+
+def _fake_table2_payload():
+    def algo(avg, maximum=None, avg_s=0.5, max_f=0.1):
+        return {
+            "normed_time": {"min": avg / 2, "max": maximum or avg * 2, "avg": avg},
+            "avg_s": avg_s,
+            "max_s": 1.0,
+            "avg_f": 0.05,
+            "max_f": max_f,
+        }
+
+    families = {}
+    for family in ("chain", "star", "cycle", "clique", "acyclic", "cyclic"):
+        rows = {}
+        for label in ("TDMcL", "TDMcB", "TDMcC"):
+            rows[label] = algo(1.3)
+            rows[f"{label}_PCB"] = algo(0.8)
+            rows[f"{label}_APCB"] = algo(1.0, maximum=40.0, max_f=50.0)
+            rows[f"{label}_APCBI"] = algo(
+                0.3, maximum=1.2, avg_s=1.0 if family == "star" else 0.2
+            )
+            rows[f"{label}_APCBI_Opt"] = algo(0.25)
+        families[family] = {
+            "dpccp_seconds": {"min": 0.001, "max": 0.1, "avg": 0.01},
+            "algorithms": rows,
+            "queries": 10,
+        }
+    return families
+
+
+class TestLoadResults:
+    def test_loads_json_files(self, tmp_path):
+        (tmp_path / "table2.json").write_text(json.dumps({"x": 1}))
+        (tmp_path / "broken.json").write_text("{not json")
+        results = load_results(tmp_path)
+        assert results == {"table2": {"x": 1}}
+
+    def test_empty_directory(self, tmp_path):
+        assert load_results(tmp_path) == {}
+
+
+class TestRenderReport:
+    def test_without_artifacts_prompts_to_run(self, tmp_path):
+        text = render_report(tmp_path)
+        assert "run the experiments first" in text
+
+    def test_with_full_artifacts(self, tmp_path):
+        (tmp_path / "table2.json").write_text(json.dumps(_fake_table2_payload()))
+        (tmp_path / "figure15.json").write_text(
+            json.dumps({"acyclic": {"APCBI": 0.4, "APCBI_Opt": 0.35, "APCB": 1.0}})
+        )
+        text = render_report(tmp_path)
+        assert "| Claim | Paper | Measured |" in text
+        # APCB avg 1.0 vs APCBI avg 0.3 -> factor ~3.3 everywhere.
+        assert "3.3" in text
+        # Worst case 40x vs 1.2x.
+        assert "40.0x" in text
+        # Star counters pinned to 1.
+        assert "1.00-1.00" in text
+        # APCBI_Opt gain 12-13%.
+        assert "13%" in text or "12%" in text
+
+    def test_every_claim_has_paper_value(self):
+        for headline, paper_value, extractor in CLAIMS:
+            assert headline
+            assert paper_value
+            assert callable(extractor)

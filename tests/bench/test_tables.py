@@ -1,0 +1,43 @@
+"""Tests for table rendering."""
+
+from repro.bench.harness import AlgorithmSpec, run_workload
+from repro.bench.tables import render_series, render_table2, render_table3
+from repro.workload.generator import QueryGenerator
+
+FAST = (
+    AlgorithmSpec("mincut_conservative", "none"),
+    AlgorithmSpec("mincut_conservative", "apcbi"),
+)
+
+
+def _families():
+    generator = QueryGenerator(seed=4)
+    queries = [generator.generate("chain", 5) for _ in range(2)]
+    return {"chain": run_workload(queries, FAST)}
+
+
+class TestTable2:
+    def test_contains_all_labels_and_dpccp_row(self):
+        text = render_table2(_families(), [s.label for s in FAST])
+        assert "DPccp (seconds)" in text
+        assert "TDMcC" in text
+        assert "TDMcC_APCBI" in text
+        assert "chain min" in text and "chain avg" in text
+
+
+class TestTable3:
+    def test_contains_counter_columns(self):
+        text = render_table3(_families(), [s.label for s in FAST])
+        assert "avg_s" in text and "max_f" in text
+        assert "TDMcC_APCBI" in text
+
+
+class TestSeries:
+    def test_aligned_columns_and_missing_values(self):
+        text = render_series(
+            "title", "#rel",
+            {"A": {4: 1.0, 5: 2.0}, "B": {5: 3.0}},
+        )
+        assert "title" in text
+        lines = text.splitlines()
+        assert any("4" in line and "-" in line for line in lines)

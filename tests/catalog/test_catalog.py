@@ -1,0 +1,78 @@
+"""Tests for the statistics catalog."""
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.relation import RelationStats
+from repro.errors import CatalogError
+from repro.graph.query_graph import QueryGraph
+
+
+def _relations(*cards):
+    return [RelationStats(cardinality=c, name=f"R{i}") for i, c in enumerate(cards)]
+
+
+@pytest.fixture
+def catalog():
+    return Catalog(_relations(10, 20, 30), {(0, 1): 0.1, (1, 2): 0.5})
+
+
+class TestAccessors:
+    def test_cardinality(self, catalog):
+        assert catalog.cardinality(1) == 20
+
+    def test_relation_lookup(self, catalog):
+        assert catalog.relation(2).name == "R2"
+
+    def test_missing_relation_raises(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.relation(3)
+
+    def test_selectivity_orientation_free(self, catalog):
+        assert catalog.selectivity(0, 1) == 0.1
+        assert catalog.selectivity(1, 0) == 0.1
+
+    def test_missing_selectivity_raises(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.selectivity(0, 2)
+
+    def test_has_selectivity(self, catalog):
+        assert catalog.has_selectivity(2, 1)
+        assert not catalog.has_selectivity(0, 2)
+
+    def test_selectivities_returns_copy(self, catalog):
+        copy = catalog.selectivities
+        copy[(0, 2)] = 0.9
+        assert not catalog.has_selectivity(0, 2)
+
+
+class TestValidation:
+    def test_selectivity_out_of_range_rejected(self):
+        with pytest.raises(CatalogError):
+            Catalog(_relations(10, 20), {(0, 1): 0.0})
+        with pytest.raises(CatalogError):
+            Catalog(_relations(10, 20), {(0, 1): 1.5})
+
+    def test_validate_against_matching_graph(self, catalog):
+        catalog.validate_against(QueryGraph(3, [(0, 1), (1, 2)]))
+
+    def test_validate_against_wrong_size(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.validate_against(QueryGraph(2, [(0, 1)]))
+
+    def test_validate_against_missing_edge(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.validate_against(QueryGraph(3, [(0, 1), (0, 2)]))
+
+
+class TestRelabel:
+    def test_relabel_moves_stats_and_edges(self, catalog):
+        relabeled = catalog.relabel([2, 0, 1])  # old0->2, old1->0, old2->1
+        assert relabeled.cardinality(2) == 10
+        assert relabeled.cardinality(0) == 20
+        assert relabeled.selectivity(2, 0) == 0.1  # old (0,1)
+        assert relabeled.selectivity(0, 1) == 0.5  # old (1,2)
+
+    def test_relabel_identity(self, catalog):
+        relabeled = catalog.relabel([0, 1, 2])
+        assert relabeled.selectivities == catalog.selectivities

@@ -1,0 +1,100 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, settings, strategies as st
+
+from repro.graph import generators
+from repro.graph.query_graph import QueryGraph
+from repro.workload.generator import QueryGenerator
+
+# Keep hypothesis deterministic-ish and fast for CI-style runs.
+settings.register_profile(
+    "repro",
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def connected_graphs(draw, min_vertices: int = 2, max_vertices: int = 8):
+    """Random connected query graphs: a random tree plus random extras."""
+    n = draw(st.integers(min_vertices, max_vertices))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = random.Random(seed)
+    edges = {(rng.randrange(i), i) for i in range(1, n)}
+    extra = draw(st.integers(0, max(0, n * (n - 1) // 2 - len(edges))))
+    for _ in range(extra):
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    return QueryGraph(n, edges)
+
+
+@st.composite
+def small_queries(draw, families=("chain", "star", "cycle", "clique", "acyclic", "cyclic"),
+                  min_n: int = 3, max_n: int = 7):
+    """Random complete queries (graph + catalog) across all families."""
+    family = draw(st.sampled_from(families))
+    n = draw(st.integers(max(min_n, 3 if family in ("cycle", "cyclic") else min_n), max_n))
+    seed = draw(st.integers(0, 2**31 - 1))
+    scheme = draw(st.sampled_from(("fk", "random")))
+    return QueryGenerator(seed=seed).generate(family, n, scheme)
+
+
+# ----------------------------------------------------------------------
+# Plain fixtures
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def rng():
+    return random.Random(1234)
+
+
+@pytest.fixture
+def chain5():
+    return generators.chain_graph(5)
+
+
+@pytest.fixture
+def star5():
+    return generators.star_graph(5)
+
+
+@pytest.fixture
+def cycle5():
+    return generators.cycle_graph(5)
+
+
+@pytest.fixture
+def clique5():
+    return generators.clique_graph(5)
+
+
+@pytest.fixture
+def generator():
+    return QueryGenerator(seed=42)
+
+
+@pytest.fixture
+def small_query(generator):
+    """A fixed 6-relation random acyclic query."""
+    return generator.generate("acyclic", 6)
+
+
+@pytest.fixture
+def cyclic_query(generator):
+    """A fixed 7-relation random cyclic query."""
+    return generator.generate("cyclic", 7)

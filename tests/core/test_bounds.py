@@ -1,0 +1,55 @@
+"""Tests for the lB / uB / attempts bookkeeping."""
+
+from repro.core.bounds import BoundsTable
+
+
+class TestLowerBounds:
+    def test_unset_reads_zero(self):
+        assert BoundsTable().lower(0b11) == 0.0
+
+    def test_raise_lower_is_monotone(self):
+        bounds = BoundsTable()
+        bounds.raise_lower(0b11, 10.0)
+        bounds.raise_lower(0b11, 5.0)  # lower value ignored
+        assert bounds.lower(0b11) == 10.0
+        bounds.raise_lower(0b11, 20.0)
+        assert bounds.lower(0b11) == 20.0
+
+
+class TestUpperBounds:
+    def test_unset_is_none_not_infinity(self):
+        """DESIGN.md §4: uB must have an explicit unknown state."""
+        assert BoundsTable().upper(0b11) is None
+
+    def test_lower_upper_is_monotone_downward(self):
+        bounds = BoundsTable()
+        bounds.lower_upper(0b11, 10.0)
+        bounds.lower_upper(0b11, 20.0)  # higher value ignored
+        assert bounds.upper(0b11) == 10.0
+        bounds.lower_upper(0b11, 5.0)
+        assert bounds.upper(0b11) == 5.0
+
+    def test_seeded_upper_bounds(self):
+        bounds = BoundsTable({0b11: 7.0})
+        assert bounds.upper(0b11) == 7.0
+        assert bounds.n_upper() == 1
+
+
+class TestAttempts:
+    def test_counting(self):
+        bounds = BoundsTable()
+        assert bounds.attempts(0b11) == 0
+        bounds.count_attempt(0b11)
+        bounds.count_attempt(0b11)
+        assert bounds.attempts(0b11) == 2
+        assert bounds.attempts(0b101) == 0
+
+
+class TestDiagnostics:
+    def test_counts(self):
+        bounds = BoundsTable()
+        bounds.raise_lower(1, 1.0)
+        bounds.raise_lower(2, 1.0)
+        bounds.lower_upper(1, 5.0)
+        assert bounds.n_lower() == 2
+        assert bounds.n_upper() == 1

@@ -1,0 +1,113 @@
+"""Tests for the optimizer facade."""
+
+import pytest
+
+from repro.core.advancements import AdvancementConfig
+from repro.core.optimizer import (
+    Optimizer,
+    algorithm_label,
+    optimize,
+    run_dpccp,
+)
+from repro.cost.cout import CoutCostModel
+from repro.errors import UnknownAlgorithmError
+
+
+class TestValidation:
+    def test_unknown_enumerator_rejected(self):
+        with pytest.raises(UnknownAlgorithmError):
+            Optimizer(enumerator="mincut_psychic")
+
+    def test_unknown_pruning_rejected(self):
+        with pytest.raises(UnknownAlgorithmError):
+            Optimizer(pruning="clairvoyance")
+
+
+class TestLabels:
+    def test_paper_names(self):
+        assert algorithm_label("mincut_conservative", "apcbi") == "TDMcC_APCBI"
+        assert algorithm_label("mincut_lazy", "none") == "TDMcL"
+        assert algorithm_label("mincut_branch", "apcbi_opt") == "TDMcB_APCBI_Opt"
+
+    def test_unknown_pruning_label_rejected(self):
+        with pytest.raises(UnknownAlgorithmError):
+            algorithm_label("mincut_lazy", "bogus")
+
+    def test_result_label(self, small_query):
+        result = optimize(small_query, pruning="apcb")
+        assert result.label == "TDMcC_APCB"
+
+    def test_dpccp_label(self, small_query):
+        assert run_dpccp(small_query).label == "DPccp"
+
+
+class TestResultEnvelope:
+    def test_fields(self, small_query):
+        result = optimize(small_query)
+        assert result.plan.vertex_set == small_query.graph.all_vertices
+        assert result.cost == result.plan.cost
+        assert result.elapsed > 0
+        assert result.memo_entries >= small_query.n_relations
+        assert result.query is small_query
+        assert result.enumerator == "mincut_conservative"
+        assert result.pruning == "apcbi"
+
+    def test_explain_renders_plan(self, small_query):
+        text = optimize(small_query).explain()
+        assert "Scan" in text and "Join" in text
+
+
+class TestRenumberingPath:
+    def test_plan_relabeled_back_to_original_indices(self, cyclic_query):
+        result = optimize(
+            cyclic_query,
+            pruning="apcbi",
+            config=AdvancementConfig.all_on(),
+        )
+        assert sorted(result.plan.relation_indices()) == list(
+            range(cyclic_query.n_relations)
+        )
+
+    def test_renumber_skipped_for_tiny_queries(self, generator):
+        query = generator.generate("chain", 2)
+        result = optimize(query, pruning="apcbi")
+        assert result.plan.vertex_set == 0b11
+
+    def test_renumber_off_still_optimal(self, cyclic_query):
+        with_remap = optimize(cyclic_query, pruning="apcbi")
+        without = optimize(
+            cyclic_query,
+            pruning="apcbi",
+            config=AdvancementConfig.all_but("renumber_graph"),
+        )
+        assert with_remap.cost == pytest.approx(without.cost)
+
+
+class TestApcbiOpt:
+    def test_matches_apcbi_cost(self, cyclic_query):
+        apcbi = optimize(cyclic_query, pruning="apcbi")
+        opt = optimize(cyclic_query, pruning="apcbi_opt")
+        assert opt.cost == pytest.approx(apcbi.cost)
+
+    def test_oracle_time_excluded_from_elapsed(self, cyclic_query):
+        """APCBI_Opt's elapsed must not include the DPccp pre-pass; as a
+        proxy, it should stay within a small factor of plain APCBI."""
+        apcbi = optimize(cyclic_query, pruning="apcbi")
+        opt = optimize(cyclic_query, pruning="apcbi_opt")
+        assert opt.elapsed < 20 * max(apcbi.elapsed, 1e-4)
+
+
+class TestCostModelInjection:
+    def test_cout_factory(self, small_query):
+        result = optimize(small_query, cost_model_factory=CoutCostModel)
+        baseline = run_dpccp(small_query, cost_model_factory=CoutCostModel)
+        assert result.cost == pytest.approx(baseline.cost)
+
+
+class TestOptimizerReuse:
+    def test_one_optimizer_many_queries(self, generator):
+        optimizer = Optimizer(pruning="apcbi")
+        for family in ("chain", "cycle", "acyclic"):
+            query = generator.generate(family, 6)
+            baseline = run_dpccp(query)
+            assert optimizer.optimize(query).cost == pytest.approx(baseline.cost)

@@ -1,0 +1,38 @@
+"""Tests for the C_out cost model."""
+
+import pytest
+
+from repro.cost.cout import CoutCostModel
+from repro.cost.statistics import StatisticsProvider
+
+
+class TestBinding:
+    def test_unbound_model_raises(self, small_query):
+        model = CoutCostModel()
+        provider = StatisticsProvider(small_query)
+        with pytest.raises(RuntimeError):
+            model.join_cost(provider.stats(0b01), provider.stats(0b10))
+
+    def test_bind_returns_self(self, small_query):
+        model = CoutCostModel()
+        assert model.bind(StatisticsProvider(small_query)) is model
+
+
+class TestSemantics:
+    def test_cost_is_output_cardinality(self, small_query):
+        provider = StatisticsProvider(small_query)
+        model = CoutCostModel().bind(provider)
+        left, right = provider.stats(0b01), provider.stats(0b10)
+        assert model.join_cost(left, right) == provider.cardinality(0b11)
+
+    def test_symmetric(self, small_query):
+        provider = StatisticsProvider(small_query)
+        model = CoutCostModel().bind(provider)
+        left, right = provider.stats(0b01), provider.stats(0b10)
+        assert model.join_cost(left, right) == model.join_cost(right, left)
+
+    def test_lower_bound_is_exact(self, small_query):
+        provider = StatisticsProvider(small_query)
+        model = CoutCostModel().bind(provider)
+        left, right = provider.stats(0b01), provider.stats(0b10)
+        assert model.lower_bound(left, right) == model.join_cost(left, right)

@@ -1,0 +1,88 @@
+"""Tests for intermediate-result statistics and cardinality estimation."""
+
+import pytest
+from hypothesis import given
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.relation import RelationStats
+from repro.cost.statistics import IntermediateStats, StatisticsProvider
+from repro.graph import bitset
+from repro.graph.query_graph import QueryGraph
+from repro.query import Query
+from tests.conftest import small_queries
+
+
+@pytest.fixture
+def triangle_query():
+    graph = QueryGraph(3, [(0, 1), (1, 2), (0, 2)])
+    catalog = Catalog(
+        [
+            RelationStats(cardinality=100, name="A"),
+            RelationStats(cardinality=200, name="B"),
+            RelationStats(cardinality=50, name="C"),
+        ],
+        {(0, 1): 0.01, (1, 2): 0.1, (0, 2): 0.5},
+    )
+    return Query(graph=graph, catalog=catalog)
+
+
+class TestSingletons:
+    def test_base_relation_stats(self, triangle_query):
+        provider = StatisticsProvider(triangle_query)
+        stats = provider.stats(0b001)
+        assert stats.cardinality == 100
+        assert stats.pages >= 1
+
+
+class TestIndependenceModel:
+    def test_pair_cardinality(self, triangle_query):
+        provider = StatisticsProvider(triangle_query)
+        assert provider.cardinality(0b011) == pytest.approx(100 * 200 * 0.01)
+
+    def test_triple_applies_all_edges(self, triangle_query):
+        provider = StatisticsProvider(triangle_query)
+        expected = 100 * 200 * 50 * 0.01 * 0.1 * 0.5
+        assert provider.cardinality(0b111) == pytest.approx(expected)
+
+    def test_join_stats_equals_union_stats(self, triangle_query):
+        provider = StatisticsProvider(triangle_query)
+        assert provider.join_stats(0b001, 0b010) is provider.stats(0b011)
+
+    def test_width_is_sum_of_member_widths(self, triangle_query):
+        provider = StatisticsProvider(triangle_query)
+        assert provider.stats(0b111).tuple_width == 300
+
+    @given(small_queries())
+    def test_cardinality_is_order_independent(self, query):
+        """The plan-class cardinality is a function of the set alone."""
+        provider = StatisticsProvider(query)
+        full = query.graph.all_vertices
+        direct = provider.cardinality(full)
+        fresh = StatisticsProvider(query)
+        # Touch subsets first in a different order, then the full set.
+        for index in range(query.n_relations):
+            fresh.cardinality(bitset.singleton(index))
+        assert fresh.cardinality(full) == pytest.approx(direct)
+
+
+class TestCaching:
+    def test_stats_are_cached(self, triangle_query):
+        provider = StatisticsProvider(triangle_query)
+        assert provider.stats(0b011) is provider.stats(0b011)
+
+    def test_cache_size_grows(self, triangle_query):
+        provider = StatisticsProvider(triangle_query)
+        before = provider.cache_size()
+        provider.stats(0b011)
+        assert provider.cache_size() == before + 1
+
+
+class TestIntermediateStats:
+    def test_negative_cardinality_rejected(self):
+        with pytest.raises(ValueError):
+            IntermediateStats(vertex_set=1, cardinality=-1, tuple_width=10, pages=1)
+
+    def test_pages_have_floor_of_one(self, triangle_query):
+        provider = StatisticsProvider(triangle_query)
+        # Selectivities shrink the result below one tuple; pages stay >= 1.
+        assert provider.stats(0b111).pages >= 1.0

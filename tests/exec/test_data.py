@@ -1,0 +1,89 @@
+"""Tests for synthetic data generation."""
+
+import pytest
+from hypothesis import given
+
+from repro.exec.data import synthesize
+from repro.workload.generator import generate_query
+from tests.conftest import small_queries
+
+
+class TestScaling:
+    def test_row_budget_respected(self):
+        query = generate_query("cyclic", 8, seed=5)
+        database = synthesize(query, row_budget=1000)
+        assert sum(t.n_rows for t in database.tables) <= 1100  # rounding slack
+
+    def test_small_queries_materialize_fully(self):
+        query = generate_query("chain", 3, seed=1)
+        total = sum(
+            query.catalog.cardinality(i) for i in range(query.n_relations)
+        )
+        if total <= 100_000:
+            database = synthesize(query, row_budget=200_000)
+            for index, table in enumerate(database.tables):
+                assert table.n_rows == round(query.catalog.cardinality(index))
+
+    def test_every_relation_has_at_least_one_row(self):
+        query = generate_query("clique", 6, seed=9)
+        database = synthesize(query, row_budget=50)
+        assert all(t.n_rows >= 1 for t in database.tables)
+
+
+class TestColumns:
+    def test_one_column_per_incident_edge(self, small_query):
+        database = synthesize(small_query, row_budget=500)
+        for relation in range(small_query.n_relations):
+            table = database.table(relation)
+            degree = bin(small_query.graph.adjacency(relation)).count("1")
+            assert len(table.columns) == degree
+            for row in table.rows:
+                assert len(row) == degree
+
+    def test_column_lookup_is_orientation_free(self, small_query):
+        database = synthesize(small_query, row_budget=500)
+        u, v = sorted(small_query.graph.edges)[0]
+        assert database.table(u).column_of((u, v)) == database.table(u).column_of(
+            (v, u)
+        )
+
+
+class TestForeignKeys:
+    def test_fk_columns_reference_existing_keys(self):
+        query = generate_query("chain", 5, seed=3, join_scheme="fk")
+        database = synthesize(query, row_budget=2000, seed=7)
+        for u, v in sorted(query.graph.edges):
+            selectivity = query.catalog.selectivity(u, v)
+            key_side = None
+            for side in (u, v):
+                if abs(selectivity - 1.0 / query.catalog.cardinality(side)) < 1e-12:
+                    key_side = side
+                    break
+            if key_side is None:
+                continue
+            fk_side = v if key_side == u else u
+            keys = {
+                row[database.table(key_side).column_of((u, v))]
+                for row in database.table(key_side).rows
+            }
+            for row in database.table(fk_side).rows:
+                assert row[database.table(fk_side).column_of((u, v))] in keys
+
+
+class TestScaledQuery:
+    def test_scaled_catalog_matches_tables(self, small_query):
+        database = synthesize(small_query, row_budget=800)
+        for relation in range(small_query.n_relations):
+            assert database.scaled_query.catalog.cardinality(relation) == float(
+                database.table(relation).n_rows
+            )
+
+    def test_scaled_query_same_graph(self, small_query):
+        database = synthesize(small_query, row_budget=800)
+        assert database.scaled_query.graph == small_query.graph
+
+    @given(query=small_queries(max_n=6))
+    def test_determinism_under_seed(self, query):
+        a = synthesize(query, row_budget=300, seed=11)
+        b = synthesize(query, row_budget=300, seed=11)
+        assert [t.rows for t in a.tables] == [t.rows for t in b.tables]

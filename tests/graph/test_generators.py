@@ -1,0 +1,101 @@
+"""Tests for the graph-shape generators."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GraphError
+from repro.graph import generators
+
+
+class TestChain:
+    def test_edge_count(self):
+        assert len(generators.chain_graph(6).edges) == 5
+
+    def test_shape(self):
+        graph = generators.chain_graph(4)
+        assert graph.edges == frozenset({(0, 1), (1, 2), (2, 3)})
+
+    def test_single_relation_allowed(self):
+        assert generators.chain_graph(1).n_vertices == 1
+
+    def test_zero_rejected(self):
+        with pytest.raises(GraphError):
+            generators.chain_graph(0)
+
+
+class TestStar:
+    def test_hub_is_vertex_zero(self):
+        graph = generators.star_graph(5)
+        assert all(u == 0 for u, _ in graph.edges)
+
+    def test_edge_count(self):
+        assert len(generators.star_graph(7).edges) == 6
+
+
+class TestCycle:
+    def test_edge_count_equals_vertices(self):
+        assert len(generators.cycle_graph(6).edges) == 6
+
+    def test_every_vertex_has_degree_two(self):
+        graph = generators.cycle_graph(5)
+        for v in range(5):
+            assert bin(graph.adjacency(v)).count("1") == 2
+
+    def test_too_small_rejected(self):
+        with pytest.raises(GraphError):
+            generators.cycle_graph(2)
+
+
+class TestClique:
+    def test_edge_count(self):
+        assert len(generators.clique_graph(6).edges) == 15
+
+    def test_all_pairs_joined(self):
+        graph = generators.clique_graph(4)
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert graph.has_edge(i, j)
+
+
+class TestRandomAcyclic:
+    @given(st.integers(2, 12), st.integers(0, 2**31 - 1))
+    def test_is_a_connected_tree(self, n, seed):
+        graph = generators.random_acyclic_graph(n, random.Random(seed))
+        assert len(graph.edges) == n - 1
+        assert graph.is_connected(graph.all_vertices)
+
+    def test_deterministic_under_seed(self):
+        a = generators.random_acyclic_graph(8, random.Random(5))
+        b = generators.random_acyclic_graph(8, random.Random(5))
+        assert a == b
+
+
+class TestRandomCyclic:
+    @given(st.integers(3, 12), st.integers(0, 2**31 - 1))
+    def test_is_connected_with_a_cycle(self, n, seed):
+        graph = generators.random_cyclic_graph(n, rng=random.Random(seed))
+        assert graph.is_connected(graph.all_vertices)
+        assert len(graph.edges) >= n  # spanning tree + at least one extra
+
+    def test_extra_edges_parameter(self):
+        graph = generators.random_cyclic_graph(6, extra_edges=2, rng=random.Random(1))
+        assert len(graph.edges) == 7
+
+    def test_extra_edges_capped_at_clique(self):
+        graph = generators.random_cyclic_graph(4, extra_edges=100, rng=random.Random(1))
+        assert len(graph.edges) == 6
+
+
+class TestFamilyRegistry:
+    def test_all_families_present(self):
+        assert set(generators.GRAPH_FAMILIES) == {
+            "chain", "star", "cycle", "clique", "acyclic", "cyclic",
+        }
+
+    @pytest.mark.parametrize("family", sorted(generators.GRAPH_FAMILIES))
+    def test_each_family_generates_connected_graph(self, family):
+        graph = generators.GRAPH_FAMILIES[family](5, random.Random(3))
+        assert graph.n_vertices == 5
+        assert graph.is_connected(graph.all_vertices)

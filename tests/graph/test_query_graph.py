@@ -1,0 +1,131 @@
+"""Tests for QueryGraph: construction, neighborhoods, connectivity."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DisconnectedGraphError, GraphError
+from repro.graph import bitset
+from repro.graph.query_graph import QueryGraph
+from tests.conftest import connected_graphs
+
+
+class TestConstruction:
+    def test_basic_properties(self, chain5):
+        assert chain5.n_vertices == 5
+        assert chain5.all_vertices == 0b11111
+        assert (0, 1) in chain5.edges
+        assert chain5.has_edge(1, 2)
+        assert not chain5.has_edge(0, 4)
+
+    def test_duplicate_and_reversed_edges_normalize(self):
+        graph = QueryGraph(3, [(0, 1), (1, 0), (1, 2), (1, 2)])
+        assert graph.edges == frozenset({(0, 1), (1, 2)})
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            QueryGraph(3, [(1, 1)])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(GraphError):
+            QueryGraph(3, [(0, 3)])
+
+    def test_zero_vertices_rejected(self):
+        with pytest.raises(GraphError):
+            QueryGraph(0, [])
+
+    def test_equality_and_hash(self):
+        a = QueryGraph(3, [(0, 1), (1, 2)])
+        b = QueryGraph(3, [(1, 2), (0, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != QueryGraph(3, [(0, 1)])
+
+    def test_repr_mentions_edges(self):
+        assert "edges=" in repr(QueryGraph(2, [(0, 1)]))
+
+
+class TestNeighborhood:
+    def test_single_vertex(self, chain5):
+        assert chain5.neighborhood(0b00001) == 0b00010
+        assert chain5.neighborhood(0b00100) == 0b01010
+
+    def test_of_set_excludes_members(self, chain5):
+        # N({1, 2}) = {0, 3}
+        assert chain5.neighborhood(0b00110) == 0b01001
+
+    def test_restricted_to_within(self, chain5):
+        assert chain5.neighborhood(0b00110, within=0b01000) == 0b01000
+        assert chain5.neighborhood(0b00110, within=0b10000) == 0
+
+    def test_star_hub_sees_all_leaves(self, star5):
+        assert star5.neighborhood(0b00001) == 0b11110
+
+    def test_empty_set_has_empty_neighborhood(self, chain5):
+        assert chain5.neighborhood(0) == 0
+
+
+class TestConnectivity:
+    def test_connected_subsets_of_chain(self, chain5):
+        assert chain5.is_connected(0b00111)
+        assert not chain5.is_connected(0b00101)  # {0, 2}: gap at 1
+        assert chain5.is_connected(0b00001)
+        assert not chain5.is_connected(0)
+
+    def test_connected_components(self, chain5):
+        parts = chain5.connected_components(0b11011)  # {0,1} and {3,4}
+        assert sorted(parts) == [0b00011, 0b11000]
+
+    def test_components_of_connected_set_is_single(self, chain5):
+        assert chain5.connected_components(0b00111) == [0b00111]
+
+    def test_are_connected(self, chain5):
+        assert chain5.are_connected(0b00011, 0b00100)
+        assert not chain5.are_connected(0b00001, 0b10000)
+
+    def test_require_connected_raises(self, chain5):
+        with pytest.raises(DisconnectedGraphError):
+            chain5.require_connected(0b00101)
+        chain5.require_connected(0b00011)  # no raise
+
+    @given(connected_graphs())
+    def test_full_vertex_set_is_connected(self, graph):
+        assert graph.is_connected(graph.all_vertices)
+
+    @given(connected_graphs(), st.integers(0, 2**8 - 1))
+    def test_components_partition_the_subset(self, graph, raw):
+        subset = raw & graph.all_vertices
+        parts = graph.connected_components(subset)
+        union = 0
+        for part in parts:
+            assert graph.is_connected(part)
+            assert union & part == 0
+            union |= part
+        assert union == subset
+
+
+class TestEdgeIteration:
+    def test_edges_between(self, cycle5):
+        between = set(cycle5.edges_between(0b00011, 0b11100))
+        assert between == {(1, 2), (0, 4)}
+
+    def test_edges_within(self, cycle5):
+        inside = set(cycle5.edges_within(0b00111))
+        assert inside == {(0, 1), (1, 2)}
+
+
+class TestRelabel:
+    def test_relabel_reverses_chain(self, chain5):
+        relabeled = chain5.relabel([4, 3, 2, 1, 0])
+        assert relabeled.edges == chain5.edges  # chain is symmetric
+
+    def test_relabel_moves_star_hub(self, star5):
+        relabeled = star5.relabel([4, 0, 1, 2, 3])
+        assert relabeled.neighborhood(1 << 4) == 0b01111
+
+    def test_relabel_rejects_non_permutation(self, chain5):
+        with pytest.raises(GraphError):
+            chain5.relabel([0, 0, 1, 2, 3])
+
+    @given(connected_graphs(max_vertices=6))
+    def test_relabel_identity_is_noop(self, graph):
+        assert graph.relabel(list(range(graph.n_vertices))) == graph

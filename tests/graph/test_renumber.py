@@ -1,0 +1,73 @@
+"""Tests for the advancement-6 renumbering helpers."""
+
+from hypothesis import given, strategies as st
+
+from repro.graph import bitset
+from repro.graph.renumber import (
+    bfs_leaf_order,
+    invert_mapping,
+    remap_bitset,
+    renumber_mapping,
+)
+from repro.plans.join_tree import JoinNode, LeafNode
+
+
+def _leaf(i):
+    return LeafNode(i, 10.0)
+
+
+def _join(left, right):
+    return JoinNode(left, right, cardinality=10.0, operator_cost=1.0)
+
+
+class TestBfsLeafOrder:
+    def test_left_deep_tree(self):
+        # ((0 x 1) x 2): BFS visits the root, then (0 x 1), then leaf 2.
+        tree = _join(_join(_leaf(0), _leaf(1)), _leaf(2))
+        assert bfs_leaf_order(tree) == [2, 0, 1]
+
+    def test_bushy_tree(self):
+        tree = _join(_join(_leaf(0), _leaf(1)), _join(_leaf(2), _leaf(3)))
+        assert bfs_leaf_order(tree) == [0, 1, 2, 3]
+
+    def test_single_leaf(self):
+        assert bfs_leaf_order(_leaf(4)) == [4]
+
+
+class TestRenumberMapping:
+    def test_is_a_permutation(self):
+        tree = _join(_join(_leaf(2), _leaf(0)), _leaf(1))
+        mapping = renumber_mapping(tree, 3)
+        assert sorted(mapping) == [0, 1, 2]
+
+    def test_bfs_order_gets_small_indices(self):
+        tree = _join(_join(_leaf(2), _leaf(0)), _leaf(1))
+        # BFS leaf order: 1, 2, 0 -> new indices 1->0, 2->1, 0->2.
+        assert renumber_mapping(tree, 3) == [2, 0, 1]
+
+    def test_missing_relations_get_trailing_indices(self):
+        mapping = renumber_mapping(_leaf(1), 3)
+        assert mapping[1] == 0
+        assert sorted(mapping) == [0, 1, 2]
+
+
+class TestInvertMapping:
+    @given(st.permutations(list(range(6))))
+    def test_inverse_composes_to_identity(self, mapping):
+        inverse = invert_mapping(mapping)
+        assert [inverse[mapping[i]] for i in range(6)] == list(range(6))
+
+
+class TestRemapBitset:
+    def test_simple_remap(self):
+        # vertices {0, 2} under mapping [2, 0, 1] -> {2, 1}
+        assert remap_bitset(0b101, [2, 0, 1]) == 0b110
+
+    @given(
+        st.permutations(list(range(8))),
+        st.integers(0, 2**8 - 1),
+    )
+    def test_remap_preserves_cardinality_and_inverts(self, mapping, value):
+        remapped = remap_bitset(value, mapping)
+        assert bitset.bit_count(remapped) == bitset.bit_count(value)
+        assert remap_bitset(remapped, invert_mapping(mapping)) == value

@@ -1,0 +1,92 @@
+"""Tests for the hypergraph optimizer."""
+
+import pytest
+from hypothesis import given
+
+from repro.baselines.dpccp import DPccp
+from repro.cost.haas import HaasCostModel
+from repro.cost.statistics import StatisticsProvider
+from repro.errors import OptimizationError
+from repro.hyper.hypergraph import Hyperedge, Hypergraph, from_query_graph
+from repro.hyper.hyperdp import HyperDP
+from repro.plans.builder import PlanBuilder
+from tests.conftest import small_queries
+
+
+def _operator_cost_of(query):
+    builder = PlanBuilder(StatisticsProvider(query), HaasCostModel())
+    return builder.operator_cost
+
+
+class TestAgainstDPccpOnSimpleGraphs:
+    @given(query=small_queries(max_n=7))
+    def test_same_optimal_cost(self, query):
+        """On lifted simple graphs HyperDP must reproduce DPccp exactly."""
+        reference = DPccp(query, HaasCostModel()).run()
+        optimizer = HyperDP(
+            from_query_graph(query.graph), _operator_cost_of(query)
+        )
+        plan = optimizer.run()
+        assert plan.cost == pytest.approx(reference.cost, rel=1e-9)
+        assert plan.vertex_set == query.graph.all_vertices
+
+    @given(query=small_queries(max_n=6))
+    def test_same_plan_class_count(self, query):
+        reference = DPccp(query, HaasCostModel())
+        reference.run()
+        optimizer = HyperDP(
+            from_query_graph(query.graph), _operator_cost_of(query)
+        )
+        optimizer.run()
+        assert optimizer.n_plan_classes() == reference.stats.plan_classes_built
+
+
+class TestComplexPredicates:
+    def test_complex_edge_forces_grouping(self):
+        """R0 -(complex)- {R1, R2} with a simple R1-R2 edge: every plan
+        must join R1 with R2 before R0 can join in."""
+        graph = Hypergraph(
+            3, [Hyperedge(0b010, 0b100), Hyperedge(0b001, 0b110)]
+        )
+        optimizer = HyperDP(graph, lambda left, right: 1.0)
+        plan = optimizer.run()
+        assert plan.cost == 2.0  # exactly two joins
+        assert plan.sexpr() in ("(R0 x (R1 x R2))", "((R1 x R2) x R0)")
+
+    def test_undecomposable_hypergraph_rejected(self):
+        """A single 3-way hyperedge admits no binary join at all."""
+        graph = Hypergraph(3, [Hyperedge(0b001, 0b110)])
+        optimizer = HyperDP(graph, lambda left, right: 1.0)
+        with pytest.raises(OptimizationError, match="no cross-product-free"):
+            optimizer.run()
+
+    def test_disconnected_hypergraph_rejected(self):
+        graph = Hypergraph(3, [Hyperedge(0b001, 0b010)])  # R2 isolated
+        with pytest.raises(OptimizationError, match="disconnected"):
+            HyperDP(graph, lambda left, right: 1.0).run()
+
+    def test_cost_callback_drives_plan_choice(self):
+        """A cost function that penalizes one split flips the plan."""
+        # Chain R0 - R1 - R2 with controllable costs.
+        graph = Hypergraph(
+            3, [Hyperedge(0b001, 0b010), Hyperedge(0b010, 0b100)]
+        )
+
+        def expensive_left_pair(left, right):
+            pair = left | right
+            return 100.0 if pair == 0b011 else 1.0
+
+        plan = HyperDP(graph, expensive_left_pair).run()
+        # Joining R1 with R2 first avoids the expensive {R0, R1} class.
+        assert plan.cost == 2.0
+        assert "R1 x R2" in plan.sexpr() or "R2 x R1" in plan.sexpr()
+
+
+class TestMemo:
+    def test_memo_contains_all_connected_classes(self):
+        graph = Hypergraph(
+            3, [Hyperedge(0b001, 0b010), Hyperedge(0b010, 0b100)]
+        )
+        optimizer = HyperDP(graph, lambda left, right: 1.0)
+        optimizer.run()
+        assert set(optimizer.memo) == {0b001, 0b010, 0b100, 0b011, 0b110, 0b111}

@@ -1,0 +1,106 @@
+"""Tests for the hypergraph substrate."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import GraphError
+from repro.graph import bitset, generators
+from repro.hyper.hypergraph import Hyperedge, Hypergraph, from_query_graph
+from repro.partitioning import PARTITIONINGS
+from tests.conftest import connected_graphs
+
+
+class TestHyperedge:
+    def test_orientation_normalized(self):
+        assert Hyperedge(0b100, 0b011) == Hyperedge(0b011, 0b100)
+        assert hash(Hyperedge(0b100, 0b011)) == hash(Hyperedge(0b011, 0b100))
+
+    def test_simple_detection(self):
+        assert Hyperedge(0b001, 0b010).is_simple
+        assert not Hyperedge(0b011, 0b100).is_simple
+
+    def test_empty_endpoint_rejected(self):
+        with pytest.raises(GraphError):
+            Hyperedge(0, 0b1)
+
+    def test_overlapping_endpoints_rejected(self):
+        with pytest.raises(GraphError):
+            Hyperedge(0b011, 0b010)
+
+
+class TestConnectivity:
+    def test_singletons_connected(self):
+        graph = Hypergraph(3, [Hyperedge(0b001, 0b110)])
+        assert graph.is_connected(0b001)
+        assert graph.is_connected(0b010)
+
+    def test_hyperedge_connects_only_when_fully_inside(self):
+        # R0 -(complex)- {R1, R2}: the pair {R1, R2} alone has no usable
+        # edge, and neither does {R0, R1}.
+        graph = Hypergraph(3, [Hyperedge(0b001, 0b110)])
+        assert graph.is_connected(0b111)
+        assert not graph.is_connected(0b110)
+        assert not graph.is_connected(0b011)
+
+    def test_empty_set_not_connected(self):
+        graph = Hypergraph(2, [Hyperedge(0b01, 0b10)])
+        assert not graph.is_connected(0)
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(GraphError):
+            Hypergraph(2, [Hyperedge(0b001, 0b100)])
+
+    @given(connected_graphs(max_vertices=7))
+    def test_simple_graph_connectivity_matches(self, simple):
+        """On lifted simple graphs the two connectivity notions agree."""
+        hyper = from_query_graph(simple)
+        for subset in range(1, 1 << simple.n_vertices):
+            assert hyper.is_connected(subset) == simple.is_connected(subset)
+
+
+class TestCsgCmpPairs:
+    @given(connected_graphs(max_vertices=7))
+    def test_simple_graphs_match_partitioning_oracle(self, simple):
+        hyper = from_query_graph(simple)
+        naive = PARTITIONINGS["naive"]
+        for subset in range(1, 1 << simple.n_vertices):
+            if bitset.bit_count(subset) < 2 or not simple.is_connected(subset):
+                continue
+            expected = sorted(
+                (min(a, b), max(a, b))
+                for a, b in naive.partitions(simple, subset)
+            )
+            got = sorted(
+                (min(a, b), max(a, b))
+                for a, b in hyper.csg_cmp_pairs(subset)
+            )
+            assert got == expected
+
+    def test_complex_edge_blocks_partial_splits(self):
+        # Triangle via one complex predicate: only the split that keeps
+        # {R1, R2} together... no wait: no subset of size 2 is connected,
+        # so the full set has NO ccp at all.
+        graph = Hypergraph(3, [Hyperedge(0b001, 0b110)])
+        assert list(graph.csg_cmp_pairs(0b111)) == []
+
+    def test_mixed_simple_and_complex(self):
+        # R1 - R2 simple edge, plus R0 -(complex)- {R1, R2}.
+        graph = Hypergraph(
+            3, [Hyperedge(0b010, 0b100), Hyperedge(0b001, 0b110)]
+        )
+        pairs = sorted(graph.csg_cmp_pairs(0b111))
+        # The only valid split keeps {R1, R2} together against {R0}.
+        assert pairs == [(0b001, 0b110)]
+
+    def test_singleton_has_no_pairs(self):
+        graph = Hypergraph(2, [Hyperedge(0b01, 0b10)])
+        assert list(graph.csg_cmp_pairs(0b01)) == []
+
+
+class TestConnectedSubsets:
+    def test_ascending_order(self):
+        graph = from_query_graph(generators.chain_graph(4))
+        subsets = graph.connected_subsets()
+        assert subsets == sorted(subsets)
+        assert 0b1111 in subsets
+        assert 0b0101 not in subsets  # {0, 2} of a chain

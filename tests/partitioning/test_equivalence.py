@@ -1,0 +1,118 @@
+"""The central partitioning property: every strategy equals the oracle.
+
+Each MinCut* strategy must emit exactly ``P_ccp_sym(S)``: every connected
+subgraph / connected complement pair, one orientation per symmetric pair,
+no duplicates.  Naive partitioning is the oracle.  Closed-form counts from
+Ono & Lohman / Moerkotte & Neumann pin down the canonical shapes.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.graph import bitset, generators
+from repro.partitioning import PARTITIONINGS
+from tests.conftest import connected_graphs
+
+EFFICIENT = ("mincut_lazy", "mincut_branch", "mincut_conservative")
+
+
+def canonical(pairs):
+    out = sorted((min(a, b), max(a, b)) for a, b in pairs)
+    assert len(out) == len(set(out)), "duplicate ccp emitted"
+    return out
+
+
+@pytest.mark.parametrize("name", EFFICIENT)
+class TestEquivalenceWithOracle:
+    @given(graph=connected_graphs(min_vertices=2, max_vertices=8))
+    def test_full_set_matches_naive(self, name, graph):
+        expected = canonical(
+            PARTITIONINGS["naive"].partitions(graph, graph.all_vertices)
+        )
+        got = canonical(PARTITIONINGS[name].partitions(graph, graph.all_vertices))
+        assert got == expected
+
+    @given(
+        graph=connected_graphs(min_vertices=3, max_vertices=7),
+        raw=st.integers(1, 2**7 - 1),
+    )
+    def test_connected_subsets_match_naive(self, name, graph, raw):
+        subset = raw & graph.all_vertices
+        if bitset.bit_count(subset) < 2 or not graph.is_connected(subset):
+            return
+        expected = canonical(PARTITIONINGS["naive"].partitions(graph, subset))
+        got = canonical(PARTITIONINGS[name].partitions(graph, subset))
+        assert got == expected
+
+    @given(graph=connected_graphs(min_vertices=2, max_vertices=8))
+    def test_emitted_pairs_are_valid_ccps(self, name, graph):
+        full = graph.all_vertices
+        for left, right in PARTITIONINGS[name].partitions(graph, full):
+            assert left | right == full
+            assert left & right == 0
+            assert graph.is_connected(left)
+            assert graph.is_connected(right)
+
+
+def _total_ccps(strategy, graph):
+    total = 0
+    for subset in range(1, 1 << graph.n_vertices):
+        if bitset.bit_count(subset) >= 2 and graph.is_connected(subset):
+            total += sum(1 for _ in strategy.partitions(graph, subset))
+    return total
+
+
+@pytest.mark.parametrize("name", EFFICIENT + ("naive",))
+class TestClosedFormCounts:
+    """|P_ccp_sym| formulas from Ono & Lohman / Moerkotte & Neumann."""
+
+    @pytest.mark.parametrize("n", [2, 4, 6, 8])
+    def test_chain(self, name, n):
+        graph = generators.chain_graph(n)
+        assert _total_ccps(PARTITIONINGS[name], graph) == (n**3 - n) // 6
+
+    @pytest.mark.parametrize("n", [2, 4, 6, 8])
+    def test_star(self, name, n):
+        graph = generators.star_graph(n)
+        assert _total_ccps(PARTITIONINGS[name], graph) == (n - 1) * 2 ** (n - 2)
+
+    @pytest.mark.parametrize("n", [3, 5, 7])
+    def test_cycle(self, name, n):
+        graph = generators.cycle_graph(n)
+        assert _total_ccps(PARTITIONINGS[name], graph) == (n**3 - 2 * n**2 + n) // 2
+
+    @pytest.mark.parametrize("n", [2, 4, 6])
+    def test_clique(self, name, n):
+        graph = generators.clique_graph(n)
+        expected = (3**n - 2 ** (n + 1) + 1) // 2
+        assert _total_ccps(PARTITIONINGS[name], graph) == expected
+
+
+class TestEnumerationOrdersDiffer:
+    """The robustness experiments need genuinely different orders."""
+
+    def test_orders_differ_on_a_cycle(self):
+        graph = generators.cycle_graph(6)
+        sequences = {
+            name: list(PARTITIONINGS[name].partitions(graph, graph.all_vertices))
+            for name in EFFICIENT
+        }
+        assert sequences["mincut_lazy"] != sequences["mincut_conservative"]
+        assert sequences["mincut_branch"] != sequences["mincut_conservative"]
+
+    def test_lazy_is_breadth_first(self):
+        graph = generators.chain_graph(5)
+        sizes = [
+            bitset.bit_count(min(left, right))
+            for left, right in PARTITIONINGS["mincut_lazy"].partitions(
+                graph, graph.all_vertices
+            )
+        ]
+        # Breadth-first state expansion: the smaller-side sizes never
+        # decrease by more than the frontier allows; first emission is a
+        # singleton C.
+        first_left = next(
+            iter(PARTITIONINGS["mincut_lazy"].partitions(graph, graph.all_vertices))
+        )[0]
+        assert bitset.bit_count(first_left) == 1
+        assert sizes[0] == min(sizes)

@@ -1,0 +1,60 @@
+"""Tests for naive partitioning (the oracle)."""
+
+import pytest
+
+from repro.graph import bitset, generators
+from repro.partitioning.naive import NaivePartitioning
+
+
+@pytest.fixture
+def naive():
+    return NaivePartitioning()
+
+
+class TestKnownCounts:
+    def test_chain3(self, naive):
+        graph = generators.chain_graph(3)
+        pairs = list(naive.partitions(graph, graph.all_vertices))
+        assert len(pairs) == 2
+
+    def test_star4_full_set(self, naive):
+        graph = generators.star_graph(4)
+        pairs = list(naive.partitions(graph, graph.all_vertices))
+        # Each leaf vs the rest; hub-side splits are their symmetric twins.
+        assert len(pairs) == 3
+
+    def test_cycle4_full_set(self, naive):
+        graph = generators.cycle_graph(4)
+        pairs = list(naive.partitions(graph, graph.all_vertices))
+        assert len(pairs) == 6  # choose 2 of 4 edges to cut
+
+    def test_clique_full_set(self, naive):
+        graph = generators.clique_graph(4)
+        pairs = list(naive.partitions(graph, graph.all_vertices))
+        assert len(pairs) == 2 ** 3 - 1  # every proper split is valid
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("family", ["chain", "star", "cycle", "clique"])
+    def test_pairs_are_valid_ccps(self, naive, family):
+        graph = generators.GRAPH_FAMILIES[family](6, None)
+        full = graph.all_vertices
+        for left, right in naive.partitions(graph, full):
+            assert left | right == full
+            assert left & right == 0
+            assert graph.is_connected(left)
+            assert graph.is_connected(right)
+            assert graph.are_connected(left, right)
+
+    def test_max_index_always_in_complement(self, naive):
+        graph = generators.cycle_graph(6)
+        for left, right in naive.partitions(graph, graph.all_vertices):
+            assert bitset.highest_index(left) < bitset.highest_index(right)
+
+    def test_works_on_subsets(self, naive):
+        graph = generators.chain_graph(6)
+        subset = bitset.from_iterable({1, 2, 3})
+        pairs = list(naive.partitions(graph, subset))
+        assert len(pairs) == 2
+        for left, right in pairs:
+            assert left | right == subset

@@ -1,0 +1,40 @@
+"""Tests for the partitioning registry."""
+
+import pytest
+
+from repro.errors import UnknownAlgorithmError
+from repro.partitioning import (
+    PARTITIONINGS,
+    available_partitionings,
+    get_partitioning,
+)
+from repro.partitioning.base import PartitioningStrategy
+
+
+class TestRegistry:
+    def test_all_five_strategies_registered(self):
+        assert available_partitionings() == [
+            "mincut_agat",
+            "mincut_branch",
+            "mincut_conservative",
+            "mincut_lazy",
+            "naive",
+        ]
+
+    def test_lookup_returns_singleton(self):
+        assert get_partitioning("naive") is get_partitioning("naive")
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(UnknownAlgorithmError):
+            get_partitioning("mincut_quantum")
+
+    def test_every_strategy_has_label_and_name(self):
+        for name, strategy in PARTITIONINGS.items():
+            assert isinstance(strategy, PartitioningStrategy)
+            assert strategy.name == name
+            assert strategy.label
+
+    def test_paper_labels(self):
+        assert get_partitioning("mincut_lazy").label == "TDMcL"
+        assert get_partitioning("mincut_branch").label == "TDMcB"
+        assert get_partitioning("mincut_conservative").label == "TDMcC"

@@ -1,0 +1,79 @@
+"""Tests for join-tree nodes."""
+
+import pytest
+
+from repro.plans.join_tree import JoinNode, LeafNode
+
+
+@pytest.fixture
+def tree():
+    # ((R0 x R1) x R2)
+    bottom = JoinNode(LeafNode(0, 100), LeafNode(1, 200), 50.0, operator_cost=10.0)
+    return JoinNode(bottom, LeafNode(2, 300), 25.0, operator_cost=5.0)
+
+
+class TestLeafNode:
+    def test_vertex_set_and_cost(self):
+        leaf = LeafNode(3, 42.0)
+        assert leaf.vertex_set == 0b1000
+        assert leaf.cost == 0.0
+        assert leaf.cardinality == 42.0
+
+    def test_default_name(self):
+        assert LeafNode(2, 1.0).name == "R2"
+
+    def test_custom_name(self):
+        assert LeafNode(2, 1.0, name="orders").name == "orders"
+
+    def test_counts(self):
+        leaf = LeafNode(0, 1.0)
+        assert leaf.n_joins() == 0
+        assert leaf.depth() == 0
+        assert list(leaf.leaves()) == [leaf]
+
+
+class TestJoinNode:
+    def test_vertex_set_union(self, tree):
+        assert tree.vertex_set == 0b111
+
+    def test_cost_accumulates(self, tree):
+        assert tree.cost == 15.0
+        assert tree.operator_cost == 5.0
+
+    def test_overlapping_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            JoinNode(LeafNode(0, 1.0), LeafNode(0, 1.0), 1.0, 1.0)
+
+    def test_structure_counters(self, tree):
+        assert tree.n_joins() == 2
+        assert tree.depth() == 2
+
+    def test_leaves_left_to_right(self, tree):
+        assert tree.relation_indices() == [0, 1, 2]
+
+
+class TestRendering:
+    def test_sexpr(self, tree):
+        assert tree.sexpr() == "((R0 x R1) x R2)"
+
+    def test_explain_contains_all_relations(self, tree):
+        text = tree.explain()
+        for name in ("R0", "R1", "R2"):
+            assert name in text
+        assert "Join" in text
+        assert "Scan" in text
+
+    def test_repr(self, tree):
+        assert "cost=" in repr(tree)
+
+
+class TestRelabel:
+    def test_relabel_renames_leaves(self, tree):
+        relabeled = tree.relabel([2, 1, 0])
+        assert relabeled.relation_indices() == [2, 1, 0]
+        assert relabeled.vertex_set == 0b111
+
+    def test_relabel_preserves_costs(self, tree):
+        relabeled = tree.relabel([2, 1, 0])
+        assert relabeled.cost == tree.cost
+        assert relabeled.cardinality == tree.cardinality

@@ -1,0 +1,75 @@
+"""Tests for the memotable."""
+
+import math
+
+from repro.plans.join_tree import JoinNode, LeafNode
+from repro.plans.memo import MemoTable
+
+
+def _pair_tree(cost: float) -> JoinNode:
+    return JoinNode(LeafNode(0, 10), LeafNode(1, 10), 5.0, operator_cost=cost)
+
+
+class TestRegister:
+    def test_first_registration_wins(self):
+        memo = MemoTable()
+        tree = _pair_tree(10.0)
+        assert memo.register(tree)
+        assert memo.best(tree.vertex_set) is tree
+
+    def test_cheaper_tree_replaces(self):
+        memo = MemoTable()
+        memo.register(_pair_tree(10.0))
+        cheaper = _pair_tree(5.0)
+        assert memo.register(cheaper)
+        assert memo.best(cheaper.vertex_set) is cheaper
+
+    def test_more_expensive_tree_rejected(self):
+        memo = MemoTable()
+        first = _pair_tree(5.0)
+        memo.register(first)
+        assert not memo.register(_pair_tree(10.0))
+        assert memo.best(first.vertex_set) is first
+
+    def test_equal_cost_keeps_incumbent(self):
+        memo = MemoTable()
+        first = _pair_tree(5.0)
+        memo.register(first)
+        assert not memo.register(_pair_tree(5.0))
+        assert memo.best(first.vertex_set) is first
+
+
+class TestLookups:
+    def test_best_of_unknown_is_none(self):
+        assert MemoTable().best(0b11) is None
+
+    def test_best_cost_of_unknown_is_infinite(self):
+        assert math.isinf(MemoTable().best_cost(0b11))
+
+    def test_best_cost_of_known(self):
+        memo = MemoTable()
+        memo.register(_pair_tree(7.0))
+        assert memo.best_cost(0b11) == 7.0
+
+    def test_contains_and_len(self):
+        memo = MemoTable()
+        assert 0b11 not in memo
+        memo.register(_pair_tree(1.0))
+        assert 0b11 in memo
+        assert len(memo) == 1
+
+
+class TestPlanClassCounting:
+    def test_singletons_excluded(self):
+        memo = MemoTable()
+        memo.register(LeafNode(0, 1.0))
+        memo.register(LeafNode(1, 1.0))
+        memo.register(_pair_tree(1.0))
+        assert len(memo) == 3
+        assert memo.n_plan_classes() == 1
+
+    def test_entries_iterates_everything(self):
+        memo = MemoTable()
+        memo.register(LeafNode(0, 1.0))
+        memo.register(_pair_tree(1.0))
+        assert len(dict(memo.entries())) == 2

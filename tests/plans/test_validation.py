@@ -1,0 +1,90 @@
+"""Tests for join-tree validation."""
+
+import pytest
+from hypothesis import given
+
+from repro.cost.haas import HaasCostModel
+from repro.core.optimizer import optimize
+from repro.plans.join_tree import JoinNode, LeafNode
+from repro.plans.validation import (
+    PlanValidationError,
+    recompute_cost,
+    validate_plan,
+)
+from repro.cost.statistics import StatisticsProvider
+from tests.conftest import small_queries
+
+
+class TestAcceptsRealPlans:
+    @given(query=small_queries(max_n=6))
+    def test_optimizer_output_validates(self, query):
+        result = optimize(query, pruning="apcbi")
+        validate_plan(result.plan, query, HaasCostModel())
+
+    def test_unpruned_output_validates(self, small_query):
+        result = optimize(small_query, pruning="none")
+        validate_plan(result.plan, small_query, HaasCostModel())
+
+
+class TestRejectsBrokenPlans:
+    def _leaves(self, query):
+        return {
+            i: LeafNode(i, query.catalog.cardinality(i))
+            for i in range(query.n_relations)
+        }
+
+    def test_incomplete_plan_rejected(self, small_query):
+        leaves = self._leaves(small_query)
+        u, v = sorted(small_query.graph.edges)[0]
+        partial = JoinNode(leaves[u], leaves[v], 10.0, 1.0)
+        with pytest.raises(PlanValidationError, match="cover"):
+            validate_plan(partial, small_query)
+
+    def test_cross_product_rejected(self, generator):
+        query = generator.generate("chain", 4)
+        provider = StatisticsProvider(query)
+        leaves = self._leaves(query)
+        # Join R0 with R2: no edge in a chain.  Use correct cardinalities
+        # so the cross-product check is the violation that fires.
+        cross = JoinNode(
+            leaves[0], leaves[2], provider.cardinality(0b0101), 1.0
+        )
+        inner = JoinNode(cross, leaves[1], provider.cardinality(0b0111), 1.0)
+        plan = JoinNode(inner, leaves[3], provider.cardinality(0b1111), 1.0)
+        with pytest.raises(PlanValidationError, match="cross product|disconnected"):
+            validate_plan(plan, query)
+
+    def test_wrong_leaf_cardinality_rejected(self, generator):
+        query = generator.generate("chain", 2)
+        wrong = LeafNode(0, query.catalog.cardinality(0) + 1)
+        plan = JoinNode(
+            wrong, LeafNode(1, query.catalog.cardinality(1)), 10.0, 1.0
+        )
+        with pytest.raises(PlanValidationError, match="cardinality"):
+            validate_plan(plan, query)
+
+    def test_wrong_cost_rejected(self, generator):
+        query = generator.generate("chain", 2)
+        provider = StatisticsProvider(query)
+        plan = JoinNode(
+            LeafNode(0, query.catalog.cardinality(0)),
+            LeafNode(1, query.catalog.cardinality(1)),
+            provider.cardinality(0b11),
+            operator_cost=123456.0,  # made-up operator cost
+        )
+        with pytest.raises(PlanValidationError, match="cost"):
+            validate_plan(plan, query, HaasCostModel())
+
+
+class TestRecomputeCost:
+    @given(query=small_queries(max_n=6))
+    def test_matches_stored_costs_for_real_plans(self, query):
+        result = optimize(query, pruning="none")
+        provider = StatisticsProvider(query)
+        recomputed = recompute_cost(result.plan, provider, HaasCostModel())
+        assert recomputed == pytest.approx(result.cost, rel=1e-9)
+
+    def test_leaf_costs_zero(self, small_query):
+        provider = StatisticsProvider(small_query)
+        leaf = LeafNode(0, small_query.catalog.cardinality(0))
+        assert recompute_cost(leaf, provider, HaasCostModel()) == 0.0

@@ -1,0 +1,32 @@
+"""Tests for the run counters."""
+
+from repro.stats.counters import OptimizationStats
+
+
+class TestAsDict:
+    def test_round_trip_keys(self):
+        stats = OptimizationStats(ccps_enumerated=3, failed_builds=1)
+        payload = stats.as_dict()
+        assert payload["ccps_enumerated"] == 3
+        assert payload["failed_builds"] == 1
+        assert set(payload) == set(OptimizationStats().as_dict())
+
+    def test_defaults_are_zero(self):
+        assert all(v == 0 for v in OptimizationStats().as_dict().values())
+
+
+class TestMerge:
+    def test_elementwise_sum(self):
+        a = OptimizationStats(ccps_enumerated=3, memo_hits=2)
+        b = OptimizationStats(ccps_enumerated=4, pcb_prunes=5)
+        merged = a.merge(b)
+        assert merged.ccps_enumerated == 7
+        assert merged.memo_hits == 2
+        assert merged.pcb_prunes == 5
+
+    def test_merge_leaves_inputs_untouched(self):
+        a = OptimizationStats(ccps_enumerated=1)
+        b = OptimizationStats(ccps_enumerated=2)
+        a.merge(b)
+        assert a.ccps_enumerated == 1
+        assert b.ccps_enumerated == 2

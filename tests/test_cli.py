@@ -1,0 +1,74 @@
+"""Tests for the repro-optimize CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io import save_query
+from repro.workload.generator import generate_query
+
+
+class TestGeneratedQueries:
+    def test_text_output(self, capsys):
+        assert main(["--family", "chain", "--relations", "5", "--seed", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "TDMcC_APCBI" in output
+        assert "cost" in output
+        assert "Scan" in output
+
+    def test_json_output(self, capsys):
+        assert main(
+            ["--family", "cycle", "--relations", "5", "--seed", "2", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "TDMcC_APCBI"
+        assert payload["cost"] > 0
+        assert "plan" in payload and "stats" in payload
+
+    def test_verification_flag(self, capsys):
+        assert main(
+            [
+                "--family", "acyclic", "--relations", "6", "--seed", "3",
+                "--verify", "--json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verified_against_dpccp"] is True
+
+    @pytest.mark.parametrize("pruning", ["none", "apcb", "apcbi_opt"])
+    def test_pruning_choices(self, capsys, pruning):
+        assert main(
+            [
+                "--family", "chain", "--relations", "5", "--seed", "4",
+                "--pruning", pruning,
+            ]
+        ) == 0
+
+    @pytest.mark.parametrize("heuristic", ["quickpick", "ikkbz"])
+    def test_heuristic_choices(self, capsys, heuristic):
+        assert main(
+            [
+                "--family", "cyclic", "--relations", "6", "--seed", "5",
+                "--heuristic", heuristic, "--verify",
+            ]
+        ) == 0
+
+
+class TestQueryDocuments:
+    def test_optimizes_a_document(self, tmp_path, capsys):
+        query = generate_query("cyclic", 6, seed=11)
+        path = tmp_path / "query.json"
+        save_query(query, path)
+        assert main(["--query", str(path), "--verify"]) == 0
+        assert "verified against DPccp: OK" in capsys.readouterr().out
+
+    def test_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["--query", str(tmp_path / "nope.json")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_invalid_document_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"relations": [], "joins": []}))
+        assert main(["--query", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err

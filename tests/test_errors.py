@@ -1,0 +1,42 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro.errors import (
+    CatalogError,
+    DisconnectedGraphError,
+    GraphError,
+    OptimizationError,
+    ReproError,
+    UnknownAlgorithmError,
+)
+from repro.plans.validation import PlanValidationError
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "error_cls",
+        [
+            GraphError,
+            DisconnectedGraphError,
+            CatalogError,
+            OptimizationError,
+            UnknownAlgorithmError,
+            PlanValidationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, error_cls):
+        assert issubclass(error_cls, ReproError)
+
+    def test_disconnected_is_a_graph_error(self):
+        assert issubclass(DisconnectedGraphError, GraphError)
+
+    def test_unknown_algorithm_is_also_a_key_error(self):
+        """Registry lookups behave like mapping lookups for callers."""
+        assert issubclass(UnknownAlgorithmError, KeyError)
+
+    def test_catching_repro_error_covers_library_failures(self):
+        from repro.partitioning import get_partitioning
+
+        with pytest.raises(ReproError):
+            get_partitioning("does-not-exist")

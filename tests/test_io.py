@@ -1,0 +1,118 @@
+"""Tests for query/plan JSON (de)serialization."""
+
+import json
+
+import pytest
+from hypothesis import given
+
+from repro.core.optimizer import optimize
+from repro.errors import CatalogError
+from repro.io import (
+    load_query,
+    plan_to_dict,
+    query_from_dict,
+    query_to_dict,
+    save_query,
+)
+from tests.conftest import small_queries
+
+
+class TestRoundTrip:
+    @given(query=small_queries(max_n=6))
+    def test_dict_round_trip(self, query):
+        rebuilt = query_from_dict(query_to_dict(query))
+        assert rebuilt.graph == query.graph
+        assert rebuilt.catalog.selectivities == query.catalog.selectivities
+        assert rebuilt.family == query.family
+        assert rebuilt.seed == query.seed
+
+    def test_file_round_trip(self, small_query, tmp_path):
+        path = tmp_path / "query.json"
+        save_query(small_query, path)
+        rebuilt = load_query(path)
+        assert rebuilt.graph == small_query.graph
+        # the file is valid, pretty-printed JSON
+        payload = json.loads(path.read_text())
+        assert "relations" in payload and "joins" in payload
+
+    def test_round_trip_preserves_optimal_cost(self, cyclic_query):
+        rebuilt = query_from_dict(query_to_dict(cyclic_query))
+        assert optimize(rebuilt).cost == pytest.approx(
+            optimize(cyclic_query).cost
+        )
+
+
+class TestNamedEndpoints:
+    def test_joins_may_reference_relation_names(self):
+        payload = {
+            "relations": [
+                {"name": "orders", "cardinality": 1000},
+                {"name": "customers", "cardinality": 100},
+            ],
+            "joins": [
+                {"left": "orders", "right": "customers", "selectivity": 0.01}
+            ],
+        }
+        query = query_from_dict(payload)
+        assert query.catalog.selectivity(0, 1) == 0.01
+        assert query.catalog.relation(0).name == "orders"
+
+    def test_unknown_name_rejected(self):
+        payload = {
+            "relations": [{"name": "a", "cardinality": 10}],
+            "joins": [{"left": "a", "right": "ghost", "selectivity": 0.5}],
+        }
+        with pytest.raises(CatalogError, match="ghost"):
+            query_from_dict(payload)
+
+    def test_duplicate_names_rejected(self):
+        payload = {
+            "relations": [
+                {"name": "a", "cardinality": 10},
+                {"name": "a", "cardinality": 20},
+            ],
+            "joins": [{"left": 0, "right": 1, "selectivity": 0.5}],
+        }
+        with pytest.raises(CatalogError, match="duplicate"):
+            query_from_dict(payload)
+
+
+class TestValidation:
+    def test_missing_sections_rejected(self):
+        with pytest.raises(CatalogError, match="relations"):
+            query_from_dict({"joins": []})
+        with pytest.raises(CatalogError, match="joins"):
+            query_from_dict({"relations": [{"cardinality": 1}]})
+
+    def test_empty_relations_rejected(self):
+        with pytest.raises(CatalogError, match="no relations"):
+            query_from_dict({"relations": [], "joins": []})
+
+    def test_out_of_range_index_rejected(self):
+        payload = {
+            "relations": [{"cardinality": 10}],
+            "joins": [{"left": 0, "right": 5, "selectivity": 0.5}],
+        }
+        with pytest.raises(CatalogError, match="out of range"):
+            query_from_dict(payload)
+
+
+class TestPlanSerialization:
+    def test_plan_to_dict_structure(self, small_query):
+        result = optimize(small_query)
+        payload = plan_to_dict(result.plan)
+        assert payload["total_cost"] == result.cost
+        assert "join" in payload
+
+        def count_scans(node):
+            if "scan" in node:
+                return 1
+            return count_scans(node["join"]["left"]) + count_scans(
+                node["join"]["right"]
+            )
+
+        assert count_scans(payload) == small_query.n_relations
+
+    def test_plan_dict_is_json_serializable(self, small_query):
+        result = optimize(small_query)
+        json.dumps(plan_to_dict(result.plan))

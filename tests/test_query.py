@@ -1,0 +1,83 @@
+"""Tests for the Query bundle."""
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.relation import RelationStats
+from repro.errors import CatalogError, DisconnectedGraphError
+from repro.graph.query_graph import QueryGraph
+from repro.query import Query
+
+
+def _catalog(n, selectivities):
+    return Catalog(
+        [RelationStats(cardinality=10 * (i + 1), name=f"R{i}") for i in range(n)],
+        selectivities,
+    )
+
+
+class TestConstruction:
+    def test_valid_query(self):
+        query = Query(
+            graph=QueryGraph(3, [(0, 1), (1, 2)]),
+            catalog=_catalog(3, {(0, 1): 0.1, (1, 2): 0.2}),
+            family="chain",
+            seed=7,
+        )
+        assert query.n_relations == 3
+        assert query.family == "chain"
+
+    def test_disconnected_graph_rejected(self):
+        # 3 vertices, only one edge: vertex 2 is isolated.
+        with pytest.raises(DisconnectedGraphError):
+            Query(
+                graph=QueryGraph(3, [(0, 1)]),
+                catalog=_catalog(3, {(0, 1): 0.1}),
+            )
+
+    def test_catalog_mismatch_rejected(self):
+        with pytest.raises(CatalogError):
+            Query(
+                graph=QueryGraph(3, [(0, 1), (1, 2)]),
+                catalog=_catalog(3, {(0, 1): 0.1}),  # missing edge (1,2)
+            )
+
+    def test_catalog_size_mismatch_rejected(self):
+        with pytest.raises(CatalogError):
+            Query(
+                graph=QueryGraph(2, [(0, 1)]),
+                catalog=_catalog(3, {(0, 1): 0.1}),
+            )
+
+
+class TestDescribe:
+    def test_describe_mentions_family_and_size(self):
+        query = Query(
+            graph=QueryGraph(2, [(0, 1)]),
+            catalog=_catalog(2, {(0, 1): 0.5}),
+            family="chain",
+            seed=3,
+        )
+        text = query.describe()
+        assert "chain" in text and "n=2" in text and "seed=3" in text
+
+    def test_describe_without_family(self):
+        query = Query(
+            graph=QueryGraph(2, [(0, 1)]),
+            catalog=_catalog(2, {(0, 1): 0.5}),
+        )
+        assert "query(" in query.describe()
+
+
+class TestRelabel:
+    def test_relabel_keeps_consistency(self):
+        query = Query(
+            graph=QueryGraph(3, [(0, 1), (1, 2)]),
+            catalog=_catalog(3, {(0, 1): 0.1, (1, 2): 0.2}),
+        )
+        relabeled = query.relabel([2, 1, 0])
+        assert relabeled.graph.has_edge(2, 1)
+        assert relabeled.catalog.selectivity(2, 1) == 0.1
+        assert relabeled.catalog.cardinality(2) == query.catalog.cardinality(0)
+        # relabeled query still passes its own validation (checked in init)
+        assert relabeled.n_relations == 3

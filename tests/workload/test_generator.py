@@ -1,0 +1,108 @@
+"""Tests for the §V-B query generator."""
+
+import pytest
+
+from repro.cost.statistics import StatisticsProvider
+from repro.workload.generator import (
+    QueryGenerator,
+    chain_query,
+    clique_query,
+    cycle_query,
+    generate_query,
+    random_acyclic_query,
+    random_cyclic_query,
+    star_query,
+)
+
+
+class TestBasics:
+    def test_unknown_family_rejected(self, generator):
+        with pytest.raises(ValueError):
+            generator.generate("torus", 5)
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            QueryGenerator(join_scheme="magic")
+
+    def test_per_call_scheme_override_validated(self, generator):
+        with pytest.raises(ValueError):
+            generator.generate("chain", 4, join_scheme="magic")
+
+    def test_query_is_complete(self, generator):
+        query = generator.generate("cyclic", 6)
+        assert query.n_relations == 6
+        assert query.family == "cyclic"
+        assert query.seed is not None
+        query.catalog.validate_against(query.graph)
+
+    def test_determinism_under_seed(self):
+        a = QueryGenerator(seed=9).generate("acyclic", 7)
+        b = QueryGenerator(seed=9).generate("acyclic", 7)
+        assert a.graph == b.graph
+        assert a.catalog.selectivities == b.catalog.selectivities
+
+    def test_different_seeds_differ(self):
+        a = QueryGenerator(seed=1).generate("acyclic", 7)
+        b = QueryGenerator(seed=2).generate("acyclic", 7)
+        assert a.seed != b.seed
+
+
+class TestForeignKeyScheme:
+    def test_most_edges_are_fk_joins(self):
+        # An fk edge has selectivity exactly 1/|one side|; count them.
+        generator = QueryGenerator(seed=3, join_scheme="fk")
+        fk_edges = 0
+        total = 0
+        for _ in range(30):
+            query = generator.generate("chain", 8)
+            for (u, v), sel in query.catalog.selectivities.items():
+                total += 1
+                cards = {query.catalog.cardinality(u), query.catalog.cardinality(v)}
+                if any(abs(sel - 1.0 / c) < 1e-12 for c in cards):
+                    fk_edges += 1
+        assert fk_edges / total > 0.8
+
+    def test_fk_join_preserves_fk_side_cardinality(self):
+        generator = QueryGenerator(seed=3, join_scheme="fk")
+        query = generator.generate("chain", 2)
+        provider = StatisticsProvider(query)
+        joined = provider.cardinality(0b11)
+        c0 = query.catalog.cardinality(0)
+        c1 = query.catalog.cardinality(1)
+        sel = query.catalog.selectivity(0, 1)
+        if abs(sel - 1.0 / c0) < 1e-12 or abs(sel - 1.0 / c1) < 1e-12:
+            assert joined == pytest.approx(min(c0, c1) * max(c0, c1) * sel)
+            assert joined in (pytest.approx(c0), pytest.approx(c1))
+
+
+class TestStarScheme:
+    def test_star_joins_preserve_hub_cardinality(self):
+        query = star_query(6, seed=8)
+        provider = StatisticsProvider(query)
+        hub_card = query.catalog.cardinality(0)
+        # Joining the hub with any subset of dimensions keeps |hub|.
+        assert provider.cardinality(0b000011) == pytest.approx(hub_card)
+        assert provider.cardinality(0b011111) == pytest.approx(hub_card)
+        assert provider.cardinality(0b111111) == pytest.approx(hub_card)
+
+
+class TestConvenienceConstructors:
+    @pytest.mark.parametrize(
+        "factory,family",
+        [
+            (chain_query, "chain"),
+            (star_query, "star"),
+            (cycle_query, "cycle"),
+            (clique_query, "clique"),
+            (random_acyclic_query, "acyclic"),
+            (random_cyclic_query, "cyclic"),
+        ],
+    )
+    def test_factory_sets_family(self, factory, family):
+        query = factory(5, seed=1)
+        assert query.family == family
+        assert query.n_relations == 5
+
+    def test_generate_query_scheme_parameter(self):
+        query = generate_query("chain", 5, seed=2, join_scheme="random")
+        assert query.n_relations == 5

@@ -1,0 +1,45 @@
+"""Tests for the Fig. 6 size distributions."""
+
+import random
+
+import pytest
+
+from repro.workload import steinbrunn
+
+
+class TestDistributions:
+    def test_relation_buckets_sum_to_one(self):
+        total = sum(p for _, _, p in steinbrunn.RELATION_SIZE_BUCKETS)
+        assert total == pytest.approx(1.0)
+
+    def test_domain_buckets_sum_to_one(self):
+        total = sum(p for _, _, p in steinbrunn.DOMAIN_SIZE_BUCKETS)
+        assert total == pytest.approx(1.0)
+
+    def test_relation_sizes_within_global_range(self):
+        rng = random.Random(7)
+        for _ in range(500):
+            size = steinbrunn.sample_relation_size(rng)
+            assert 10 <= size < 1_000_000
+
+    def test_domain_sizes_within_global_range(self):
+        rng = random.Random(7)
+        for _ in range(500):
+            size = steinbrunn.sample_domain_size(rng)
+            assert 2 <= size < 1_000
+
+    def test_bucket_frequencies_roughly_match(self):
+        rng = random.Random(11)
+        samples = [steinbrunn.sample_relation_size(rng) for _ in range(4000)]
+        small = sum(1 for s in samples if s < 100) / len(samples)
+        # 15% bucket, allow generous sampling noise.
+        assert 0.10 < small < 0.20
+
+    def test_sampling_is_deterministic_under_seed(self):
+        a = [steinbrunn.sample_relation_size(random.Random(3)) for _ in range(5)]
+        b = [steinbrunn.sample_relation_size(random.Random(3)) for _ in range(5)]
+        assert a == b
+
+    def test_sample_domain_sizes_count(self):
+        sizes = steinbrunn.sample_domain_sizes(4, random.Random(1))
+        assert len(sizes) == 4

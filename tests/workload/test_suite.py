@@ -1,0 +1,98 @@
+"""Tests for workload suites."""
+
+import pytest
+
+from repro.workload.suite import (
+    DEFAULT_FAMILY_SPECS,
+    FamilySpec,
+    WorkloadSuite,
+    default_suite,
+)
+
+
+class TestFamilySpec:
+    def test_total(self):
+        assert FamilySpec("chain", sizes=(4, 5, 6), queries_per_size=2).total() == 6
+
+
+class TestWorkloadSuite:
+    def test_all_six_families_by_default(self):
+        suite = WorkloadSuite()
+        assert set(suite.families) == {
+            "chain", "star", "cycle", "clique", "acyclic", "cyclic",
+        }
+
+    def test_queries_match_spec(self):
+        spec = FamilySpec("chain", sizes=(4, 5), queries_per_size=2)
+        suite = WorkloadSuite([spec])
+        queries = suite.queries("chain")
+        assert len(queries) == 4
+        assert sorted(q.n_relations for q in queries) == [4, 4, 5, 5]
+
+    def test_queries_are_cached(self):
+        suite = WorkloadSuite([FamilySpec("chain", sizes=(4,), queries_per_size=1)])
+        assert suite.queries("chain") is suite.queries("chain")
+
+    def test_determinism_across_instances(self):
+        spec = [FamilySpec("acyclic", sizes=(5,), queries_per_size=2)]
+        a = WorkloadSuite(spec, seed=77).queries("acyclic")
+        b = WorkloadSuite(spec, seed=77).queries("acyclic")
+        assert [q.seed for q in a] == [q.seed for q in b]
+        assert [q.graph for q in a] == [q.graph for q in b]
+
+    def test_different_seed_changes_queries(self):
+        spec = [FamilySpec("acyclic", sizes=(5,), queries_per_size=2)]
+        a = WorkloadSuite(spec, seed=1).queries("acyclic")
+        b = WorkloadSuite(spec, seed=2).queries("acyclic")
+        assert [q.seed for q in a] != [q.seed for q in b]
+
+    def test_iteration_yields_all_families(self):
+        suite = WorkloadSuite(
+            [FamilySpec("chain", sizes=(4,)), FamilySpec("star", sizes=(4,))]
+        )
+        families = dict(suite)
+        assert set(families) == {"chain", "star"}
+
+    def test_total_queries(self):
+        suite = WorkloadSuite(
+            [FamilySpec("chain", sizes=(4, 5), queries_per_size=3)]
+        )
+        assert suite.total_queries() == 6
+
+    def test_invalid_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSuite(join_scheme="bogus")
+
+
+class TestMixedScheme:
+    def test_mixed_alternates_fk_and_random(self):
+        spec = [FamilySpec("chain", sizes=(6,), queries_per_size=6)]
+        mixed = WorkloadSuite(spec, seed=5, join_scheme="mixed").queries("chain")
+        fk_only = WorkloadSuite(spec, seed=5, join_scheme="fk").queries("chain")
+        # Same seeds, so even-indexed (fk) queries coincide while the
+        # odd-indexed ones differ in selectivities.
+        assert mixed[0].catalog.selectivities == fk_only[0].catalog.selectivities
+        differing = [
+            i for i in range(1, 6, 2)
+            if mixed[i].catalog.selectivities != fk_only[i].catalog.selectivities
+        ]
+        assert differing  # at least one random-scheme query actually differs
+
+
+class TestDefaultSuite:
+    def test_scale_multiplies_queries(self):
+        base = default_suite(scale=1.0)
+        doubled = default_suite(scale=2.0)
+        assert doubled.total_queries() == pytest.approx(
+            2 * base.total_queries(), rel=0.2
+        )
+
+    def test_scale_has_minimum_one(self):
+        tiny = default_suite(scale=0.01)
+        for family in tiny.families:
+            assert tiny.spec(family).queries_per_size == 1
+
+    def test_default_specs_cover_expected_sizes(self):
+        by_family = {spec.family: spec for spec in DEFAULT_FAMILY_SPECS}
+        assert max(by_family["clique"].sizes) <= 10  # pure-Python budget
+        assert max(by_family["chain"].sizes) >= 12
