@@ -1,0 +1,39 @@
+"""Repo-specific static analysis (the ``repro-lint`` gate).
+
+The reproduction's correctness rests on conventions the interpreter never
+checks: vertex sets are plain ints that only :mod:`repro.graph.bitset` may
+bit-twiddle, every RNG must be explicitly seeded (the Steinbrunn workload is
+only reproducible if it is), costs must never be compared with ``==``, and
+every concrete strategy must be registered to appear in the benchmark
+matrix.  This package enforces those contracts with a small AST-based lint
+engine:
+
+* :mod:`repro.analysis.diagnostics` — the :class:`Diagnostic` record and its
+  text / JSON renderings;
+* :mod:`repro.analysis.pragmas` — ``# repro: disable=<rule>`` suppression;
+* :mod:`repro.analysis.registry` — the rule registry;
+* :mod:`repro.analysis.engine` — file walker + rule runner;
+* :mod:`repro.analysis.rules` — one module per rule;
+* :mod:`repro.analysis.cli` — the ``python -m repro.analysis`` /
+  ``repro-lint`` entry point.
+
+See ``docs/static_analysis.md`` for the rule catalogue and output schema.
+"""
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.engine import LintResult, ModuleContext, Project, run_analysis
+from repro.analysis.pragmas import PragmaTable
+from repro.analysis.registry import Rule, all_rules, get_rule, register_rule
+
+__all__ = [
+    "Diagnostic",
+    "LintResult",
+    "ModuleContext",
+    "PragmaTable",
+    "Project",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "register_rule",
+    "run_analysis",
+]

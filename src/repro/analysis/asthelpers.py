@@ -1,0 +1,64 @@
+"""Small AST utilities shared by the rule implementations."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from repro.analysis.diagnostics import Diagnostic
+
+__all__ = [
+    "diagnostic_at",
+    "dotted_name",
+    "decorator_name",
+    "identifiers_in",
+    "walk_identifiers",
+]
+
+
+def diagnostic_at(module, node: ast.AST, rule: str, message: str) -> Diagnostic:
+    """Build a diagnostic pointing at ``node`` inside ``module``."""
+    return Diagnostic(
+        path=module.display_path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0) + 1,
+        rule=rule,
+        message=message,
+    )
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render ``a.b.c`` for Name/Attribute chains, else ``None``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        prefix = dotted_name(node.value)
+        if prefix is None:
+            return None
+        return f"{prefix}.{node.attr}"
+    return None
+
+
+def decorator_name(node: ast.expr) -> Optional[str]:
+    """Last identifier of a decorator (``abc.abstractmethod`` -> ``abstractmethod``)."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def walk_identifiers(node: ast.AST) -> Iterator[str]:
+    """Yield every Name id and Attribute attr appearing under ``node``."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            yield child.id
+        elif isinstance(child, ast.Attribute):
+            yield child.attr
+
+
+def identifiers_in(node: ast.AST) -> Set[str]:
+    """Set of every identifier appearing under ``node``."""
+    return set(walk_identifiers(node))

@@ -1,0 +1,116 @@
+"""Command-line front end: ``python -m repro.analysis`` / ``repro-lint``.
+
+Exit codes are stable so CI can gate on them:
+
+* ``0`` — no diagnostics;
+* ``1`` — at least one diagnostic (including ``syntax-error``);
+* ``2`` — usage error (nonexistent path, unknown rule id).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.diagnostics import render_json, render_text
+from repro.analysis.engine import run_analysis
+from repro.analysis.registry import Rule, UnknownRuleError, all_rules, get_rule
+
+__all__ = ["main", "build_parser"]
+
+#: Default lint targets when the working directory is the repo root.
+_DEFAULT_TARGETS = ("src", "benchmarks")
+
+EXIT_CLEAN = 0
+EXIT_VIOLATIONS = 1
+EXIT_USAGE = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based invariant linter for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src benchmarks)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        default="",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        default="",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _split_ids(raw: str) -> List[str]:
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def _resolve_rules(select: str, ignore: str) -> List[Rule]:
+    selected = _split_ids(select)
+    ignored = set(_split_ids(ignore))
+    for rule_id in ignored:
+        get_rule(rule_id)  # typo check; raises UnknownRuleError
+    rules = [get_rule(rule_id) for rule_id in selected] if selected else all_rules()
+    return [rule for rule in rules if rule.id not in ignored]
+
+
+def _default_paths() -> List[str]:
+    present = [target for target in _DEFAULT_TARGETS if Path(target).exists()]
+    return present or ["."]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id:20s} {rule.description}")
+        return EXIT_CLEAN
+
+    try:
+        rules = _resolve_rules(options.select, options.ignore)
+    except UnknownRuleError as error:
+        print(f"repro-lint: {error}", file=sys.stderr)
+        return EXIT_USAGE
+
+    paths = options.paths or _default_paths()
+    missing = [path for path in paths if not Path(path).exists()]
+    if missing:
+        print(
+            f"repro-lint: no such file or directory: {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+
+    result = run_analysis(paths, rules)
+    renderer = render_json if options.format == "json" else render_text
+    print(renderer(result.diagnostics, result.files_checked))
+    return EXIT_CLEAN if result.ok else EXIT_VIOLATIONS
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Lint diagnostics and their text / JSON renderings.
+
+A :class:`Diagnostic` pins one rule violation to a ``path:line:col``
+location.  Diagnostics sort by location so output is stable across runs and
+platforms — important because CI diffs lint output.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, Sequence
+
+__all__ = ["Diagnostic", "render_text", "render_json", "JSON_SCHEMA_VERSION"]
+
+#: Bumped whenever the JSON payload shape changes (documented in
+#: docs/static_analysis.md).
+JSON_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """GCC-style one-liner: ``path:line:col: rule-id message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def render_text(diagnostics: Sequence[Diagnostic], files_checked: int) -> str:
+    """Human-readable report: one line per diagnostic plus a summary."""
+    lines = [diagnostic.format() for diagnostic in sorted(diagnostics)]
+    noun = "file" if files_checked == 1 else "files"
+    if diagnostics:
+        count = len(diagnostics)
+        problems = "problem" if count == 1 else "problems"
+        lines.append(f"{count} {problems} found in {files_checked} {noun}.")
+    else:
+        lines.append(f"{files_checked} {noun} checked, no problems found.")
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: Sequence[Diagnostic], files_checked: int) -> str:
+    """Machine-readable report (schema in docs/static_analysis.md)."""
+    counts: Dict[str, int] = {}
+    for diagnostic in diagnostics:
+        counts[diagnostic.rule] = counts.get(diagnostic.rule, 0) + 1
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_checked": files_checked,
+        "diagnostics": [asdict(d) for d in sorted(diagnostics)],
+        "counts": {rule: counts[rule] for rule in sorted(counts)},
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

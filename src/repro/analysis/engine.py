@@ -1,0 +1,175 @@
+"""File walker and rule runner.
+
+:func:`run_analysis` turns a list of files/directories into a
+:class:`Project` of parsed modules, runs every selected rule, filters
+pragma-suppressed diagnostics and returns a :class:`LintResult`.  Files that
+fail to parse produce a ``syntax-error`` pseudo-diagnostic rather than
+aborting the run, so one broken file cannot hide violations in the rest of
+the tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.pragmas import PragmaTable, parse_pragmas
+from repro.analysis.registry import Rule, all_rules
+
+__all__ = ["ModuleContext", "Project", "LintResult", "run_analysis"]
+
+#: Directory names never descended into.
+_SKIPPED_DIRS = {
+    "__pycache__",
+    ".git",
+    ".hypothesis",
+    ".pytest_cache",
+    "build",
+    "dist",
+}
+
+
+@dataclass
+class ModuleContext:
+    """One parsed source file plus everything rules need to inspect it."""
+
+    path: Path
+    display_path: str
+    source: str
+    lines: List[str]
+    tree: ast.Module
+    pragmas: PragmaTable
+
+    @property
+    def posix(self) -> str:
+        """Resolved absolute path with ``/`` separators, for suffix checks."""
+        return self.path.as_posix()
+
+    @property
+    def is_test_file(self) -> bool:
+        """True for files under a ``tests`` directory or named ``test_*.py``."""
+        return "tests" in self.path.parts or self.path.name.startswith("test_")
+
+    @property
+    def is_bench_file(self) -> bool:
+        """True for the benchmark harness and the pytest-bench suites."""
+        return any(part in ("bench", "benchmarks") for part in self.path.parts)
+
+
+@dataclass
+class Project:
+    """The full set of modules one analysis run looks at."""
+
+    modules: List[ModuleContext] = field(default_factory=list)
+
+    def find_by_suffix(self, suffix: str) -> Optional[ModuleContext]:
+        """First module whose posix path ends with ``suffix`` (or ``None``)."""
+        for module in self.modules:
+            if module.posix.endswith(suffix):
+                return module
+        return None
+
+
+@dataclass
+class LintResult:
+    """Outcome of one analysis run."""
+
+    diagnostics: List[Diagnostic]
+    files_checked: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics
+
+
+def _iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not _SKIPPED_DIRS.intersection(candidate.parts):
+                    yield candidate
+
+
+def _load_module(path: Path, display_path: str) -> ModuleContext:
+    source = path.read_text(encoding="utf-8")
+    lines = source.splitlines()
+    tree = ast.parse(source, filename=str(path))
+    return ModuleContext(
+        path=path.resolve(),
+        display_path=display_path,
+        source=source,
+        lines=lines,
+        tree=tree,
+        pragmas=parse_pragmas(lines),
+    )
+
+
+def _display_path(path: Path, cwd: Path) -> str:
+    try:
+        return path.resolve().relative_to(cwd).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def run_analysis(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintResult:
+    """Lint ``paths`` (files or directories) with ``rules`` (default: all).
+
+    Diagnostics come back sorted by location with pragma-suppressed entries
+    removed; ``syntax-error`` diagnostics are emitted for unparsable files
+    and cannot be suppressed.
+    """
+    if rules is None:
+        rules = all_rules()
+    cwd = Path.cwd().resolve()
+    project = Project()
+    diagnostics: List[Diagnostic] = []
+    files_checked = 0
+    seen = set()
+    for path in _iter_python_files([Path(p) for p in paths]):
+        resolved = path.resolve()
+        if resolved in seen:
+            continue
+        seen.add(resolved)
+        files_checked += 1
+        display = _display_path(path, cwd)
+        try:
+            project.modules.append(_load_module(path, display))
+        except SyntaxError as error:
+            diagnostics.append(
+                Diagnostic(
+                    path=display,
+                    line=error.lineno or 1,
+                    col=(error.offset or 1),
+                    rule="syntax-error",
+                    message=f"file does not parse: {error.msg}",
+                )
+            )
+
+    pragma_tables: Dict[str, PragmaTable] = {
+        module.display_path: module.pragmas for module in project.modules
+    }
+
+    raw: List[Diagnostic] = []
+    for rule in rules:
+        if rule.scope == "project":
+            raw.extend(rule.check_project(project))
+        else:
+            for module in project.modules:
+                raw.extend(rule.check_module(module))
+
+    for diagnostic in raw:
+        table = pragma_tables.get(diagnostic.path)
+        if table is not None and table.is_suppressed(diagnostic.rule, diagnostic.line):
+            continue
+        diagnostics.append(diagnostic)
+
+    return LintResult(diagnostics=sorted(diagnostics), files_checked=files_checked)

@@ -1,0 +1,76 @@
+"""``# repro: disable=<rule>`` pragma parsing.
+
+Two forms are recognized, mirroring the usual linter conventions:
+
+``# repro: disable=rule-a,rule-b``
+    Suppresses the named rules on the physical line carrying the comment.
+
+``# repro: disable-file=rule-a``
+    Anywhere in the file, suppresses the named rules for the whole file.
+
+``all`` is accepted in place of a rule id and suppresses every rule.
+Pragmas are parsed from raw source lines (not the AST) so they also work on
+lines that carry no statement.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, Set
+
+__all__ = ["PragmaTable", "parse_pragmas"]
+
+#: Rule ids are kebab-case; the list stops at the first token that is not a
+#: rule id or comma, so trailing prose after a pragma is harmless.
+_PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)"
+)
+
+
+class PragmaTable:
+    """Per-file suppression table built from pragma comments."""
+
+    __slots__ = ("_by_line", "_file_wide")
+
+    def __init__(self) -> None:
+        self._by_line: Dict[int, Set[str]] = {}
+        self._file_wide: Set[str] = set()
+
+    def add_line(self, line: int, rules: Iterable[str]) -> None:
+        self._by_line.setdefault(line, set()).update(rules)
+
+    def add_file_wide(self, rules: Iterable[str]) -> None:
+        self._file_wide.update(rules)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """True when ``rule`` is disabled at ``line`` (1-based)."""
+        if "all" in self._file_wide or rule in self._file_wide:
+            return True
+        at_line = self._by_line.get(line)
+        if not at_line:
+            return False
+        return "all" in at_line or rule in at_line
+
+    def __bool__(self) -> bool:
+        return bool(self._by_line or self._file_wide)
+
+
+def parse_pragmas(source_lines: Iterable[str]) -> PragmaTable:
+    """Scan raw source lines for pragma comments."""
+    table = PragmaTable()
+    for lineno, text in enumerate(source_lines, start=1):
+        if "repro:" not in text:
+            continue
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        rules = {part.strip() for part in match.group("rules").split(",")}
+        rules.discard("")
+        if not rules:
+            continue
+        if match.group("kind") == "disable-file":
+            table.add_file_wide(rules)
+        else:
+            table.add_line(lineno, rules)
+    return table

@@ -1,0 +1,78 @@
+"""Rule registry.
+
+Rules self-register at import time via the :func:`register_rule` decorator;
+:mod:`repro.analysis.rules` imports every rule module so that loading the
+package populates the registry.  Mirrors the partitioning/heuristic
+registries elsewhere in the repo: a plain dict plus typo-friendly lookup
+errors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Type
+
+from repro.errors import ReproError
+
+__all__ = ["Rule", "UnknownRuleError", "register_rule", "all_rules", "get_rule"]
+
+
+class UnknownRuleError(ReproError):
+    """Raised when a ``--select``/``--ignore`` names a rule that is not registered."""
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``id`` (kebab-case, stable — it appears in pragmas and CI
+    logs) and ``description``, and override one of the two hooks depending on
+    ``scope``:
+
+    * ``scope = "module"`` — :meth:`check_module` is called once per parsed
+      file and yields diagnostics for that file;
+    * ``scope = "project"`` — :meth:`check_project` is called once with the
+      whole file set, for cross-file contracts (registry completeness).
+    """
+
+    id: str = ""
+    description: str = ""
+    scope: str = "module"
+
+    def check_module(self, module) -> Iterable:
+        """Yield :class:`~repro.analysis.diagnostics.Diagnostic`s for one file."""
+        return ()
+
+    def check_project(self, project) -> Iterable:
+        """Yield diagnostics that need the whole file set."""
+        return ()
+
+
+_RULES: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the registry (id must be unique)."""
+    if not cls.id:
+        raise ValueError(f"rule class {cls.__name__} has no id")
+    if cls.id in _RULES:
+        raise ValueError(f"duplicate rule id {cls.id!r}")
+    _RULES[cls.id] = cls
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, sorted by id."""
+    import repro.analysis.rules  # noqa: F401  (registers on import)
+
+    return [_RULES[rule_id]() for rule_id in sorted(_RULES)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Instantiate one rule by id."""
+    import repro.analysis.rules  # noqa: F401  (registers on import)
+
+    try:
+        return _RULES[rule_id]()
+    except KeyError:
+        raise UnknownRuleError(
+            f"unknown lint rule {rule_id!r}; available: {sorted(_RULES)}"
+        ) from None

@@ -1,0 +1,23 @@
+"""One module per lint rule; importing this package registers all of them."""
+
+from repro.analysis.rules import (  # noqa: F401
+    all_exports,
+    bare_except,
+    bench_clock,
+    bitset_discipline,
+    float_cost_eq,
+    mutable_default,
+    registry_complete,
+    seeded_rng,
+)
+
+__all__ = [
+    "all_exports",
+    "bare_except",
+    "bench_clock",
+    "bitset_discipline",
+    "float_cost_eq",
+    "mutable_default",
+    "registry_complete",
+    "seeded_rng",
+]

@@ -1,0 +1,119 @@
+"""``all-exports`` — ``__all__`` must agree with the module's public defs.
+
+Both directions are checked, for modules that declare ``__all__``:
+
+* every name listed in ``__all__`` must actually be defined (or imported)
+  at module top level — a stale entry breaks ``from module import *`` and
+  the API docs generated from it;
+* every public (non-underscore) top-level function and class must appear in
+  ``__all__`` — an unlisted def is an accidental API.
+
+Modules without ``__all__`` (scripts, ``__main__`` shims, tests) are left
+alone.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set, Tuple
+
+from repro.analysis.asthelpers import diagnostic_at
+from repro.analysis.registry import Rule, register_rule
+
+__all__ = ["AllExports"]
+
+
+def _find_all(tree: ast.Module) -> Optional[Tuple[ast.stmt, List[str]]]:
+    """The ``__all__`` assignment and its entries, when statically readable."""
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if not any(
+            isinstance(target, ast.Name) and target.id == "__all__"
+            for target in targets
+        ):
+            continue
+        if not isinstance(value, (ast.List, ast.Tuple)):
+            return None
+        names = []
+        for element in value.elts:
+            if not (isinstance(element, ast.Constant) and isinstance(element.value, str)):
+                return None
+            names.append(element.value)
+        return node, names
+    return None
+
+
+def _top_level_names(tree: ast.Module) -> Set[str]:
+    names: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+                elif isinstance(target, (ast.Tuple, ast.List)):
+                    names.update(
+                        element.id
+                        for element in target.elts
+                        if isinstance(element, ast.Name)
+                    )
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, (ast.If, ast.Try)):
+            # typing/fallback blocks: collect defs one level down.
+            for sub in ast.walk(node):
+                if isinstance(
+                    sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    names.add(sub.name)
+    return names
+
+
+@register_rule
+class AllExports(Rule):
+    id = "all-exports"
+    description = (
+        "__all__ entries must be defined, and public top-level defs must be "
+        "listed in __all__"
+    )
+
+    def check_module(self, module):
+        if module.is_test_file or module.path.name == "__main__.py":
+            return
+        found = _find_all(module.tree)
+        if found is None:
+            return
+        all_node, exported = found
+        defined = _top_level_names(module.tree)
+        for name in exported:
+            if name not in defined:
+                yield diagnostic_at(
+                    module,
+                    all_node,
+                    self.id,
+                    f"__all__ lists {name!r} but the module never defines it",
+                )
+        exported_set = set(exported)
+        for node in module.tree.body:
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if node.name.startswith("_") or node.name in exported_set:
+                continue
+            yield diagnostic_at(
+                module,
+                node,
+                self.id,
+                f"public top-level {node.name!r} is missing from __all__; "
+                "export it or prefix it with an underscore",
+            )

@@ -1,0 +1,33 @@
+"""``no-bare-except`` — a bare ``except:`` swallows everything.
+
+Bare handlers catch ``KeyboardInterrupt``/``SystemExit`` and hide optimizer
+bugs as silently-wrong plans.  Catch a concrete exception (the repo has a
+:class:`repro.errors.ReproError` hierarchy for exactly this) or at minimum
+``Exception``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.asthelpers import diagnostic_at
+from repro.analysis.registry import Rule, register_rule
+
+__all__ = ["NoBareExcept"]
+
+
+@register_rule
+class NoBareExcept(Rule):
+    id = "no-bare-except"
+    description = "bare `except:` clauses are forbidden; name an exception type"
+
+    def check_module(self, module):
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield diagnostic_at(
+                    module,
+                    node,
+                    self.id,
+                    "bare `except:` catches KeyboardInterrupt/SystemExit too; "
+                    "catch ReproError or a concrete exception type",
+                )

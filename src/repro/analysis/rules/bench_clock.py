@@ -1,0 +1,57 @@
+"""``bench-clock`` — benchmark code must time with ``time.perf_counter``.
+
+``time.time()`` is wall-clock: NTP slews and coarse resolution make the
+paper's normed-time measurements (§V-C) noisy or outright wrong.  Inside
+``repro/bench/`` and ``benchmarks/`` only ``perf_counter`` (or
+``perf_counter_ns``/``monotonic`` for coarse progress reporting) may be
+used.  Non-benchmark code may legitimately want wall-clock timestamps, so
+the rule only fires on bench paths.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.asthelpers import diagnostic_at, dotted_name
+from repro.analysis.registry import Rule, register_rule
+
+__all__ = ["BenchClock"]
+
+_BANNED = {"time.time", "time.clock"}
+
+
+@register_rule
+class BenchClock(Rule):
+    id = "bench-clock"
+    description = (
+        "benchmark code must use time.perf_counter(), never time.time()"
+    )
+
+    def check_module(self, module):
+        if not module.is_bench_file:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                bad = sorted(
+                    alias.name
+                    for alias in node.names
+                    if alias.name in ("time", "clock")
+                )
+                if bad:
+                    yield diagnostic_at(
+                        module,
+                        node,
+                        self.id,
+                        f"`from time import {', '.join(bad)}` imports a "
+                        "wall clock into benchmark code; use perf_counter",
+                    )
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name in _BANNED:
+                    yield diagnostic_at(
+                        module,
+                        node,
+                        self.id,
+                        f"{name}() is wall-clock; benchmark timing must use "
+                        "time.perf_counter()",
+                    )

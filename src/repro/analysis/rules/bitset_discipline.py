@@ -1,0 +1,80 @@
+"""``bitset-discipline`` — vertex-set bit-twiddling belongs in graph/bitset.py.
+
+Vertex sets are plain ``int`` bitsets and ``repro/graph/bitset.py`` is, by
+contract (docs/architecture.md), the only module that knows the encoding.
+Raw ``1 << v``, ``s & -s``, ``.bit_length()`` and ``bin(s).count("1")``
+spellings anywhere else bypass that vocabulary; they should call
+:func:`~repro.graph.bitset.singleton`, :func:`~repro.graph.bitset.lowest_bit`
+and friends instead.  Hot loops that deliberately inline the tricks carry a
+``# repro: disable=bitset-discipline`` pragma with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Tuple
+
+from repro.analysis.asthelpers import diagnostic_at
+from repro.analysis.registry import Rule, register_rule
+
+__all__ = ["BitsetDiscipline"]
+
+#: The one module allowed to spell out the encoding.
+_ALLOWED_SUFFIX = "repro/graph/bitset.py"
+
+
+def _findings(tree: ast.Module) -> Iterable[Tuple[ast.AST, str]]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.BinOp):
+            if (
+                isinstance(node.op, ast.LShift)
+                and isinstance(node.left, ast.Constant)
+                and node.left.value == 1
+            ):
+                yield node, (
+                    "raw `1 << v` bitset construction; use "
+                    "bitset.singleton()/bitset.full_set() instead"
+                )
+            elif isinstance(node.op, ast.BitAnd) and (
+                isinstance(node.left, ast.UnaryOp)
+                and isinstance(node.left.op, ast.USub)
+                or isinstance(node.right, ast.UnaryOp)
+                and isinstance(node.right.op, ast.USub)
+            ):
+                yield node, (
+                    "raw `s & -s` lowest-bit trick; use bitset.lowest_bit() "
+                    "or bitset.iter_bits() instead"
+                )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr == "bit_length":
+                yield node, (
+                    "raw `.bit_length()` on a vertex set; use "
+                    "bitset.highest_index()/bitset.highest_bit() instead"
+                )
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr == "count"
+                and isinstance(func.value, ast.Call)
+                and isinstance(func.value.func, ast.Name)
+                and func.value.func.id == "bin"
+            ):
+                yield node, (
+                    'raw `bin(s).count("1")` popcount; use '
+                    "bitset.bit_count() instead"
+                )
+
+
+@register_rule
+class BitsetDiscipline(Rule):
+    id = "bitset-discipline"
+    description = (
+        "raw bitset tricks (1 << v, s & -s, .bit_length(), bin().count) are "
+        "only allowed inside repro/graph/bitset.py"
+    )
+
+    def check_module(self, module):
+        if module.posix.endswith(_ALLOWED_SUFFIX):
+            return
+        for node, message in _findings(module.tree):
+            yield diagnostic_at(module, node, self.id, message)

@@ -1,0 +1,60 @@
+"""``no-float-cost-eq`` — costs are floats; never compare them with ``==``.
+
+Accumulated plan costs are sums of floating-point operator costs, and two
+mathematically equal sums routinely differ in the last ulp depending on
+association order.  A ``==``/``!=`` against a cost expression silently
+becomes a latent heisenbug (a plan validated on one machine fails on
+another).  Use :func:`repro.cost.compare.costs_close` /
+:func:`repro.cost.compare.cost_is_zero` or ``pytest.approx`` instead.
+
+Heuristic: a comparison operand "is a cost" when any identifier in it
+contains ``cost`` (``plan.cost``, ``reference_cost``, ``cost_model`` ...).
+Comparisons where some operand is already a ``pytest.approx(...)`` /
+``math.isclose(...)`` call are accepted.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.asthelpers import decorator_name, diagnostic_at, walk_identifiers
+from repro.analysis.registry import Rule, register_rule
+
+__all__ = ["NoFloatCostEq"]
+
+
+def _mentions_cost(node: ast.expr) -> bool:
+    return any("cost" in identifier.lower() for identifier in walk_identifiers(node))
+
+
+def _is_approx_call(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    return decorator_name(node.func) in {"approx", "isclose"}
+
+
+@register_rule
+class NoFloatCostEq(Rule):
+    id = "no-float-cost-eq"
+    description = (
+        "cost expressions must not be compared with == / !=; use "
+        "repro.cost.compare.costs_close or pytest.approx"
+    )
+
+    def check_module(self, module):
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left, *node.comparators]
+            if any(_is_approx_call(operand) for operand in operands):
+                continue
+            if any(_mentions_cost(operand) for operand in operands):
+                yield diagnostic_at(
+                    module,
+                    node,
+                    self.id,
+                    "cost compared with == / !=; floats need an epsilon — "
+                    "use costs_close()/cost_is_zero() or pytest.approx",
+                )

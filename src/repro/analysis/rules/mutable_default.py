@@ -1,0 +1,62 @@
+"""``no-mutable-default`` — mutable default argument values are shared state.
+
+A ``def f(xs=[])`` default is evaluated once and shared by every call; with
+optimizers that memoize per-query state this is a classic source of
+cross-query contamination.  Use ``None`` plus an in-body default (or
+``dataclasses.field(default_factory=...)``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.asthelpers import diagnostic_at
+from repro.analysis.registry import Rule, register_rule
+
+__all__ = ["NoMutableDefault"]
+
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict", "deque"}
+
+
+def _mutable_kind(node: Optional[ast.expr]) -> Optional[str]:
+    if isinstance(node, (ast.List, ast.ListComp)):
+        return "list"
+    if isinstance(node, (ast.Dict, ast.DictComp)):
+        return "dict"
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", None)
+        if name in _MUTABLE_CALLS:
+            return name
+    return None
+
+
+def _defaults(function: ast.AST) -> Iterator[ast.expr]:
+    args = function.args
+    for default in [*args.defaults, *args.kw_defaults]:
+        if default is not None:
+            yield default
+
+
+@register_rule
+class NoMutableDefault(Rule):
+    id = "no-mutable-default"
+    description = "function arguments must not default to mutable objects"
+
+    def check_module(self, module):
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            for default in _defaults(node):
+                kind = _mutable_kind(default)
+                if kind is not None:
+                    yield diagnostic_at(
+                        module,
+                        default,
+                        self.id,
+                        f"mutable default ({kind}) is shared across calls; "
+                        "default to None and build it in the body",
+                    )

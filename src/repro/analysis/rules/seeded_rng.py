@@ -1,0 +1,92 @@
+"""``seeded-rng`` — every RNG must be an explicitly seeded ``random.Random``.
+
+The paper's Steinbrunn workload (§V-B) is only reproducible when every draw
+comes from a seeded generator threaded through the call chain.  Three
+spellings break that:
+
+* ``random.Random()`` with no seed argument — nondeterministic fallback;
+* module-level calls such as ``random.randrange(...)`` — hidden global
+  state that any import order or library call can perturb;
+* ``from random import randrange`` — the same global state in disguise.
+
+``random.Random(seed)`` and ``rng.randrange(...)`` on a threaded instance
+are the sanctioned forms.  ``random.SystemRandom`` is flagged too: it is
+unseedable by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Set
+
+from repro.analysis.asthelpers import diagnostic_at, dotted_name
+from repro.analysis.registry import Rule, register_rule
+
+__all__ = ["SeededRng"]
+
+#: Attributes of the ``random`` module that are fine to reference.
+_ALLOWED_ATTRS = {"Random"}
+
+
+def _random_aliases(tree: ast.Module) -> Set[str]:
+    """Names the ``random`` module is bound to in this file."""
+    aliases = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random":
+                    aliases.add(alias.asname or "random")
+    return aliases
+
+
+@register_rule
+class SeededRng(Rule):
+    id = "seeded-rng"
+    description = (
+        "RNGs must be explicitly seeded random.Random instances; module-level "
+        "random.* calls and bare random.Random() are nondeterministic"
+    )
+
+    def check_module(self, module):
+        aliases = _random_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                bad = sorted(
+                    alias.name
+                    for alias in node.names
+                    if alias.name not in _ALLOWED_ATTRS
+                )
+                if bad:
+                    yield diagnostic_at(
+                        module,
+                        node,
+                        self.id,
+                        f"`from random import {', '.join(bad)}` uses the "
+                        "global RNG; thread a seeded random.Random instead",
+                    )
+                continue
+            if not isinstance(node, ast.Call) or not aliases:
+                continue
+            name = dotted_name(node.func)
+            if name is None or "." not in name:
+                continue
+            prefix, attr = name.rsplit(".", 1)
+            if prefix not in aliases:
+                continue
+            if attr == "Random":
+                if not node.args and not node.keywords:
+                    yield diagnostic_at(
+                        module,
+                        node,
+                        self.id,
+                        "unseeded random.Random(); pass an explicit seed so "
+                        "workloads stay reproducible",
+                    )
+            else:
+                yield diagnostic_at(
+                    module,
+                    node,
+                    self.id,
+                    f"module-level random.{attr}() uses hidden global state; "
+                    "call it on a seeded random.Random instance",
+                )

@@ -59,18 +59,19 @@ def enumerate_csg(graph: QueryGraph) -> Iterator[int]:
     for index in range(n - 1, -1, -1):
         start = bitset.singleton(index)
         yield start
-        forbidden = (1 << (index + 1)) - 1  # B_i: all vertices <= index
+        forbidden = bitset.full_set(index + 1)  # B_i: all vertices <= index
         yield from _enumerate_csg_rec(graph, start, forbidden)
 
 
 def _enumerate_cmp(graph: QueryGraph, subset: int) -> Iterator[int]:
     """EnumerateCmp: connected complements pairing with ``subset``."""
     min_index = bitset.lowest_index(subset)
-    forbidden = subset | ((1 << (min_index + 1)) - 1)  # B_min(S1) u S1
+    forbidden = subset | bitset.full_set(min_index + 1)  # B_min(S1) u S1
     neighbors = _neighborhood(graph, subset, forbidden)
     remaining = neighbors
+    # Hot per-csg loop: highest-bit extraction stays inlined.
     while remaining:
-        high = 1 << (remaining.bit_length() - 1)
+        high = 1 << (remaining.bit_length() - 1)  # repro: disable=bitset-discipline
         remaining ^= high
         yield high
         below = (high - 1) & neighbors  # B_i n N

@@ -72,7 +72,7 @@ class DPsub:
                 continue
             # Enumerate proper subsets; anchor the lowest vertex in the
             # left side so each unordered split is visited exactly once.
-            anchor = subset & -subset
+            anchor = bitset.lowest_bit(subset)
             for other in bitset.iter_subsets(subset & ~anchor):
                 anchor_side = subset & ~other
                 # Every split examined counts as work — DPsub tests all

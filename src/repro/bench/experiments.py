@@ -45,6 +45,7 @@ __all__ = [
     "figure13",
     "figure14",
     "figure15",
+    "enumerator_overhead",
     "EXPERIMENTS",
     "run_experiment",
 ]

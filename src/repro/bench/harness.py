@@ -13,12 +13,12 @@ plan classes successfully built (*s*) and the number of failed build passes
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.advancements import AdvancementConfig
 from repro.core.optimizer import Optimizer, algorithm_label, run_dpccp
+from repro.cost.compare import costs_close
 from repro.cost.haas import HaasCostModel
 from repro.cost.model import CostModel
 from repro.query import Query
@@ -196,9 +196,7 @@ def run_query_matrix(
             config=spec.config,
         )
         result = optimizer.optimize(query)
-        if check_costs and abs(result.cost - baseline.cost) > 1e-6 * max(
-            1.0, abs(baseline.cost)
-        ):
+        if check_costs and not costs_close(result.cost, baseline.cost, rel=1e-6):
             raise AssertionError(
                 f"{spec.label} returned cost {result.cost!r} but DPccp found "
                 f"{baseline.cost!r} on {query.describe()}"

@@ -68,7 +68,9 @@ class EnumerationProfile:
         return "\n".join(lines)
 
 
-class InstrumentedPartitioning(PartitioningStrategy):
+# Deliberately unregistered: this is a per-run measurement wrapper around a
+# registered strategy, not an enumerator of its own.
+class InstrumentedPartitioning(PartitioningStrategy):  # repro: disable=registry-complete
     """Wrap a strategy, recording per-class enumeration activity.
 
     Instances are single-use per optimizer run (the profile accumulates);

@@ -5,6 +5,7 @@ from repro.core.advancements import ADVANCEMENT_NAMES, AdvancementConfig
 from repro.core.apcb import ApcbPlanGenerator
 from repro.core.apcbi import ApcbiPlanGenerator
 from repro.core.bounds import BoundsTable
+from repro.cost.compare import cost_is_zero, costs_close
 from repro.core.goo import GooResult, run_goo
 from repro.core.optimizer import (
     OptimizationResult,
@@ -33,4 +34,6 @@ __all__ = [
     "optimize",
     "run_dpccp",
     "algorithm_label",
+    "costs_close",
+    "cost_is_zero",
 ]

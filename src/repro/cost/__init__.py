@@ -1,5 +1,11 @@
 """Cost estimation: intermediate statistics, join cost models, LBE."""
 
+from repro.cost.compare import (
+    COST_ABS_TOLERANCE,
+    COST_REL_TOLERANCE,
+    cost_is_zero,
+    costs_close,
+)
 from repro.cost.cout import CoutCostModel
 from repro.cost.haas import DEFAULT_BUFFER_PAGES, HaasCostModel
 from repro.cost.lower_bound import ImprovedLowerBoundEstimator, LowerBoundEstimator
@@ -15,4 +21,8 @@ __all__ = [
     "LowerBoundEstimator",
     "ImprovedLowerBoundEstimator",
     "DEFAULT_BUFFER_PAGES",
+    "costs_close",
+    "cost_is_zero",
+    "COST_REL_TOLERANCE",
+    "COST_ABS_TOLERANCE",
 ]

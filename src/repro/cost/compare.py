@@ -1,0 +1,42 @@
+"""Epsilon-aware cost comparison.
+
+Accumulated plan costs are floating-point sums whose last ulp depends on
+association order, so ``==`` between two costs is a latent portability bug
+(and the ``no-float-cost-eq`` lint rule rejects it).  These two helpers are
+the sanctioned vocabulary; they are shared across plan validation, the
+benchmark harness and application code (re-exported from :mod:`repro.core`).
+"""
+
+from __future__ import annotations
+
+__all__ = ["COST_REL_TOLERANCE", "COST_ABS_TOLERANCE", "costs_close", "cost_is_zero"]
+
+#: Default relative tolerance.  Costs are sums of integer-valued page
+#: counts, so a relative 1e-9 is generous while still catching real
+#: recomputation mismatches.
+COST_REL_TOLERANCE = 1e-9
+
+#: Default absolute tolerance for comparisons against zero.
+COST_ABS_TOLERANCE = 1e-12
+
+
+def costs_close(
+    left: float,
+    right: float,
+    rel: float = COST_REL_TOLERANCE,
+    abs_tol: float = COST_ABS_TOLERANCE,
+) -> bool:
+    """True when two accumulated costs agree up to rounding.
+
+    Symmetric mixed relative/absolute test:
+    ``|left - right| <= max(abs_tol, rel * max(1, |left|, |right|))``.
+    The ``max(1, ...)`` keeps the relative term meaningful for sub-unit
+    costs, matching the repo's historical comparisons.
+    """
+    tolerance = max(abs_tol, rel * max(1.0, abs(left), abs(right)))
+    return abs(left - right) <= tolerance
+
+
+def cost_is_zero(cost: float, abs_tol: float = COST_ABS_TOLERANCE) -> bool:
+    """True when a cost is zero up to rounding (e.g. leaf nodes)."""
+    return abs(cost) <= abs_tol

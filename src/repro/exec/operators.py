@@ -11,8 +11,9 @@ from collections import defaultdict
 from typing import Dict, Iterable, Iterator, List, Tuple
 
 from repro.exec.data import Database
+from repro.graph import bitset
 
-__all__ = ["CompositeRow", "scan", "hash_join", "nested_loop_join"]
+__all__ = ["CompositeRow", "scan", "join_predicates", "hash_join", "nested_loop_join"]
 
 #: A row of an intermediate result: relation index -> base-table row.
 CompositeRow = Dict[int, Tuple[int, ...]]
@@ -50,7 +51,7 @@ def join_predicates(
     predicates = []
     for u, v in database.query.graph.edges_between(left_set, right_set):
         edge = (min(u, v), max(u, v))
-        if (1 << u) & left_set:
+        if bitset.contains(left_set, u):
             predicates.append((edge, u, v))
         else:
             predicates.append((edge, v, u))

@@ -18,12 +18,14 @@ from typing import Iterable, Iterator, List
 __all__ = [
     "EMPTY",
     "singleton",
+    "full_set",
     "from_iterable",
     "to_list",
     "iter_bits",
     "bit_count",
     "lowest_bit",
     "lowest_index",
+    "highest_bit",
     "highest_index",
     "is_subset",
     "contains",
@@ -41,6 +43,13 @@ def singleton(index: int) -> int:
     if index < 0:
         raise ValueError(f"vertex index must be non-negative, got {index}")
     return 1 << index
+
+
+def full_set(n: int) -> int:
+    """Return the set containing every vertex ``0 .. n-1``."""
+    if n < 0:
+        raise ValueError(f"vertex count must be non-negative, got {n}")
+    return (1 << n) - 1
 
 
 def from_iterable(indices: Iterable[int]) -> int:
@@ -81,6 +90,13 @@ def lowest_index(bitset: int) -> int:
     if not bitset:
         raise ValueError("empty bitset has no lowest index")
     return (bitset & -bitset).bit_length() - 1
+
+
+def highest_bit(bitset: int) -> int:
+    """Return the singleton set of the highest member (0 for the empty set)."""
+    if not bitset:
+        return 0
+    return 1 << (bitset.bit_length() - 1)
 
 
 def highest_index(bitset: int) -> int:

@@ -39,7 +39,7 @@ class QueryGraph:
         if n_vertices < 1:
             raise GraphError(f"a query graph needs >= 1 vertex, got {n_vertices}")
         self._n = n_vertices
-        self._all = (1 << n_vertices) - 1
+        self._all = bitset.full_set(n_vertices)
         adjacency = [0] * n_vertices
         normalized = set()
         for u, v in edges:
@@ -95,9 +95,12 @@ class QueryGraph:
         """
         result = 0
         remaining = subset
+        # The hottest loop in the library (every partitioning strategy funnels
+        # through it); the lowest-bit trick stays inlined rather than paying a
+        # bitset.iter_bits() generator per neighborhood probe.
         while remaining:
-            low = remaining & -remaining
-            result |= self._adjacency[low.bit_length() - 1]
+            low = remaining & -remaining  # repro: disable=bitset-discipline
+            result |= self._adjacency[low.bit_length() - 1]  # repro: disable=bitset-discipline
             remaining ^= low
         result &= ~subset
         if within >= 0:
@@ -123,7 +126,7 @@ class QueryGraph:
         """
         if not subset:
             return False
-        start = subset & -subset
+        start = bitset.lowest_bit(subset)
         return self.connected_component(start, subset) == subset
 
     def connected_components(self, subset: int) -> List[int]:
@@ -131,7 +134,7 @@ class QueryGraph:
         components = []
         remaining = subset
         while remaining:
-            start = remaining & -remaining
+            start = bitset.lowest_bit(remaining)
             component = self.connected_component(start, remaining)
             components.append(component)
             remaining &= ~component

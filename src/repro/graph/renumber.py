@@ -69,5 +69,5 @@ def remap_bitset(vertex_set: int, mapping: Sequence[int]) -> int:
     """Translate a vertex-set bitset through a renumbering."""
     result = 0
     for index in bitset.iter_bits(vertex_set):
-        result |= 1 << mapping[index]
+        result |= bitset.singleton(mapping[index])
     return result

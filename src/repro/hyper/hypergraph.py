@@ -76,7 +76,7 @@ class Hypergraph:
         if n_vertices < 1:
             raise GraphError(f"need >= 1 vertex, got {n_vertices}")
         self._n = n_vertices
-        self._all = (1 << n_vertices) - 1
+        self._all = bitset.full_set(n_vertices)
         normalized = []
         seen = set()
         for edge in edges:
@@ -152,7 +152,7 @@ class Hypergraph:
         """
         if subset & (subset - 1) == 0:
             return
-        anchor = subset & -subset
+        anchor = bitset.lowest_bit(subset)
         for other in bitset.iter_subsets(subset & ~anchor):
             anchor_side = subset & ~other
             if not self.is_connected(anchor_side):
@@ -179,5 +179,8 @@ def from_query_graph(graph: QueryGraph) -> Hypergraph:
     """Lift a simple query graph into the hypergraph representation."""
     return Hypergraph(
         graph.n_vertices,
-        (Hyperedge(1 << u, 1 << v) for u, v in sorted(graph.edges)),
+        (
+            Hyperedge(bitset.singleton(u), bitset.singleton(v))
+            for u, v in sorted(graph.edges)
+        ),
     )

@@ -62,7 +62,9 @@ def get_connected_parts(graph: QueryGraph, s: int, c: int, t: int) -> List[int]:
     # complement, generation by generation, until either every element of N
     # was reached (U empty -> connected) or the frontier dies out.
     level_prev = 0
-    level = n & -n  # L' <- some n in N
+    # L' <- some n in N.  Hot per-ccp helper: the lowest-bit extraction
+    # stays inlined here and below.
+    level = n & -n  # repro: disable=bitset-discipline
     unreached = n & ~level
     while level_prev != level and unreached:
         delta = level & ~level_prev  # D: the newest generation only
@@ -83,7 +85,7 @@ def get_connected_parts(graph: QueryGraph, s: int, c: int, t: int) -> List[int]:
     # Lines 15-24: find the other components seeded by untouched neighbors.
     unreached = n & ~first
     while unreached:
-        seed = unreached & -unreached
+        seed = unreached & -unreached  # repro: disable=bitset-discipline
         component = _expand_component(graph, seed, complement)
         parts.append(component)
         unreached &= ~component

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Iterator, Tuple
 
+from repro.graph import bitset
 from repro.graph.query_graph import QueryGraph
 from repro.partitioning.base import PartitioningStrategy
 
@@ -34,7 +35,7 @@ class MinCutAGaT(PartitioningStrategy):
     def partitions(
         self, graph: QueryGraph, vertex_set: int
     ) -> Iterator[Tuple[int, int]]:
-        start = vertex_set & -vertex_set  # t = lowest vertex of S
+        start = bitset.lowest_bit(vertex_set)  # t = lowest vertex of S
         yield from self._grow(graph, vertex_set, start, 0)
 
     def _grow(
@@ -48,8 +49,9 @@ class MinCutAGaT(PartitioningStrategy):
         # half), excluding each processed neighbor from later branches.
         neighbors = graph.neighborhood(c, s) & ~x
         x_prime = x
+        # Hot per-ccp loop: lowest-bit extraction stays inlined.
         while neighbors:
-            v = neighbors & -neighbors
+            v = neighbors & -neighbors  # repro: disable=bitset-discipline
             neighbors ^= v
             yield from self._grow(graph, s, c | v, x_prime)
             x_prime |= v

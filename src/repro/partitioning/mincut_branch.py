@@ -33,8 +33,9 @@ __all__ = ["MinCutBranch"]
 
 def _iter_bits_descending(value: int) -> Iterator[int]:
     """Yield singleton bitsets of ``value`` from highest to lowest."""
+    # Hot per-ccp loop: highest-bit extraction stays inlined.
     while value:
-        high = 1 << (value.bit_length() - 1)
+        high = 1 << (value.bit_length() - 1)  # repro: disable=bitset-discipline
         yield high
         value ^= high
 
@@ -61,7 +62,7 @@ class MinCutBranch(PartitioningStrategy):
         if c:
             neighbors = graph.neighborhood(c, s) & ~x
         else:
-            neighbors = 1 << (s.bit_length() - 1)  # t = highest vertex of S
+            neighbors = bitset.highest_bit(s)  # t = highest vertex of S
         for v in _iter_bits_descending(neighbors):
             for part in connected_parts_simple(graph, s, c | v):
                 new_c = s & ~part

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Iterator, Tuple
 
+from repro.graph import bitset
 from repro.graph.query_graph import QueryGraph
 from repro.partitioning.base import PartitioningStrategy
 from repro.partitioning.connected_parts import get_connected_parts
@@ -57,9 +58,10 @@ class MinCutConservative(PartitioningStrategy):
         if c:
             neighbors = graph.neighborhood(c, s) & ~x
         else:
-            neighbors = s & -s  # N(empty) = {t}, t = lowest vertex of S
+            neighbors = bitset.lowest_bit(s)  # N(empty) = {t}, t = lowest vertex of S
+        # Hot per-ccp loop: lowest-bit extraction stays inlined.
         while neighbors:
-            v = neighbors & -neighbors
+            v = neighbors & -neighbors  # repro: disable=bitset-discipline
             neighbors ^= v
             # Line 7: components of S \ (C u {v}).
             parts = get_connected_parts(graph, s, c | v, v)

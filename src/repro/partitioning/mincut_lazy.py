@@ -23,6 +23,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Iterator, Tuple
 
+from repro.graph import bitset
 from repro.graph.query_graph import QueryGraph
 from repro.partitioning.base import PartitioningStrategy
 from repro.partitioning.connected_parts import connected_parts_simple
@@ -63,10 +64,11 @@ class MinCutLazy(PartitioningStrategy):
             if c:
                 neighbors = graph.neighborhood(c, vertex_set) & ~x
             else:
-                neighbors = vertex_set & -vertex_set  # t = lowest vertex
+                neighbors = bitset.lowest_bit(vertex_set)  # t = lowest vertex
             remaining = neighbors
+            # Hot per-ccp loop: lowest-bit extraction stays inlined.
             while remaining:
-                v = remaining & -remaining
+                v = remaining & -remaining  # repro: disable=bitset-discipline
                 remaining ^= v
                 for part in connected_parts_simple(graph, vertex_set, c | v):
                     new_c = vertex_set & ~part

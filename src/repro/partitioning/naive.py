@@ -29,7 +29,7 @@ class NaivePartitioning(PartitioningStrategy):
     def partitions(
         self, graph: QueryGraph, vertex_set: int
     ) -> Iterator[Tuple[int, int]]:
-        highest = 1 << bitset.highest_index(vertex_set)
+        highest = bitset.highest_bit(vertex_set)
         candidates = vertex_set & ~highest
         # Vance & Maier subset enumeration over S minus the anchor vertex;
         # every emitted S1 therefore satisfies max(S1) < max(S2).

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.cost.compare import cost_is_zero, costs_close
 from repro.cost.model import CostModel
 from repro.cost.statistics import StatisticsProvider
 from repro.errors import ReproError
@@ -69,8 +70,7 @@ def validate_plan(
     if cost_model is not None:
         recomputed = recompute_cost(plan, provider, cost_model)
         _check(
-            abs(recomputed - plan.cost)
-            <= _COST_TOLERANCE * max(1.0, abs(recomputed)),
+            costs_close(plan.cost, recomputed, rel=_COST_TOLERANCE),
             f"plan cost {plan.cost!r} does not match recomputation "
             f"{recomputed!r}",
         )
@@ -86,7 +86,7 @@ def _validate_node(
             f"leaf R{node.relation} carries cardinality {node.cardinality}, "
             f"catalog says {query.catalog.cardinality(node.relation)}",
         )
-        _check(node.cost == 0.0, "leaf nodes must have zero cost")
+        _check(cost_is_zero(node.cost), "leaf nodes must have zero cost")
         return
     assert isinstance(node, JoinNode)
     left, right = node.left, node.right

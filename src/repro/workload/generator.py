@@ -23,7 +23,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.catalog.catalog import Catalog
 from repro.catalog.relation import DEFAULT_TUPLE_WIDTH, RelationStats
-from repro.graph import generators
+from repro.graph import bitset, generators
 from repro.graph.query_graph import QueryGraph
 from repro.query import Query
 from repro.workload import steinbrunn
@@ -106,7 +106,7 @@ class QueryGenerator:
         relations = []
         for index in range(graph.n_vertices):
             cardinality = steinbrunn.sample_relation_size(rng)
-            degree = bin(graph.adjacency(index)).count("1")
+            degree = bitset.bit_count(graph.adjacency(index))
             domains = tuple(
                 min(steinbrunn.sample_domain_size(rng), cardinality)
                 for _ in range(max(1, degree))

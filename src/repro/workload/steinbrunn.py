@@ -18,6 +18,7 @@ __all__ = [
     "DOMAIN_SIZE_BUCKETS",
     "sample_relation_size",
     "sample_domain_size",
+    "sample_domain_sizes",
     "sample_bucketed",
 ]
 

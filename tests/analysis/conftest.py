@@ -1,0 +1,34 @@
+"""Shared helpers for the static-analysis tests."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import run_analysis
+from repro.analysis.registry import get_rule
+
+#: Repository root (the directory holding src/, benchmarks/, tests/).
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture
+def lint(tmp_path):
+    """Write a snippet to a (relative) filename and lint it with one rule.
+
+    Returns the list of diagnostics.  ``filename`` may contain directories,
+    which lets tests place snippets on rule-relevant paths
+    (``repro/graph/bitset.py``, ``benchmarks/...``).
+    """
+
+    def _lint(code, rule_id, filename="snippet.py", extra_files=None):
+        for relpath, content in (extra_files or {}).items():
+            target = tmp_path / relpath
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(content, encoding="utf-8")
+        target = tmp_path / filename
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(code, encoding="utf-8")
+        result = run_analysis([str(tmp_path)], [get_rule(rule_id)])
+        return result.diagnostics
+
+    return _lint

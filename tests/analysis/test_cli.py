@@ -1,0 +1,98 @@
+"""CLI behavior: output formats, exit codes, rule selection."""
+
+import json
+
+import pytest
+
+from repro.analysis.cli import EXIT_CLEAN, EXIT_USAGE, EXIT_VIOLATIONS, main
+from repro.analysis.diagnostics import JSON_SCHEMA_VERSION
+from repro.analysis.registry import all_rules
+
+EXPECTED_RULES = {
+    "all-exports",
+    "bench-clock",
+    "bitset-discipline",
+    "no-bare-except",
+    "no-float-cost-eq",
+    "no-mutable-default",
+    "registry-complete",
+    "seeded-rng",
+}
+
+
+def _write(tmp_path, name, code):
+    path = tmp_path / name
+    path.write_text(code, encoding="utf-8")
+    return path
+
+
+class TestRuleCatalogue:
+    def test_the_eight_rules_are_registered(self):
+        assert {rule.id for rule in all_rules()} == EXPECTED_RULES
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        for rule_id in EXPECTED_RULES:
+            assert rule_id in out
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        path = _write(tmp_path, "clean.py", "x = 1\n")
+        assert main([str(path)]) == EXIT_CLEAN
+        assert "no problems found" in capsys.readouterr().out
+
+    def test_violation_exits_one(self, tmp_path, capsys):
+        path = _write(tmp_path, "bad.py", "try:\n    pass\nexcept:\n    pass\n")
+        assert main([str(path)]) == EXIT_VIOLATIONS
+        out = capsys.readouterr().out
+        # `file:line:col: rule-id message` diagnostic shape.
+        assert "bad.py:3:1: no-bare-except" in out
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope")]) == EXIT_USAGE
+        assert "no such file" in capsys.readouterr().err
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        path = _write(tmp_path, "clean.py", "x = 1\n")
+        assert main([str(path), "--select", "not-a-rule"]) == EXIT_USAGE
+        assert "not-a-rule" in capsys.readouterr().err
+
+
+class TestSelection:
+    def test_select_restricts_rules(self, tmp_path):
+        code = "import random\nrng = random.Random()\ndef f(xs=[]):\n    return xs\n"
+        path = _write(tmp_path, "mixed.py", code)
+        assert main([str(path), "--select", "no-mutable-default"]) == EXIT_VIOLATIONS
+
+    def test_ignore_drops_rules(self, tmp_path):
+        code = "def f(xs=[]):\n    return xs\n"
+        path = _write(tmp_path, "mixed.py", code)
+        assert main([str(path), "--ignore", "no-mutable-default"]) == EXIT_CLEAN
+
+
+class TestJsonOutput:
+    @pytest.fixture
+    def payload(self, tmp_path, capsys):
+        code = "def f(xs=[]):\n    return xs\n\ntry:\n    pass\nexcept:\n    pass\n"
+        path = _write(tmp_path, "bad.py", code)
+        exit_code = main([str(path), "--format", "json"])
+        assert exit_code == EXIT_VIOLATIONS
+        return json.loads(capsys.readouterr().out)
+
+    def test_schema(self, payload):
+        assert payload["version"] == JSON_SCHEMA_VERSION
+        assert payload["files_checked"] == 1
+        assert set(payload["counts"]) == {"no-mutable-default", "no-bare-except"}
+        for diagnostic in payload["diagnostics"]:
+            assert set(diagnostic) == {"path", "line", "col", "rule", "message"}
+            assert diagnostic["line"] >= 1
+            assert diagnostic["col"] >= 1
+
+    def test_diagnostics_sorted_by_location(self, payload):
+        locations = [(d["path"], d["line"], d["col"]) for d in payload["diagnostics"]]
+        assert locations == sorted(locations)
+
+    def test_counts_match_diagnostics(self, payload):
+        assert sum(payload["counts"].values()) == len(payload["diagnostics"])

@@ -1,0 +1,57 @@
+"""Pragma parsing and suppression behavior."""
+
+from repro.analysis.pragmas import parse_pragmas
+
+
+class TestParsing:
+    def test_line_pragma(self):
+        table = parse_pragmas(["x = 1 << v  # repro: disable=bitset-discipline"])
+        assert table.is_suppressed("bitset-discipline", 1)
+        assert not table.is_suppressed("bitset-discipline", 2)
+        assert not table.is_suppressed("seeded-rng", 1)
+
+    def test_multiple_rules(self):
+        table = parse_pragmas(["bad()  # repro: disable=no-bare-except, seeded-rng"])
+        assert table.is_suppressed("no-bare-except", 1)
+        assert table.is_suppressed("seeded-rng", 1)
+
+    def test_file_wide_pragma(self):
+        table = parse_pragmas(["# repro: disable-file=bench-clock", "x = 1"])
+        assert table.is_suppressed("bench-clock", 999)
+        assert not table.is_suppressed("seeded-rng", 1)
+
+    def test_all_keyword(self):
+        table = parse_pragmas(["x  # repro: disable=all"])
+        assert table.is_suppressed("anything", 1)
+
+    def test_trailing_prose_ignored(self):
+        table = parse_pragmas(["s & -s  # repro: disable=bitset-discipline hot loop"])
+        assert table.is_suppressed("bitset-discipline", 1)
+
+    def test_unrelated_comments_ignored(self):
+        table = parse_pragmas(["# repro: the paper's Fig. 2", "# plain comment"])
+        assert not table
+
+    def test_empty_source(self):
+        assert not parse_pragmas([])
+
+
+class TestSuppression:
+    def test_pragma_suppresses_diagnostic(self, lint):
+        code = "def f(v):\n    return 1 << v  # repro: disable=bitset-discipline\n"
+        assert lint(code, "bitset-discipline") == []
+
+    def test_pragma_for_other_rule_does_not_suppress(self, lint):
+        code = "def f(v):\n    return 1 << v  # repro: disable=seeded-rng\n"
+        diagnostics = lint(code, "bitset-discipline")
+        assert [d.rule for d in diagnostics] == ["bitset-discipline"]
+
+    def test_file_wide_pragma_suppresses_everywhere(self, lint):
+        code = (
+            "# repro: disable-file=bitset-discipline\n"
+            "def f(v):\n"
+            "    return 1 << v\n"
+            "def g(s):\n"
+            "    return s & -s\n"
+        )
+        assert lint(code, "bitset-discipline") == []

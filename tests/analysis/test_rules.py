@@ -1,0 +1,206 @@
+"""Fixture-driven positive + negative coverage for every lint rule."""
+
+import textwrap
+
+import pytest
+
+
+def _rules_of(diagnostics):
+    return [d.rule for d in diagnostics]
+
+
+class TestBitsetDiscipline:
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "def f(v):\n    return 1 << v\n",
+            "def f(s):\n    return s & -s\n",
+            "def f(s):\n    return s.bit_length() - 1\n",
+            'def f(s):\n    return bin(s).count("1")\n',
+        ],
+    )
+    def test_raw_tricks_flagged(self, lint, snippet):
+        diagnostics = lint(snippet, "bitset-discipline")
+        assert _rules_of(diagnostics) == ["bitset-discipline"]
+
+    def test_clean_code_passes(self, lint):
+        code = "from repro.graph import bitset\n\ndef f(v):\n    return bitset.singleton(v)\n"
+        assert lint(code, "bitset-discipline") == []
+
+    def test_allowed_inside_bitset_module(self, lint):
+        code = "def singleton(v):\n    return 1 << v\n"
+        assert lint(code, "bitset-discipline", filename="repro/graph/bitset.py") == []
+
+
+class TestSeededRng:
+    def test_unseeded_random_flagged(self, lint):
+        code = "import random\nrng = random.Random()\n"
+        assert _rules_of(lint(code, "seeded-rng")) == ["seeded-rng"]
+
+    def test_module_level_call_flagged(self, lint):
+        code = "import random\nx = random.randrange(5)\n"
+        assert _rules_of(lint(code, "seeded-rng")) == ["seeded-rng"]
+
+    def test_from_import_flagged(self, lint):
+        code = "from random import randrange\n"
+        assert _rules_of(lint(code, "seeded-rng")) == ["seeded-rng"]
+
+    def test_seeded_random_passes(self, lint):
+        code = "import random\nrng = random.Random(42)\nx = rng.randrange(5)\n"
+        assert lint(code, "seeded-rng") == []
+
+    def test_importing_the_class_passes(self, lint):
+        code = "from random import Random\nrng = Random(7)\n"
+        assert lint(code, "seeded-rng") == []
+
+
+class TestNoFloatCostEq:
+    def test_cost_equality_flagged(self, lint):
+        code = "def check(plan):\n    assert plan.cost == 0.0\n"
+        assert _rules_of(lint(code, "no-float-cost-eq")) == ["no-float-cost-eq"]
+
+    def test_cost_inequality_flagged(self, lint):
+        code = "def check(a, b):\n    return a.cost != b.cost\n"
+        assert _rules_of(lint(code, "no-float-cost-eq")) == ["no-float-cost-eq"]
+
+    def test_pytest_approx_passes(self, lint):
+        code = (
+            "import pytest\n\n"
+            "def check(result, baseline):\n"
+            "    assert result.cost == pytest.approx(baseline.cost)\n"
+        )
+        assert lint(code, "no-float-cost-eq") == []
+
+    def test_non_cost_equality_passes(self, lint):
+        code = "def check(a, b):\n    return a.name == b.name\n"
+        assert lint(code, "no-float-cost-eq") == []
+
+
+class TestRegistryComplete:
+    CONCRETE = textwrap.dedent(
+        """
+        from repro.partitioning.base import PartitioningStrategy
+
+        class ScratchPartitioning(PartitioningStrategy):
+            name = "scratch"
+
+            def partitions(self, graph, vertex_set):
+                return iter(())
+        """
+    )
+
+    def test_unregistered_subclass_flagged(self, lint):
+        diagnostics = lint(self.CONCRETE, "registry-complete")
+        assert _rules_of(diagnostics) == ["registry-complete"]
+        assert "ScratchPartitioning" in diagnostics[0].message
+
+    def test_registered_subclass_passes(self, lint):
+        registry = "PARTITIONINGS = {s.name: s for s in (ScratchPartitioning(),)}\n"
+        diagnostics = lint(
+            self.CONCRETE,
+            "registry-complete",
+            extra_files={"repro/partitioning/registry.py": registry},
+        )
+        assert diagnostics == []
+
+    def test_abstract_subclass_passes(self, lint):
+        code = textwrap.dedent(
+            """
+            from abc import abstractmethod
+            from repro.partitioning.base import PartitioningStrategy
+
+            class MidLayer(PartitioningStrategy):
+                @abstractmethod
+                def refine(self):
+                    ...
+            """
+        )
+        assert lint(code, "registry-complete") == []
+
+    def test_test_files_exempt(self, lint):
+        assert lint(self.CONCRETE, "registry-complete", filename="test_scratch.py") == []
+
+
+class TestNoMutableDefault:
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "def f(xs=[]):\n    return xs\n",
+            "def f(xs={}):\n    return xs\n",
+            "def f(xs=set()):\n    return xs\n",
+            "def f(*, xs=list()):\n    return xs\n",
+        ],
+    )
+    def test_mutable_default_flagged(self, lint, snippet):
+        assert _rules_of(lint(snippet, "no-mutable-default")) == ["no-mutable-default"]
+
+    def test_none_default_passes(self, lint):
+        code = "def f(xs=None):\n    return xs or []\n"
+        assert lint(code, "no-mutable-default") == []
+
+    def test_immutable_default_passes(self, lint):
+        code = "def f(xs=(), n=3):\n    return xs\n"
+        assert lint(code, "no-mutable-default") == []
+
+
+class TestNoBareExcept:
+    def test_bare_except_flagged(self, lint):
+        code = "try:\n    pass\nexcept:\n    pass\n"
+        assert _rules_of(lint(code, "no-bare-except")) == ["no-bare-except"]
+
+    def test_typed_except_passes(self, lint):
+        code = "try:\n    pass\nexcept ValueError:\n    pass\n"
+        assert lint(code, "no-bare-except") == []
+
+
+class TestBenchClock:
+    def test_time_time_in_bench_flagged(self, lint):
+        code = "import time\nstarted = time.time()\n"
+        diagnostics = lint(code, "bench-clock", filename="benchmarks/test_speed.py")
+        assert _rules_of(diagnostics) == ["bench-clock"]
+
+    def test_from_time_import_time_flagged(self, lint):
+        code = "from time import time\n"
+        diagnostics = lint(code, "bench-clock", filename="bench/harness.py")
+        assert _rules_of(diagnostics) == ["bench-clock"]
+
+    def test_perf_counter_passes(self, lint):
+        code = "import time\nstarted = time.perf_counter()\n"
+        assert lint(code, "bench-clock", filename="benchmarks/test_speed.py") == []
+
+    def test_outside_bench_paths_exempt(self, lint):
+        code = "import time\nstamp = time.time()\n"
+        assert lint(code, "bench-clock", filename="repro/io.py") == []
+
+
+class TestAllExports:
+    def test_stale_entry_flagged(self, lint):
+        code = '__all__ = ["ghost"]\n'
+        diagnostics = lint(code, "all-exports")
+        assert _rules_of(diagnostics) == ["all-exports"]
+        assert "ghost" in diagnostics[0].message
+
+    def test_unlisted_public_def_flagged(self, lint):
+        code = '__all__ = ["f"]\n\ndef f():\n    pass\n\ndef g():\n    pass\n'
+        diagnostics = lint(code, "all-exports")
+        assert _rules_of(diagnostics) == ["all-exports"]
+        assert "'g'" in diagnostics[0].message
+
+    def test_consistent_module_passes(self, lint):
+        code = (
+            '__all__ = ["f", "Widget"]\n\n'
+            "def f():\n    pass\n\n"
+            "class Widget:\n    pass\n\n"
+            "def _private():\n    pass\n"
+        )
+        assert lint(code, "all-exports") == []
+
+    def test_module_without_all_exempt(self, lint):
+        code = "def anything():\n    pass\n"
+        assert lint(code, "all-exports") == []
+
+
+class TestSyntaxError:
+    def test_unparsable_file_reported(self, lint):
+        diagnostics = lint("def broken(:\n", "no-bare-except")
+        assert _rules_of(diagnostics) == ["syntax-error"]

@@ -1,0 +1,48 @@
+"""Meta-test: the repository itself must satisfy its own lint gate.
+
+This is the executable version of the CI contract: ``python -m
+repro.analysis src benchmarks`` exits 0 on the tree, and a deliberate
+violation of any rule exits non-zero with a ``file:line`` diagnostic.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+from tests.analysis.conftest import REPO_ROOT
+
+
+def _run_linter(*args, cwd=None):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        cwd=cwd or REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+
+
+class TestRepositoryIsClean:
+    def test_src_and_benchmarks_lint_clean(self):
+        result = _run_linter("src", "benchmarks")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "no problems found" in result.stdout
+
+    def test_default_targets_match_explicit_ones(self):
+        assert _run_linter().returncode == 0
+
+
+class TestDeliberateViolation:
+    def test_violation_fails_with_location_diagnostic(self, tmp_path):
+        scratch = tmp_path / "scratch.py"
+        scratch.write_text(
+            "import random\nrng = random.Random()\n", encoding="utf-8"
+        )
+        result = _run_linter(str(scratch))
+        assert result.returncode == 1
+        # `file:line:col: rule-id message` shape on stdout.
+        assert re.search(r"scratch\.py:2:\d+: seeded-rng ", result.stdout)

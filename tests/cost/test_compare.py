@@ -1,0 +1,51 @@
+"""Tests for the epsilon-aware cost comparison helpers."""
+
+from hypothesis import given, strategies as st
+
+from repro.cost.compare import cost_is_zero, costs_close
+
+costs = st.floats(
+    min_value=0.0, max_value=1e15, allow_nan=False, allow_infinity=False
+)
+
+
+class TestCostsClose:
+    def test_exact_equality(self):
+        assert costs_close(123.0, 123.0)
+
+    def test_last_ulp_noise_is_equal(self):
+        # Classic float association: (a + b) + c != a + (b + c).
+        left = (0.1 + 0.2) + 0.3
+        right = 0.1 + (0.2 + 0.3)
+        assert left != right
+        assert costs_close(left, right)
+
+    def test_real_differences_are_detected(self):
+        assert not costs_close(100.0, 101.0)
+        assert not costs_close(0.0, 1.0)
+
+    def test_custom_relative_tolerance(self):
+        assert costs_close(100.0, 101.0, rel=0.05)
+        assert not costs_close(100.0, 110.0, rel=0.05)
+
+    @given(costs)
+    def test_reflexive(self, value):
+        assert costs_close(value, value)
+
+    @given(costs, costs)
+    def test_symmetric(self, a, b):
+        assert costs_close(a, b) == costs_close(b, a)
+
+
+class TestCostIsZero:
+    def test_zero(self):
+        assert cost_is_zero(0.0)
+        assert cost_is_zero(-0.0)
+
+    def test_rounding_noise(self):
+        assert cost_is_zero(1e-15)
+        assert cost_is_zero(-1e-15)
+
+    def test_real_costs_are_not_zero(self):
+        assert not cost_is_zero(1.0)
+        assert not cost_is_zero(1e-6)

@@ -18,6 +18,20 @@ class TestSingleton:
             bitset.singleton(-1)
 
 
+class TestFullSet:
+    def test_full_set_contains_exactly_first_n(self):
+        assert bitset.full_set(0) == bitset.EMPTY
+        assert bitset.to_list(bitset.full_set(4)) == [0, 1, 2, 3]
+
+    @given(st.integers(0, 64))
+    def test_full_set_cardinality(self, n):
+        assert bitset.bit_count(bitset.full_set(n)) == n
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            bitset.full_set(-1)
+
+
 class TestRoundTrips:
     @given(small_sets)
     def test_from_iterable_to_list_round_trip(self, indices):
@@ -50,6 +64,20 @@ class TestExtremes:
 
     def test_lowest_bit_of_empty_is_zero(self):
         assert bitset.lowest_bit(bitset.EMPTY) == 0
+
+    def test_highest_bit(self):
+        value = bitset.from_iterable({2, 5, 9})
+        assert bitset.highest_bit(value) == bitset.singleton(9)
+
+    def test_highest_bit_of_empty_is_zero(self):
+        assert bitset.highest_bit(bitset.EMPTY) == 0
+
+    @given(small_sets.filter(bool))
+    def test_highest_bit_matches_highest_index(self, indices):
+        value = bitset.from_iterable(indices)
+        assert bitset.highest_bit(value) == bitset.singleton(
+            bitset.highest_index(value)
+        )
 
 
 class TestSetAlgebra:

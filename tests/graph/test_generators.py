@@ -71,6 +71,14 @@ class TestRandomAcyclic:
         b = generators.random_acyclic_graph(8, random.Random(5))
         assert a == b
 
+    def test_default_rng_is_deterministic(self):
+        # Without an explicit rng the fixed DEFAULT_SEED applies, so repeated
+        # calls agree with each other and with an explicitly seeded call.
+        assert generators.random_acyclic_graph(8) == generators.random_acyclic_graph(8)
+        assert generators.random_acyclic_graph(8) == generators.random_acyclic_graph(
+            8, random.Random(generators.DEFAULT_SEED)
+        )
+
 
 class TestRandomCyclic:
     @given(st.integers(3, 12), st.integers(0, 2**31 - 1))
@@ -86,6 +94,9 @@ class TestRandomCyclic:
     def test_extra_edges_capped_at_clique(self):
         graph = generators.random_cyclic_graph(4, extra_edges=100, rng=random.Random(1))
         assert len(graph.edges) == 6
+
+    def test_default_rng_is_deterministic(self):
+        assert generators.random_cyclic_graph(8) == generators.random_cyclic_graph(8)
 
 
 class TestFamilyRegistry:
