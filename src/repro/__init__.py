@@ -45,9 +45,20 @@ from repro.plans import (
     JoinTree,
     LeafNode,
     PlanValidationError,
+    check_finite,
     validate_plan,
 )
 from repro.query import Query
+from repro.resilience import (
+    Budget,
+    BudgetExceeded,
+    DegradationReport,
+    FaultInjector,
+    InjectedFaultError,
+    ResilienceError,
+    ResilientOptimizer,
+    ResilientResult,
+)
 from repro.stats import OptimizationStats
 from repro.workload import (
     QueryGenerator,
@@ -93,7 +104,17 @@ __all__ = [
     "JoinNode",
     "LeafNode",
     "validate_plan",
+    "check_finite",
     "PlanValidationError",
+    # resilience (anytime optimization and graceful degradation)
+    "Budget",
+    "BudgetExceeded",
+    "DegradationReport",
+    "FaultInjector",
+    "InjectedFaultError",
+    "ResilienceError",
+    "ResilientOptimizer",
+    "ResilientResult",
     # workload
     "QueryGenerator",
     "WorkloadSuite",

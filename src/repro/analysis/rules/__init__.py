@@ -9,6 +9,7 @@ from repro.analysis.rules import (  # noqa: F401
     mutable_default,
     registry_complete,
     seeded_rng,
+    silent_fallback,
 )
 
 __all__ = [
@@ -20,4 +21,5 @@ __all__ = [
     "mutable_default",
     "registry_complete",
     "seeded_rng",
+    "silent_fallback",
 ]

@@ -1,0 +1,41 @@
+"""``no-silent-fallback`` — an except body of only ``pass``/``continue``.
+
+Swallowing an exception without recording anything turns failures into
+silently-wrong results: a cost model that blew up looks exactly like one
+that priced the plan, a skipped query looks like a measured one.  The
+resilience layer (``repro.resilience``) exists precisely so that failures
+are *recorded* — a degradation report, a ``failures`` entry in the
+measurement, a typed re-raise — never dropped.  Handlers must do at least
+one observable thing: log, count, substitute a sentinel, or re-raise.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.asthelpers import diagnostic_at
+from repro.analysis.registry import Rule, register_rule
+
+__all__ = ["NoSilentFallback"]
+
+
+@register_rule
+class NoSilentFallback(Rule):
+    id = "no-silent-fallback"
+    description = (
+        "except handlers must not silently drop the error "
+        "(body of only pass/continue)"
+    )
+
+    def check_module(self, module):
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if all(isinstance(stmt, (ast.Pass, ast.Continue)) for stmt in node.body):
+                yield diagnostic_at(
+                    module,
+                    node,
+                    self.id,
+                    "except handler swallows the error without recording it; "
+                    "count/report the failure (see repro.resilience) or re-raise",
+                )

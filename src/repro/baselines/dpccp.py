@@ -16,7 +16,7 @@ enumerate; the overhead is charged to DPccp's measured runtime).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
 
 from repro.cost.cout import CoutCostModel
 from repro.cost.haas import HaasCostModel
@@ -30,6 +30,9 @@ from repro.plans.join_tree import JoinTree
 from repro.plans.memo import MemoTable
 from repro.query import Query
 from repro.stats.counters import OptimizationStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a package cycle
+    from repro.resilience.budget import Budget
 
 __all__ = ["DPccp", "enumerate_csg_cmp_pairs", "enumerate_csg"]
 
@@ -95,6 +98,7 @@ class DPccp:
         query: Query,
         cost_model: Optional[CostModel] = None,
         stats: Optional[OptimizationStats] = None,
+        budget: Optional["Budget"] = None,
     ):
         self._query = query
         self._graph = query.graph
@@ -104,6 +108,7 @@ class DPccp:
             model.bind(self._provider)
         self._builder = PlanBuilder(self._provider, model, stats)
         self._memo = MemoTable()
+        self._budget = budget
 
     @property
     def memo(self) -> MemoTable:
@@ -122,14 +127,19 @@ class DPccp:
             return self._memo.best(self._graph.all_vertices)
 
         # Bucket ccps by result size so every sub-plan exists when needed.
+        budget = self._budget
         buckets: Dict[int, List[Tuple[int, int]]] = {}
         for left, right in enumerate_csg_cmp_pairs(self._graph):
+            if budget is not None:
+                budget.check(len(self._memo))
             self.stats.ccps_enumerated += 1
             buckets.setdefault(bitset.bit_count(left | right), []).append(
                 (left, right)
             )
         for size in sorted(buckets):
             for left, right in buckets[size]:
+                if budget is not None:
+                    budget.check(len(self._memo))
                 self.stats.ccps_considered += 1
                 left_tree = self._memo.best(left)
                 right_tree = self._memo.best(right)

@@ -127,24 +127,38 @@ CLAIMS = (
 )
 
 
-def load_results(results_dir: Path) -> Dict[str, Dict]:
-    """Load every ``<experiment>.json`` under ``results_dir``."""
+def load_results(
+    results_dir: Path, skipped: Optional[List[str]] = None
+) -> Dict[str, Dict]:
+    """Load every ``<experiment>.json`` under ``results_dir``.
+
+    Unparseable files are not silently dropped: their names are appended to
+    ``skipped`` (when given), so the report can say which artifacts were
+    ignored instead of presenting a truncated result set as complete.
+    """
     results: Dict[str, Dict] = {}
     for path in sorted(Path(results_dir).glob("*.json")):
         try:
             results[path.stem] = json.loads(path.read_text())
         except json.JSONDecodeError:
-            continue
+            if skipped is not None:
+                skipped.append(path.name)
     return results
 
 
 def render_report(results_dir: Path) -> str:
     """Markdown paper-vs-measured summary from the results directory."""
-    results = load_results(results_dir)
+    skipped: List[str] = []
+    results = load_results(results_dir, skipped=skipped)
     lines: List[str] = [
         "# Paper vs. measured",
         "",
         f"Artifacts found: {', '.join(sorted(results)) or '(none)'}",
+        *(
+            [f"Artifacts skipped (unparseable): {', '.join(skipped)}"]
+            if skipped
+            else []
+        ),
         "",
         "| Claim | Paper | Measured |",
         "|---|---|---|",

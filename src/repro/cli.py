@@ -11,6 +11,11 @@ Examples::
     # Pick algorithms and inspect the machine-readable plan:
     repro-optimize --family clique --relations 8 \
         --enumerator mincut_branch --pruning apcb --json
+
+    # Anytime optimization: bound the run and degrade gracefully instead
+    # of running forever on a hard query:
+    repro-optimize --family clique --relations 14 \
+        --deadline-ms 100 --resilient
 """
 
 from __future__ import annotations
@@ -21,10 +26,11 @@ import sys
 from pathlib import Path
 
 from repro.bench.harness import PAPER_ALGORITHMS
-from repro.core.optimizer import optimize, run_dpccp
+from repro.core.optimizer import algorithm_label, optimize, run_dpccp
 from repro.errors import ReproError
 from repro.io import load_query, plan_to_dict
 from repro.partitioning.registry import available_partitionings
+from repro.resilience import Budget, ResilientOptimizer
 from repro.workload.generator import generate_query
 
 __all__ = ["main"]
@@ -72,6 +78,26 @@ def _build_parser() -> argparse.ArgumentParser:
         help="join heuristic for APCBI's upper bounds",
     )
     parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="wall-clock budget for the optimization (anytime mode)",
+    )
+    parser.add_argument(
+        "--max-expansions",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap on enumeration expansions (anytime mode)",
+    )
+    parser.add_argument(
+        "--resilient",
+        action="store_true",
+        help="degrade to a heuristic plan instead of failing when the "
+        "budget runs out; prints the degradation report",
+    )
+    parser.add_argument(
         "--verify",
         action="store_true",
         help="cross-check the optimal cost against DPccp",
@@ -86,6 +112,15 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
+    budget = None
+    if args.deadline_ms is not None or args.max_expansions is not None:
+        budget = Budget(
+            deadline_seconds=(
+                args.deadline_ms / 1000.0 if args.deadline_ms is not None else None
+            ),
+            max_expansions=args.max_expansions,
+        )
+    report = None
     try:
         if args.query is not None:
             query = load_query(args.query)
@@ -94,42 +129,66 @@ def main(argv=None) -> int:
                 args.family, args.relations, seed=args.seed,
                 join_scheme=args.join_scheme,
             )
-        result = optimize(
-            query,
-            enumerator=args.enumerator,
-            pruning=args.pruning,
-            heuristic=args.heuristic,
-        )
+        if args.resilient:
+            resilient = ResilientOptimizer(
+                enumerator=args.enumerator,
+                pruning=args.pruning,
+                heuristic=args.heuristic,
+            ).optimize(query, budget=budget)
+            report = resilient.report
+            label = algorithm_label(args.enumerator, args.pruning)
+            if report.degraded:
+                label = f"{label} (degraded: {report.rung})"
+            plan, cost = resilient.plan, resilient.cost
+            elapsed, stats = resilient.elapsed, resilient.stats
+        else:
+            result = optimize(
+                query,
+                enumerator=args.enumerator,
+                pruning=args.pruning,
+                heuristic=args.heuristic,
+                budget=budget,
+            )
+            label, plan, cost = result.label, result.plan, result.cost
+            elapsed, stats = result.elapsed, result.stats
     except (ReproError, OSError, json.JSONDecodeError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
 
     verified = None
-    if args.verify:
+    if args.verify and (report is None or not report.degraded):
         baseline = run_dpccp(query)
-        verified = abs(result.cost - baseline.cost) <= 1e-6 * max(
-            1.0, baseline.cost
-        )
+        verified = abs(cost - baseline.cost) <= 1e-6 * max(1.0, baseline.cost)
 
     if args.json:
         payload = {
-            "algorithm": result.label,
-            "cost": result.cost,
-            "elapsed_seconds": result.elapsed,
-            "plan": plan_to_dict(result.plan),
-            "stats": result.stats.as_dict(),
+            "algorithm": label,
+            "cost": cost,
+            "elapsed_seconds": elapsed,
+            "plan": plan_to_dict(plan),
+            "stats": stats.as_dict(),
         }
+        if report is not None:
+            payload["degradation"] = {
+                "rung": report.rung,
+                "degraded": report.degraded,
+                "attempts": [attempt.format() for attempt in report.attempts],
+                "budget": report.budget,
+            }
         if verified is not None:
             payload["verified_against_dpccp"] = verified
         print(json.dumps(payload, indent=2))
     else:
         print(f"query      : {query.describe()}")
-        print(f"algorithm  : {result.label}")
-        print(f"cost       : {result.cost:,.2f}")
-        print(f"elapsed    : {result.elapsed * 1000:.2f} ms")
-        print(f"plan       : {result.plan.sexpr()}")
+        print(f"algorithm  : {label}")
+        print(f"cost       : {cost:,.2f}")
+        print(f"elapsed    : {elapsed * 1000:.2f} ms")
+        print(f"plan       : {plan.sexpr()}")
         print()
-        print(result.explain())
+        print(plan.explain())
+        if report is not None:
+            print()
+            print(report.describe())
         if verified is not None:
             print()
             print(f"verified against DPccp: {'OK' if verified else 'MISMATCH'}")

@@ -37,6 +37,7 @@ class AcbPlanGenerator(PlanGeneratorBase):
 
     def _tdpg(self, vertex_set: int, budget: float) -> Optional[JoinTree]:
         """Fig. 3; returns the best tree or ``None`` if none fits ``budget``."""
+        self._charge_budget()
         best = self._memo.best(vertex_set)
         if best is not None:
             self.stats.memo_hits += 1

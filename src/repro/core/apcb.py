@@ -40,6 +40,7 @@ class ApcbPlanGenerator(PlanGeneratorBase):
         return self._finish()
 
     def _tdpg(self, vertex_set: int, budget: float) -> Optional[JoinTree]:
+        self._charge_budget()
         best = self._memo.best(vertex_set)
         if best is not None:
             self.stats.memo_hits += 1

@@ -113,6 +113,7 @@ class ApcbiPlanGenerator(PlanGeneratorBase):
         return self._finish()
 
     def _tdpg(self, vertex_set: int, budget: float) -> Optional[JoinTree]:
+        self._charge_budget()
         memo = self._memo
         bounds = self._bounds
         stats = self.stats

@@ -17,20 +17,33 @@ Three tables parallel the memotable:
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Mapping, Optional
 
 __all__ = ["BoundsTable"]
 
 
 class BoundsTable:
-    """Lower/upper bounds and request-attempt counts per plan class."""
+    """Lower/upper bounds and request-attempt counts per plan class.
+
+    Both update paths reject non-finite values: ``lB[S] = inf`` would claim
+    no plan exists at all (pruning everything), ``uB[S] = NaN`` would poison
+    every later budget comparison into silent falsehood, and ``lB[S] = NaN``
+    previously slipped through only because ``NaN > current`` happens to be
+    false.  A cost model failing open (fault injection, broken statistics)
+    therefore cannot corrupt the pruning state — the bogus bound is simply
+    not recorded, which is always sound (unset bounds are the weakest
+    valid claim).
+    """
 
     __slots__ = ("_lower", "_upper", "_attempts")
 
     def __init__(self, upper_bounds: Optional[Mapping[int, float]] = None):
         self._lower: Dict[int, float] = {}
-        self._upper: Dict[int, float] = dict(upper_bounds or {})
+        self._upper: Dict[int, float] = {}
         self._attempts: Dict[int, int] = {}
+        for vertex_set, bound in (upper_bounds or {}).items():
+            self.lower_upper(vertex_set, bound)
 
     # -- lower bounds ----------------------------------------------------
 
@@ -39,7 +52,9 @@ class BoundsTable:
         return self._lower.get(vertex_set, 0.0)
 
     def raise_lower(self, vertex_set: int, bound: float) -> None:
-        """Record a proven lower bound (kept monotone)."""
+        """Record a proven lower bound (kept monotone, finite only)."""
+        if not math.isfinite(bound):
+            return
         current = self._lower.get(vertex_set, 0.0)
         if bound > current:
             self._lower[vertex_set] = bound
@@ -51,7 +66,9 @@ class BoundsTable:
         return self._upper.get(vertex_set)
 
     def lower_upper(self, vertex_set: int, bound: float) -> None:
-        """Record an upper bound (kept monotone downward)."""
+        """Record an upper bound (kept monotone downward, finite only)."""
+        if not math.isfinite(bound):
+            return
         current = self._upper.get(vertex_set)
         if current is None or bound < current:
             self._upper[vertex_set] = bound

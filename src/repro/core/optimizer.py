@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Type
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Type
 
 from repro.baselines.dpccp import DPccp
 from repro.core.acb import AcbPlanGenerator
@@ -31,7 +31,7 @@ from repro.cost.cout import CoutCostModel
 from repro.cost.haas import HaasCostModel
 from repro.cost.model import CostModel
 from repro.cost.statistics import StatisticsProvider
-from repro.errors import UnknownAlgorithmError
+from repro.errors import BudgetExceeded, UnknownAlgorithmError
 from repro.graph.renumber import invert_mapping, remap_bitset, renumber_mapping
 from repro.heuristics.registry import get_heuristic
 from repro.partitioning.registry import get_partitioning
@@ -39,6 +39,9 @@ from repro.plans.builder import PlanBuilder
 from repro.plans.join_tree import JoinTree
 from repro.query import Query
 from repro.stats.counters import OptimizationStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a package cycle
+    from repro.resilience.budget import Budget
 
 __all__ = [
     "OptimizationResult",
@@ -152,22 +155,43 @@ class Optimizer:
 
     # ------------------------------------------------------------------
 
-    def optimize(self, query: Query) -> OptimizationResult:
-        """Find an optimal join tree for ``query``."""
+    def optimize(
+        self, query: Query, budget: Optional["Budget"] = None
+    ) -> OptimizationResult:
+        """Find an optimal join tree for ``query``.
+
+        ``budget`` (a :class:`repro.resilience.Budget`) makes the run
+        *anytime*: enumeration checks it cooperatively and raises
+        :class:`~repro.errors.BudgetExceeded` when it runs out.  Before
+        propagating, the exception is enriched with the best complete plan
+        registered so far (``partial_plan``, relabeled into the caller's
+        relation numbering when advancement 6 renumbered the graph), so
+        callers such as :class:`repro.resilience.ResilientOptimizer` can
+        degrade gracefully instead of losing all work.
+        """
+        if budget is not None:
+            budget.start()
         if self.pruning in PRUNING_STRATEGIES:
-            return self._optimize_simple(query)
-        return self._optimize_apcbi(query)
+            return self._optimize_simple(query, budget)
+        return self._optimize_apcbi(query, budget)
 
     # -- simple strategies (none / acb / pcb / apcb) -----------------------
 
-    def _optimize_simple(self, query: Query) -> OptimizationResult:
+    def _optimize_simple(
+        self, query: Query, budget: Optional["Budget"] = None
+    ) -> OptimizationResult:
         partitioning = get_partitioning(self.enumerator)
         stats = OptimizationStats()
         generator_cls = PRUNING_STRATEGIES[self.pruning]
         model = self._cost_model_factory()
         started = time.perf_counter()
-        generator = generator_cls(query, partitioning, model, stats)
-        plan = generator.run()
+        generator = generator_cls(query, partitioning, model, stats, budget=budget)
+        try:
+            plan = generator.run()
+        except BudgetExceeded as error:
+            error.partial_plan = generator.memo.best(query.graph.all_vertices)
+            error.memo_entries = len(generator.memo)
+            raise
         elapsed = time.perf_counter() - started
         return OptimizationResult(
             plan=plan,
@@ -182,17 +206,23 @@ class Optimizer:
 
     # -- APCBI / APCBI_Opt -------------------------------------------------
 
-    def _optimize_apcbi(self, query: Query) -> OptimizationResult:
+    def _optimize_apcbi(
+        self, query: Query, budget: Optional["Budget"] = None
+    ) -> OptimizationResult:
         partitioning = get_partitioning(self.enumerator)
         stats = OptimizationStats()
         config = self.config
         model = self._cost_model_factory()
 
         # APCBI_Opt: oracle upper bounds from an *untimed* DPccp pre-pass.
+        # The pre-pass shares the run's budget: it is excluded from the
+        # *measured* time (§V-C) but not from the caller's wall-clock
+        # allowance — an anytime contract that ignored the most expensive
+        # phase would be useless.
         oracle_plan: Optional[JoinTree] = None
         oracle_bounds: Optional[Dict[int, float]] = None
         if self.pruning == "apcbi_opt":
-            oracle = DPccp(query, self._cost_model_factory())
+            oracle = DPccp(query, self._cost_model_factory(), budget=budget)
             oracle_plan = oracle.run()
             oracle_bounds = oracle.optimal_class_costs()
 
@@ -200,6 +230,10 @@ class Optimizer:
         run_query = query
         mapping = None
         upper_bounds = oracle_bounds
+        # A complete heuristic tree in the *original* numbering; doubles as
+        # the anytime fallback when the budget expires before enumeration
+        # registers a root plan.
+        heuristic_tree: Optional[JoinTree] = None
         if config.renumber_graph and query.n_relations > 2:
             # Advancement 6 needs a heuristic join tree before enumeration.
             # For APCBI_Opt the oracle's optimal tree doubles as the
@@ -235,8 +269,21 @@ class Optimizer:
             config=config,
             upper_bounds=upper_bounds,
             heuristic=get_heuristic(self.heuristic),
+            budget=budget,
         )
-        plan = generator.run()
+        try:
+            plan = generator.run()
+        except BudgetExceeded as error:
+            partial = generator.memo.best(run_query.graph.all_vertices)
+            if partial is not None and mapping is not None:
+                partial = partial.relabel(invert_mapping(mapping))
+            if partial is None:
+                # Advancement 2/6 built a complete heuristic tree before
+                # enumeration started — the legitimate best-so-far plan.
+                partial = heuristic_tree or generator.heuristic_tree
+            error.partial_plan = partial
+            error.memo_entries = len(generator.memo)
+            raise
         if mapping is not None:
             plan = plan.relabel(invert_mapping(mapping))
         elapsed = time.perf_counter() - started
@@ -259,6 +306,7 @@ def optimize(
     cost_model_factory: Callable[[], CostModel] = HaasCostModel,
     config: Optional[AdvancementConfig] = None,
     heuristic: str = "goo",
+    budget: Optional["Budget"] = None,
 ) -> OptimizationResult:
     """One-shot convenience wrapper around :class:`Optimizer`."""
     return Optimizer(
@@ -267,17 +315,20 @@ def optimize(
         cost_model_factory=cost_model_factory,
         config=config,
         heuristic=heuristic,
-    ).optimize(query)
+    ).optimize(query, budget=budget)
 
 
 def run_dpccp(
     query: Query,
     cost_model_factory: Callable[[], CostModel] = HaasCostModel,
+    budget: Optional["Budget"] = None,
 ) -> OptimizationResult:
     """Run the bottom-up baseline with the same result envelope."""
     stats = OptimizationStats()
     started = time.perf_counter()
-    algorithm = DPccp(query, cost_model_factory(), stats)
+    if budget is not None:
+        budget.start()
+    algorithm = DPccp(query, cost_model_factory(), stats, budget=budget)
     plan = algorithm.run()
     elapsed = time.perf_counter() - started
     return OptimizationResult(

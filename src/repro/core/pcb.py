@@ -30,6 +30,7 @@ class PcbPlanGenerator(PlanGeneratorBase):
         return self._finish()
 
     def _tdpg(self, vertex_set: int) -> JoinTree:
+        self._charge_budget()
         tree = self._memo.best(vertex_set)
         if tree is not None:
             if vertex_set & (vertex_set - 1):

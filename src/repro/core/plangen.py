@@ -9,7 +9,7 @@ unpruned instantiation: a straight memoization recursion over
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Tuple
+from typing import TYPE_CHECKING, Iterator, Optional, Tuple
 
 from repro.cost.cout import CoutCostModel
 from repro.cost.haas import HaasCostModel
@@ -23,6 +23,9 @@ from repro.plans.join_tree import JoinTree
 from repro.plans.memo import MemoTable
 from repro.query import Query
 from repro.stats.counters import OptimizationStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a package cycle
+    from repro.resilience.budget import Budget
 
 __all__ = ["PlanGeneratorBase", "TopDownPlanGenerator", "INFINITY"]
 
@@ -46,6 +49,7 @@ class PlanGeneratorBase:
         partitioning: PartitioningStrategy,
         cost_model: Optional[CostModel] = None,
         stats: Optional[OptimizationStats] = None,
+        budget: Optional["Budget"] = None,
     ):
         self._query = query
         self._graph = query.graph
@@ -57,6 +61,7 @@ class PlanGeneratorBase:
         self._cost_model = model
         self._builder = PlanBuilder(self._provider, model, stats)
         self._memo = MemoTable()
+        self._budget = budget
         for index in range(query.n_relations):
             self._memo.register(self._builder.leaf(query, index))
 
@@ -82,11 +87,34 @@ class PlanGeneratorBase:
     def partitioning(self) -> PartitioningStrategy:
         return self._partitioning
 
+    @property
+    def budget(self) -> Optional["Budget"]:
+        return self._budget
+
     # -- helpers -------------------------------------------------------------
 
+    def _charge_budget(self) -> None:
+        """Cooperative budget check; every ``_tdpg`` entry calls this.
+
+        Raises :class:`~repro.errors.BudgetExceeded` when the run's wall
+        clock, expansion count or memotable size exceeds its allowance.
+        A ``None`` budget makes this a cheap no-op, so unbudgeted runs pay
+        only one attribute load and comparison per expansion.
+        """
+        if self._budget is not None:
+            self._budget.check(len(self._memo))
+
     def _partitions(self, vertex_set: int) -> Iterator[Tuple[int, int]]:
-        """Enumerate ``P_ccp_sym(S)``, with accounting."""
+        """Enumerate ``P_ccp_sym(S)``, with accounting and budget checks.
+
+        Checking per emitted ccp (not just per expansion) keeps a single
+        pathological plan class — an 18-relation clique root has ~3^18
+        ccps — from outliving the deadline by an unbounded margin.
+        """
+        budget = self._budget
         for pair in self._partitioning.partitions(self._graph, vertex_set):
+            if budget is not None:
+                budget.check(len(self._memo))
             self.stats.ccps_enumerated += 1
             yield pair
 
@@ -117,6 +145,7 @@ class TopDownPlanGenerator(PlanGeneratorBase):
 
     def _tdpgsub(self, vertex_set: int) -> JoinTree:
         """TDPGSUB: optimal join tree for a connected ``vertex_set``."""
+        self._charge_budget()
         tree = self._memo.best(vertex_set)
         if tree is not None:
             if vertex_set & (vertex_set - 1):

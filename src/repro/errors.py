@@ -14,6 +14,9 @@ __all__ = [
     "CatalogError",
     "OptimizationError",
     "UnknownAlgorithmError",
+    "BudgetExceeded",
+    "InjectedFaultError",
+    "ResilienceError",
 ]
 
 
@@ -39,3 +42,46 @@ class OptimizationError(ReproError):
 
 class UnknownAlgorithmError(ReproError, KeyError):
     """Raised when an enumerator or pruning strategy name is not registered."""
+
+
+class BudgetExceeded(OptimizationError):
+    """Raised cooperatively when a :class:`repro.resilience.Budget` runs out.
+
+    ``reason`` names the exhausted dimension (``"deadline"``,
+    ``"expansions"`` or ``"memo"``).  The optimizer facade enriches in-flight
+    instances with the best complete plan registered so far (``partial_plan``,
+    already relabeled into the caller's relation numbering) and the memotable
+    size at the point of interruption, so anytime callers can salvage work.
+    """
+
+    def __init__(self, reason: str, detail: str = ""):
+        message = f"optimization budget exceeded ({reason})"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+        self.reason = reason
+        self.detail = detail
+        #: Best complete plan for the root at interruption time, if any.
+        self.partial_plan = None
+        #: Memotable entries at interruption time.
+        self.memo_entries = 0
+
+
+class InjectedFaultError(ReproError):
+    """Raised by :class:`repro.resilience.FaultInjector` in ``raise`` mode.
+
+    A distinct type so tests and the degradation ladder can tell injected
+    failures from organic optimizer bugs.
+    """
+
+
+class ResilienceError(OptimizationError):
+    """Raised when every rung of the degradation ladder failed.
+
+    Carries the :class:`repro.resilience.DegradationReport` describing what
+    was attempted and why each rung failed.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report

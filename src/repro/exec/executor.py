@@ -17,6 +17,7 @@ from repro.cost.statistics import StatisticsProvider
 from repro.exec.data import Database
 from repro.exec.operators import CompositeRow, hash_join, nested_loop_join, scan
 from repro.plans.join_tree import JoinNode, JoinTree, LeafNode
+from repro.plans.validation import check_finite
 
 __all__ = ["ExecutionResult", "execute_plan", "result_signature", "validate_estimates"]
 
@@ -36,7 +37,15 @@ class ExecutionResult:
 def execute_plan(
     plan: JoinTree, database: Database, use_nested_loops: bool = False
 ) -> ExecutionResult:
-    """Execute ``plan`` bottom-up; see the module docstring."""
+    """Execute ``plan`` bottom-up; see the module docstring.
+
+    Plans are vetted with :func:`repro.plans.validation.check_finite`
+    before any operator runs: a tree carrying ``NaN``/``Inf`` cardinalities
+    or negative costs (a poisoned cost model, fault injection) raises a
+    typed :class:`~repro.plans.validation.PlanValidationError` instead of
+    silently producing garbage row counts.
+    """
+    check_finite(plan)
     result = ExecutionResult(rows=[])
     result.rows = _execute(plan, database, result, use_nested_loops)
     return result

@@ -5,6 +5,7 @@ from repro.plans.join_tree import JoinNode, JoinTree, LeafNode
 from repro.plans.memo import MemoTable
 from repro.plans.validation import (
     PlanValidationError,
+    check_finite,
     recompute_cost,
     validate_plan,
 )
@@ -16,6 +17,7 @@ __all__ = [
     "MemoTable",
     "PlanBuilder",
     "validate_plan",
+    "check_finite",
     "recompute_cost",
     "PlanValidationError",
 ]

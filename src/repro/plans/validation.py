@@ -9,9 +9,10 @@ raise :class:`PlanValidationError` with a precise description.
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
-from repro.cost.compare import cost_is_zero, costs_close
+from repro.cost.compare import COST_ABS_TOLERANCE, cost_is_zero, costs_close
 from repro.cost.model import CostModel
 from repro.cost.statistics import StatisticsProvider
 from repro.errors import ReproError
@@ -19,7 +20,7 @@ from repro.graph import bitset
 from repro.plans.join_tree import JoinNode, JoinTree, LeafNode
 from repro.query import Query
 
-__all__ = ["PlanValidationError", "validate_plan", "recompute_cost"]
+__all__ = ["PlanValidationError", "validate_plan", "check_finite", "recompute_cost"]
 
 #: Relative tolerance for cost recomputation (costs are sums of
 #: integer-valued page counts, so this is generous).
@@ -74,6 +75,45 @@ def validate_plan(
             f"plan cost {plan.cost!r} does not match recomputation "
             f"{recomputed!r}",
         )
+
+
+def check_finite(plan: JoinTree) -> None:
+    """Reject plans carrying non-finite or negative numbers.
+
+    A cost model that fails open (``NaN``/``Inf`` returns, e.g. under fault
+    injection or a broken statistics pipeline) produces trees whose shape
+    is fine but whose numbers are garbage; executing or benchmarking such a
+    plan silently corrupts every downstream total.  This walk raises
+    :class:`PlanValidationError` on the first node whose cost or
+    cardinality is not a finite non-negative float (negativity judged with
+    the shared epsilon of :mod:`repro.cost.compare`).
+    """
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        _check(
+            math.isfinite(node.cost),
+            f"non-finite cost {node.cost!r} at "
+            f"{bitset.format_set(node.vertex_set)}",
+        )
+        _check(
+            node.cost >= -COST_ABS_TOLERANCE,
+            f"negative cost {node.cost!r} at "
+            f"{bitset.format_set(node.vertex_set)}",
+        )
+        _check(
+            math.isfinite(node.cardinality),
+            f"non-finite cardinality {node.cardinality!r} at "
+            f"{bitset.format_set(node.vertex_set)}",
+        )
+        _check(
+            node.cardinality >= 0,
+            f"negative cardinality {node.cardinality!r} at "
+            f"{bitset.format_set(node.vertex_set)}",
+        )
+        if isinstance(node, JoinNode):
+            stack.append(node.left)
+            stack.append(node.right)
 
 
 def _validate_node(

@@ -1,0 +1,45 @@
+"""Resilience layer: budgets, fault injection, graceful degradation.
+
+The paper's thesis is that pruned top-down enumeration is *robust* — it
+survives query shapes that blow other enumerators up.  This package turns
+that robustness into an operational contract:
+
+* :class:`Budget` — cooperative wall-clock / expansion / memo-size limits
+  threaded through every plan generator (anytime optimization);
+* :class:`ResilientOptimizer` — a degradation ladder (exact → best-so-far
+  → IKKBZ → GOO → QuickPick → structural fallback) that always returns a
+  validated plan or a typed :class:`~repro.errors.ResilienceError`, plus a
+  :class:`DegradationReport` describing what happened;
+* :class:`FaultInjector` — seeded, context-manager-based injection of
+  cost-model, partitioner and catalog failures, used to *prove* the ladder
+  catches each failure mode.
+
+See ``docs/resilience.md`` for the full design.
+"""
+
+from repro.errors import BudgetExceeded, InjectedFaultError, ResilienceError
+from repro.resilience.budget import Budget
+from repro.resilience.fallback import structural_fallback_plan
+from repro.resilience.faults import COST_FAULT_MODES, FaultInjector
+from repro.resilience.optimizer import (
+    DEFAULT_HEURISTIC_LADDER,
+    DegradationReport,
+    ResilientOptimizer,
+    ResilientResult,
+    RungAttempt,
+)
+
+__all__ = [
+    "Budget",
+    "BudgetExceeded",
+    "COST_FAULT_MODES",
+    "DEFAULT_HEURISTIC_LADDER",
+    "DegradationReport",
+    "FaultInjector",
+    "InjectedFaultError",
+    "ResilienceError",
+    "ResilientOptimizer",
+    "ResilientResult",
+    "RungAttempt",
+    "structural_fallback_plan",
+]

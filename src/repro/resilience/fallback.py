@@ -1,0 +1,77 @@
+"""Last-resort plan construction without a cost model.
+
+Every upper rung of the degradation ladder prices candidate trees with the
+configured cost model — which is exactly the component that may be broken
+(raising, or returning ``NaN``/``Inf``) when resilience matters most.  This
+module builds a *structurally valid* join tree from nothing but the query
+graph and the catalog's cardinality estimates: a greedy
+minimum-intermediate-cardinality pairing (GOO's selection rule) that never
+invokes the cost model, assembling :class:`~repro.plans.join_tree.JoinNode`
+objects directly with operator cost 0.
+
+The resulting tree's *cost* field is therefore meaningless (zero), but its
+shape satisfies every invariant :func:`repro.plans.validation.validate_plan`
+checks without a cost model: exact relation cover, disjoint connected
+inputs, no cross products, provider-consistent cardinalities.  That is the
+strongest guarantee any optimizer can honour once its cost model has
+failed.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cost.statistics import StatisticsProvider
+from repro.errors import OptimizationError
+from repro.plans.join_tree import JoinNode, JoinTree, LeafNode
+from repro.query import Query
+
+__all__ = ["structural_fallback_plan"]
+
+
+def structural_fallback_plan(query: Query) -> JoinTree:
+    """A valid cross-product-free join tree built without a cost model.
+
+    Greedily joins the connected pair of subtrees with the smallest
+    estimated result cardinality (ties broken by lowest vertex set, for
+    determinism).  Raises :class:`~repro.errors.OptimizationError` if no
+    joinable pair exists, which for a connected query graph indicates
+    corrupted inputs rather than a planning failure.
+    """
+    graph = query.graph
+    provider = StatisticsProvider(query)
+    forest: List[JoinTree] = [
+        LeafNode(
+            index,
+            query.catalog.cardinality(index),
+            query.catalog.relation(index).name,
+        )
+        for index in range(query.n_relations)
+    ]
+    while len(forest) > 1:
+        best_i, best_j = -1, -1
+        best_key = (float("inf"), float("inf"))
+        for i in range(len(forest)):
+            set_i = forest[i].vertex_set
+            for j in range(i + 1, len(forest)):
+                set_j = forest[j].vertex_set
+                if not graph.are_connected(set_i, set_j):
+                    continue
+                union = set_i | set_j
+                key = (provider.cardinality(union), float(union))
+                if key < best_key:
+                    best_key = key
+                    best_i, best_j = i, j
+        if best_i < 0:
+            raise OptimizationError(
+                "structural fallback found no joinable pair; the query "
+                "graph or its statistics are corrupted"
+            )
+        left = forest[best_i]
+        right = forest[best_j]
+        joined = JoinNode(
+            left, right, provider.cardinality(left.vertex_set | right.vertex_set), 0.0
+        )
+        forest[best_i] = joined
+        del forest[best_j]
+    return forest[0]

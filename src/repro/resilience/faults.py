@@ -1,0 +1,299 @@
+"""Seeded fault injection for resilience testing.
+
+A :class:`FaultInjector` wraps the three components whose misbehaviour the
+degradation ladder must survive:
+
+* the **cost model** — :meth:`FaultInjector.cost_model` returns a wrapper
+  that, while the injector is armed, raises
+  :class:`~repro.errors.InjectedFaultError` or returns ``NaN``/``Inf``
+  instead of a real operator cost;
+* the **partitioner** — :meth:`FaultInjector.partitioning` returns a
+  wrapper that substitutes a *bogus cut* (an overlapping, non-covering
+  pair) for a real ccp;
+* the **catalog** — :meth:`FaultInjector.catalog` returns a proxy that
+  makes one relation's statistics unavailable
+  (:class:`~repro.errors.CatalogError`).
+
+Two invariants make the injector usable in correctness tests:
+
+* **determinism** — all firing decisions come from one ``random.Random``
+  seeded at :meth:`arm` time, so a given seed injects the same faults at
+  the same call sites on every run;
+* **transparency when disarmed** — a wrapper with its injector disarmed is
+  a pure pass-through, so wrapped and unwrapped runs are bit-identical
+  (covered by tests).
+
+The injector is a context manager; entering arms it (resetting the RNG),
+leaving disarms it::
+
+    injector = FaultInjector(seed=7, rate=0.5)
+    factory = injector.cost_model_factory(HaasCostModel, mode="nan")
+    with injector:
+        result = resilient.optimize(query)   # faults active
+    clean = resilient.optimize(query)        # pass-through again
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+from repro.catalog.catalog import Catalog
+from repro.cost.model import CostModel
+from repro.cost.statistics import IntermediateStats
+from repro.errors import CatalogError, InjectedFaultError
+from repro.graph import bitset
+from repro.graph.query_graph import QueryGraph
+from repro.partitioning.base import PartitioningStrategy
+from repro.query import Query
+
+__all__ = ["FaultInjector", "COST_FAULT_MODES"]
+
+#: Supported cost-model fault modes.
+COST_FAULT_MODES = ("raise", "nan", "inf")
+
+
+class FaultInjector:
+    """Deterministic, armable source of injected component failures.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the firing RNG; re-seeded on every :meth:`arm` so repeated
+        armed runs inject identically.
+    rate:
+        Probability that an eligible call site fires while armed.
+    after:
+        Number of eligible calls to let through before any fault may fire
+        (lets tests poison a run mid-flight rather than at the first call).
+    """
+
+    def __init__(self, seed: int = 0, rate: float = 1.0, after: int = 0):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        if after < 0:
+            raise ValueError(f"after must be >= 0, got {after}")
+        self.seed = seed
+        self.rate = rate
+        self.after = after
+        self.active = False
+        #: Fault-point name -> number of faults actually injected.
+        self.injected: Dict[str, int] = {}
+        self._rng = random.Random(seed)
+        self._eligible_calls = 0
+
+    # -- arming ----------------------------------------------------------
+
+    def arm(self) -> "FaultInjector":
+        """Activate injection and reset the RNG / call counters."""
+        self.active = True
+        self._rng = random.Random(self.seed)
+        self._eligible_calls = 0
+        self.injected = {}
+        return self
+
+    def disarm(self) -> None:
+        self.active = False
+
+    def __enter__(self) -> "FaultInjector":
+        return self.arm()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.disarm()
+        return False
+
+    def _fire(self, point: str) -> bool:
+        """One firing decision; only advances RNG state while armed."""
+        if not self.active:
+            return False
+        self._eligible_calls += 1
+        if self._eligible_calls <= self.after:
+            return False
+        if self.rate < 1.0 and self._rng.random() >= self.rate:
+            return False
+        self.injected[point] = self.injected.get(point, 0) + 1
+        return True
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    # -- wrappers --------------------------------------------------------
+
+    def cost_model(self, model: CostModel, mode: str = "raise") -> CostModel:
+        """Wrap ``model`` so armed calls fail in the given ``mode``."""
+        if mode not in COST_FAULT_MODES:
+            raise ValueError(
+                f"unknown cost fault mode {mode!r}; available: "
+                f"{COST_FAULT_MODES}"
+            )
+        return _FaultyCostModel(self, model, mode)
+
+    def cost_model_factory(
+        self, factory: Callable[[], CostModel], mode: str = "raise"
+    ) -> Callable[[], CostModel]:
+        """A zero-argument factory producing wrapped models (optimizer API)."""
+
+        def build() -> CostModel:
+            return self.cost_model(factory(), mode)
+
+        return build
+
+    def partitioning(self, strategy: PartitioningStrategy) -> PartitioningStrategy:
+        """Wrap ``strategy`` so armed partitions can emit a bogus cut."""
+        return _FaultyPartitioning(self, strategy)
+
+    def catalog(self, catalog: Catalog, drop: Optional[int] = None) -> Catalog:
+        """Wrap ``catalog`` dropping one relation's statistics while armed.
+
+        ``drop`` picks the victim; by default the seeded RNG chooses one at
+        wrap time (so the choice, too, is reproducible).
+        """
+        if drop is None:
+            drop = random.Random(self.seed).randrange(max(1, catalog.n_relations))
+        return _FaultyCatalog(self, catalog, drop)
+
+    def query(self, query: Query, drop: Optional[int] = None) -> Query:
+        """``query`` with its catalog wrapped by :meth:`catalog`."""
+        return Query(
+            graph=query.graph,
+            catalog=self.catalog(query.catalog, drop),
+            family=query.family,
+            seed=query.seed,
+        )
+
+    def __repr__(self) -> str:
+        state = "armed" if self.active else "disarmed"
+        return (
+            f"FaultInjector(seed={self.seed}, rate={self.rate}, "
+            f"after={self.after}, {state}, injected={self.total_injected})"
+        )
+
+
+class _FaultyCostModel(CostModel):
+    """Delegating cost model with injectable join-cost failures."""
+
+    def __init__(self, injector: FaultInjector, inner: CostModel, mode: str):
+        self._injector = injector
+        self._inner = inner
+        self._mode = mode
+        self.name = inner.name
+
+    def _fault_value(self) -> float:
+        if self._mode == "raise":
+            raise InjectedFaultError(
+                "injected cost-model failure (mode=raise)"
+            )
+        return float("nan") if self._mode == "nan" else float("inf")
+
+    def join_cost(self, outer: IntermediateStats, inner: IntermediateStats) -> float:
+        if self._injector._fire("cost_model"):
+            return self._fault_value()
+        return self._inner.join_cost(outer, inner)
+
+    def lower_bound(
+        self, left: IntermediateStats, right: IntermediateStats
+    ) -> float:
+        # Delegate so an inner model's cheap admissible bound survives
+        # wrapping; min_join_cost goes through join_cost above and is
+        # therefore fault-eligible.
+        if self._injector.active:
+            return self.min_join_cost(left, right)
+        return self._inner.lower_bound(left, right)
+
+    def __repr__(self) -> str:
+        return f"_FaultyCostModel({self._inner!r}, mode={self._mode!r})"
+
+
+class _FaultyPartitioning(PartitioningStrategy):
+    """Delegating partitioner that can substitute a bogus cut.
+
+    The bogus emission is ``(low, low)`` for the lowest singleton of the
+    set: overlapping (both sides identical) and non-covering (the union is
+    not the input set) — everything a ccp must not be.  Both sides are
+    memoized singletons, so the recursion terminates immediately and the
+    failure surfaces as a ``ValueError`` from join-tree construction or as
+    a structurally invalid plan, exactly the two paths the validation
+    layer must catch.
+    """
+
+    def __init__(self, injector: FaultInjector, inner: PartitioningStrategy):
+        self._injector = injector
+        self._inner = inner
+        self.name = inner.name
+        self.label = inner.label
+
+    def partitions(
+        self, graph: QueryGraph, vertex_set: int
+    ) -> Iterator[Tuple[int, int]]:
+        if self._injector._fire("partitioning"):
+            low = bitset.lowest_bit(vertex_set)
+            yield (low, low)
+            return
+        yield from self._inner.partitions(graph, vertex_set)
+
+    def __repr__(self) -> str:
+        return f"_FaultyPartitioning({self._inner!r})"
+
+
+class _FaultyCatalog(Catalog):
+    """Catalog proxy that loses one relation's statistics while armed.
+
+    Subclasses :class:`Catalog` for isinstance compatibility but delegates
+    every read to the wrapped instance; the dropped relation only
+    disappears while the injector is armed, so disarmed behaviour is
+    bit-identical to the plain catalog.
+    """
+
+    def __init__(self, injector: FaultInjector, inner: Catalog, drop: int):
+        # Deliberately no super().__init__: this proxy owns no data.
+        self._injector = injector
+        self._inner = inner
+        self._drop = drop
+
+    @property
+    def dropped_relation(self) -> int:
+        return self._drop
+
+    def _guard(self, index: int) -> None:
+        if self._injector.active and index == self._drop:
+            self._injector.injected["catalog"] = (
+                self._injector.injected.get("catalog", 0) + 1
+            )
+            raise CatalogError(
+                f"[injected] statistics for relation R{self._drop} are "
+                "unavailable"
+            )
+
+    @property
+    def n_relations(self) -> int:
+        return self._inner.n_relations
+
+    def relation(self, index: int):
+        self._guard(index)
+        return self._inner.relation(index)
+
+    def cardinality(self, index: int) -> float:
+        self._guard(index)
+        return self._inner.cardinality(index)
+
+    def selectivity(self, u: int, v: int) -> float:
+        self._guard(u)
+        self._guard(v)
+        return self._inner.selectivity(u, v)
+
+    def has_selectivity(self, u: int, v: int) -> bool:
+        return self._inner.has_selectivity(u, v)
+
+    @property
+    def selectivities(self):
+        return self._inner.selectivities
+
+    def validate_against(self, graph: QueryGraph) -> None:
+        self._inner.validate_against(graph)
+
+    def relabel(self, mapping) -> Catalog:
+        return _FaultyCatalog(self._injector, self._inner.relabel(mapping), self._drop)
+
+    def __repr__(self) -> str:
+        return f"_FaultyCatalog({self._inner!r}, drop=R{self._drop})"

@@ -1,0 +1,348 @@
+"""Anytime optimization with graceful degradation.
+
+:class:`ResilientOptimizer` wraps the exact
+:class:`~repro.core.optimizer.Optimizer` in a *degradation ladder*: when
+exact enumeration cannot finish — budget exhausted, component fault,
+structurally invalid output — the ladder steps down through progressively
+cheaper strategies until one produces a **validated** plan:
+
+1. ``exact`` — budgeted top-down enumeration (optimal when it completes);
+2. ``best_so_far`` — the best complete plan the interrupted run registered
+   (the memotable root entry, or APCBI's pre-enumeration heuristic tree);
+3. the **heuristic ladder** — IKKBZ, then GOO, then QuickPick by default,
+   each priced with a fresh cost model and validated;
+4. ``structural`` — a cost-model-free greedy tree
+   (:func:`~repro.resilience.fallback.structural_fallback_plan`), the last
+   resort that survives even a cost model returning ``NaN`` everywhere.
+
+Every returned plan passes finiteness *and* structural validation; every
+descent is recorded in a :class:`DegradationReport`.  If no rung yields a
+valid plan (e.g. the catalog itself lost a relation), a typed
+:class:`~repro.errors.ResilienceError` carrying the report is raised —
+never a silent garbage plan, never an unexplained foreign exception.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.advancements import AdvancementConfig
+from repro.core.optimizer import OptimizationResult, Optimizer
+from repro.cost.cout import CoutCostModel
+from repro.cost.haas import HaasCostModel
+from repro.cost.model import CostModel
+from repro.cost.statistics import StatisticsProvider
+from repro.errors import BudgetExceeded, ReproError, ResilienceError
+from repro.heuristics.registry import get_heuristic
+from repro.plans.builder import PlanBuilder
+from repro.plans.join_tree import JoinTree
+from repro.plans.validation import check_finite, validate_plan
+from repro.query import Query
+from repro.resilience.budget import Budget
+from repro.resilience.fallback import structural_fallback_plan
+from repro.stats.counters import OptimizationStats
+
+__all__ = [
+    "DEFAULT_HEURISTIC_LADDER",
+    "DegradationReport",
+    "ResilientOptimizer",
+    "ResilientResult",
+    "RungAttempt",
+]
+
+#: Heuristic rung order: strongest guarantees first (IKKBZ is optimal for
+#: left-deep trees on acyclic graphs under ASI costs), randomized last.
+DEFAULT_HEURISTIC_LADDER: Tuple[str, ...] = ("ikkbz", "goo", "quickpick")
+
+#: Failures a rung may legitimately produce and the ladder absorbs:
+#: library errors (including injected faults and budget exhaustion),
+#: join-tree construction on bogus cuts (ValueError), arithmetic blowups
+#: from poisoned statistics, and runaway recursion on corrupted partitions.
+_RECOVERABLE = (ReproError, ValueError, ArithmeticError, RecursionError)
+
+
+@dataclass(frozen=True)
+class RungAttempt:
+    """One rung's outcome during a ladder descent."""
+
+    rung: str
+    status: str  # "ok" or "failed"
+    detail: str = ""
+
+    def format(self) -> str:
+        suffix = f": {self.detail}" if self.detail else ""
+        return f"{self.rung} -> {self.status}{suffix}"
+
+
+@dataclass
+class DegradationReport:
+    """Which rung produced the returned plan, and why the others did not.
+
+    ``cost_gap`` relates the returned plan to the cheapest *heuristic*
+    plan observed during the descent (``fallback_cost``): a value below 1
+    means the returned plan beat the fallback, 1.0 means the fallback
+    itself was returned.  It is ``None`` when no finite fallback cost was
+    available (e.g. the cost model was faulty).
+    """
+
+    rung: str
+    attempts: List[RungAttempt] = field(default_factory=list)
+    budget: Optional[dict] = None
+    budget_exceeded: Optional[str] = None
+    chosen_cost: Optional[float] = None
+    fallback_cost: Optional[float] = None
+
+    @property
+    def degraded(self) -> bool:
+        return self.rung != "exact"
+
+    @property
+    def cost_gap(self) -> Optional[float]:
+        if (
+            self.chosen_cost is None
+            or self.fallback_cost is None
+            or not self.fallback_cost > 0
+        ):
+            return None
+        return self.chosen_cost / self.fallback_cost
+
+    def describe(self) -> str:
+        lines = [f"returned by rung: {self.rung}"]
+        if self.budget_exceeded:
+            lines.append(f"budget exceeded: {self.budget_exceeded}")
+        gap = self.cost_gap
+        if gap is not None:
+            lines.append(f"cost gap vs. fallback: {gap:.4g}")
+        for attempt in self.attempts:
+            lines.append(f"  {attempt.format()}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ResilientResult:
+    """A validated plan plus the story of how it was obtained."""
+
+    plan: JoinTree
+    cost: float
+    elapsed: float
+    report: DegradationReport
+    stats: OptimizationStats
+    query: Query
+    #: The exact result envelope when the ``exact`` rung succeeded.
+    exact: Optional[OptimizationResult] = None
+
+    @property
+    def degraded(self) -> bool:
+        return self.report.degraded
+
+    @property
+    def rung(self) -> str:
+        return self.report.rung
+
+    def explain(self) -> str:
+        return self.plan.explain()
+
+
+class ResilientOptimizer:
+    """Budgeted, fault-tolerant facade over the exact optimizer.
+
+    Parameters mirror :class:`~repro.core.optimizer.Optimizer`, plus:
+
+    heuristic_ladder:
+        Heuristic registry names to fall through, in order.
+    structural_fallback:
+        Whether the cost-model-free last rung is enabled.
+    compare_fallback:
+        When the exact rung succeeds, additionally price the first ladder
+        heuristic so :attr:`DegradationReport.cost_gap` is populated
+        (costs one extra heuristic run per query; off by default).
+    budget_factory:
+        Zero-argument callable producing a fresh :class:`Budget` per
+        :meth:`optimize` call when the caller passes none.
+    """
+
+    def __init__(
+        self,
+        enumerator: str = "mincut_conservative",
+        pruning: str = "apcbi",
+        cost_model_factory: Callable[[], CostModel] = HaasCostModel,
+        config: Optional[AdvancementConfig] = None,
+        heuristic: str = "goo",
+        heuristic_ladder: Sequence[str] = DEFAULT_HEURISTIC_LADDER,
+        structural_fallback: bool = True,
+        compare_fallback: bool = False,
+        budget_factory: Optional[Callable[[], Budget]] = None,
+    ):
+        self._optimizer = Optimizer(
+            enumerator=enumerator,
+            pruning=pruning,
+            cost_model_factory=cost_model_factory,
+            config=config,
+            heuristic=heuristic,
+        )
+        self._cost_model_factory = cost_model_factory
+        self._heuristic_ladder = tuple(heuristic_ladder)
+        for name in self._heuristic_ladder:
+            get_heuristic(name)  # fail fast on typos
+        self._structural_fallback = structural_fallback
+        self._compare_fallback = compare_fallback
+        self._budget_factory = budget_factory
+
+    @property
+    def optimizer(self) -> Optimizer:
+        """The wrapped exact optimizer."""
+        return self._optimizer
+
+    # ------------------------------------------------------------------
+
+    def optimize(
+        self, query: Query, budget: Optional[Budget] = None
+    ) -> ResilientResult:
+        """Return a validated plan for ``query``, degrading as needed."""
+        if budget is None and self._budget_factory is not None:
+            budget = self._budget_factory()
+        started = time.perf_counter()
+        report = DegradationReport(rung="exact")
+        if budget is not None:
+            budget.start()
+
+        outcome = self._run_ladder(query, budget, report)
+        if budget is not None:
+            report.budget = budget.snapshot()
+        if outcome is None:
+            report.rung = "none"
+            raise ResilienceError(
+                "every rung of the degradation ladder failed for "
+                f"{query.describe()}:\n{report.describe()}",
+                report=report,
+            )
+        plan, stats, exact = outcome
+        elapsed = time.perf_counter() - started
+        return ResilientResult(
+            plan=plan,
+            cost=plan.cost,
+            elapsed=elapsed,
+            report=report,
+            stats=stats,
+            query=query,
+            exact=exact,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _run_ladder(
+        self,
+        query: Query,
+        budget: Optional[Budget],
+        report: DegradationReport,
+    ) -> Optional[Tuple[JoinTree, OptimizationStats, Optional[OptimizationResult]]]:
+        """Descend the ladder; fills ``report`` as it goes."""
+        partial: Optional[JoinTree] = None
+
+        # Rung 1: exact (budgeted) enumeration.
+        try:
+            result = self._optimizer.optimize(query, budget=budget)
+            self._validate(result.plan, query)
+        except BudgetExceeded as error:
+            report.budget_exceeded = error.reason
+            report.attempts.append(RungAttempt("exact", "failed", str(error)))
+            partial = error.partial_plan
+        except _RECOVERABLE as error:
+            report.attempts.append(
+                RungAttempt("exact", "failed", f"{type(error).__name__}: {error}")
+            )
+        else:
+            report.rung = "exact"
+            report.attempts.append(RungAttempt("exact", "ok"))
+            report.chosen_cost = result.cost
+            if self._compare_fallback and self._heuristic_ladder:
+                fallback = self._try_heuristic(
+                    self._heuristic_ladder[0], query, OptimizationStats()
+                )
+                if fallback is not None:
+                    report.fallback_cost = fallback.cost
+            return result.plan, result.stats, result
+
+        # Rung 2: best-so-far plan salvaged from the interrupted run.
+        if partial is not None:
+            try:
+                self._validate(partial, query)
+            except _RECOVERABLE as error:
+                report.attempts.append(
+                    RungAttempt(
+                        "best_so_far",
+                        "failed",
+                        f"{type(error).__name__}: {error}",
+                    )
+                )
+            else:
+                report.rung = "best_so_far"
+                report.attempts.append(RungAttempt("best_so_far", "ok"))
+                report.chosen_cost = partial.cost
+                return partial, OptimizationStats(), None
+        else:
+            report.attempts.append(
+                RungAttempt("best_so_far", "failed", "no complete plan salvaged")
+            )
+
+        # Rungs 3..n: the heuristic ladder.
+        for name in self._heuristic_ladder:
+            stats = OptimizationStats()
+            plan = self._try_heuristic(name, query, stats, report)
+            if plan is not None:
+                report.rung = name
+                report.chosen_cost = plan.cost
+                if report.fallback_cost is None:
+                    report.fallback_cost = plan.cost
+                return plan, stats, None
+
+        # Final rung: structure without costs.
+        if self._structural_fallback:
+            try:
+                plan = structural_fallback_plan(query)
+                validate_plan(plan, query)
+            except _RECOVERABLE as error:
+                report.attempts.append(
+                    RungAttempt(
+                        "structural", "failed", f"{type(error).__name__}: {error}"
+                    )
+                )
+            else:
+                report.rung = "structural"
+                report.attempts.append(RungAttempt("structural", "ok"))
+                return plan, OptimizationStats(), None
+        return None
+
+    def _try_heuristic(
+        self,
+        name: str,
+        query: Query,
+        stats: OptimizationStats,
+        report: Optional[DegradationReport] = None,
+    ) -> Optional[JoinTree]:
+        """Run one heuristic rung; returns a validated plan or ``None``."""
+        try:
+            model = self._cost_model_factory()
+            provider = StatisticsProvider(query)
+            if isinstance(model, CoutCostModel):
+                model.bind(provider)
+            builder = PlanBuilder(provider, model, stats)
+            result = get_heuristic(name).build(query, builder)
+            self._validate(result.tree, query)
+        except _RECOVERABLE as error:
+            if report is not None:
+                report.attempts.append(
+                    RungAttempt(name, "failed", f"{type(error).__name__}: {error}")
+                )
+            return None
+        if report is not None:
+            report.attempts.append(RungAttempt(name, "ok"))
+        return result.tree
+
+    @staticmethod
+    def _validate(plan: JoinTree, query: Query) -> None:
+        """Reject non-finite/negative numbers, then structural violations."""
+        check_finite(plan)
+        validate_plan(plan, query)

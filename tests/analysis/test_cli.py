@@ -15,6 +15,7 @@ EXPECTED_RULES = {
     "no-bare-except",
     "no-float-cost-eq",
     "no-mutable-default",
+    "no-silent-fallback",
     "registry-complete",
     "seeded-rng",
 }
@@ -27,7 +28,7 @@ def _write(tmp_path, name, code):
 
 
 class TestRuleCatalogue:
-    def test_the_eight_rules_are_registered(self):
+    def test_the_nine_rules_are_registered(self):
         assert {rule.id for rule in all_rules()} == EXPECTED_RULES
 
     def test_list_rules(self, capsys):
@@ -84,7 +85,11 @@ class TestJsonOutput:
     def test_schema(self, payload):
         assert payload["version"] == JSON_SCHEMA_VERSION
         assert payload["files_checked"] == 1
-        assert set(payload["counts"]) == {"no-mutable-default", "no-bare-except"}
+        assert set(payload["counts"]) == {
+            "no-mutable-default",
+            "no-bare-except",
+            "no-silent-fallback",
+        }
         for diagnostic in payload["diagnostics"]:
             assert set(diagnostic) == {"path", "line", "col", "rule", "message"}
             assert diagnostic["line"] >= 1

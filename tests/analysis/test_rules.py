@@ -153,6 +153,48 @@ class TestNoBareExcept:
         assert lint(code, "no-bare-except") == []
 
 
+class TestNoSilentFallback:
+    def test_except_pass_flagged(self, lint):
+        code = "try:\n    f()\nexcept ValueError:\n    pass\n"
+        assert _rules_of(lint(code, "no-silent-fallback")) == ["no-silent-fallback"]
+
+    def test_except_continue_flagged(self, lint):
+        code = (
+            "for x in items:\n"
+            "    try:\n"
+            "        f(x)\n"
+            "    except ValueError:\n"
+            "        continue\n"
+        )
+        assert _rules_of(lint(code, "no-silent-fallback")) == ["no-silent-fallback"]
+
+    def test_mixed_pass_continue_flagged(self, lint):
+        code = (
+            "for x in items:\n"
+            "    try:\n"
+            "        f(x)\n"
+            "    except ValueError:\n"
+            "        pass\n"
+            "        continue\n"
+        )
+        assert _rules_of(lint(code, "no-silent-fallback")) == ["no-silent-fallback"]
+
+    def test_handler_that_records_passes(self, lint):
+        code = (
+            "for x in items:\n"
+            "    try:\n"
+            "        f(x)\n"
+            "    except ValueError:\n"
+            "        skipped += 1\n"
+            "        continue\n"
+        )
+        assert lint(code, "no-silent-fallback") == []
+
+    def test_handler_that_reraises_passes(self, lint):
+        code = "try:\n    f()\nexcept ValueError as e:\n    raise RuntimeError(str(e))\n"
+        assert lint(code, "no-silent-fallback") == []
+
+
 class TestBenchClock:
     def test_time_time_in_bench_flagged(self, lint):
         code = "import time\nstarted = time.time()\n"

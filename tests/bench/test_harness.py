@@ -1,15 +1,20 @@
 """Tests for the measurement harness."""
 
+import json
+
 import pytest
 
 from repro.bench.harness import (
     CHART_ALGORITHMS,
     PAPER_ALGORITHMS,
     AlgorithmSpec,
+    FailureCounts,
     NormedSummary,
+    load_checkpoint,
     run_query_matrix,
     run_workload,
 )
+from repro.resilience import Budget
 from repro.workload.generator import QueryGenerator
 
 FAST = (
@@ -106,3 +111,142 @@ class TestRunWorkload:
     def test_normed_times_series(self, workload):
         measurement = run_workload(workload, FAST)
         assert len(measurement.normed_times("TDMcC")) == 4
+
+
+class TestFailureCounts:
+    def test_tally_categorizes_by_prefix(self):
+        counts = FailureCounts.tally(
+            ["timeout", "error: boom", "degraded: ikkbz", "skipped: x", "weird"]
+        )
+        assert counts.timeouts == 1
+        assert counts.errors == 2  # unknown categories count as errors
+        assert counts.degraded == 1
+        assert counts.skipped == 1
+        assert counts.total == 5
+
+
+class TestBudgetedMatrix:
+    def test_unbudgeted_measurement_has_no_failures(self, small_query):
+        measurement = run_query_matrix(small_query, FAST)
+        assert measurement.ok
+        assert measurement.failures == {}
+
+    def test_impossible_budget_records_timeouts_not_raises(self, small_query):
+        measurement = run_query_matrix(
+            small_query, FAST, budget_factory=lambda: Budget(max_expansions=1)
+        )
+        # Even the DPccp baseline cannot finish; algorithms are skipped.
+        assert measurement.failures["DPccp"].startswith("timeout")
+        for spec in FAST:
+            assert measurement.failures[spec.label].startswith("skipped")
+        assert measurement.dpccp_seconds != measurement.dpccp_seconds  # NaN
+
+    def test_failed_baseline_excluded_from_summaries(self, small_query):
+        workload_measurement = run_workload(
+            [small_query], FAST, budget_factory=lambda: Budget(max_expansions=1)
+        )
+        assert workload_measurement.dpccp_summary().count == 0
+        assert workload_measurement.dpccp_by_size() == {}
+        assert workload_measurement.n_failed_queries == 1
+
+    def test_algorithm_timeout_recorded_per_label(self):
+        # DPccp finishes a clique-9 in far fewer expansions than unpruned
+        # top-down enumeration, so a cap between the two isolates the
+        # failure to the algorithm under test.
+        query = QueryGenerator(seed=11).generate("clique", 9)
+        spec = AlgorithmSpec("mincut_lazy", "none")
+        measurement = run_query_matrix(
+            query, [spec], budget_factory=lambda: Budget(max_expansions=23_000)
+        )
+        assert "DPccp" not in measurement.failures
+        assert measurement.failures[spec.label] == "timeout"
+        assert spec.label not in measurement.normed_times
+
+    def test_resilient_mode_records_degradation_with_a_time(self):
+        query = QueryGenerator(seed=11).generate("clique", 9)
+        spec = AlgorithmSpec("mincut_lazy", "none")
+        measurement = run_query_matrix(
+            query,
+            [spec],
+            budget_factory=lambda: Budget(max_expansions=23_000),
+            resilient=True,
+        )
+        assert measurement.failures[spec.label].startswith("degraded: ")
+        assert measurement.normed_times[spec.label] > 0
+
+    def test_resilient_exact_path_matches_plain(self, small_query):
+        plain = run_query_matrix(small_query, FAST)
+        resilient = run_query_matrix(small_query, FAST, resilient=True)
+        assert resilient.ok
+        assert set(resilient.normed_times) == set(plain.normed_times)
+
+
+class TestCheckpointing:
+    @pytest.fixture
+    def workload(self):
+        generator = QueryGenerator(seed=3)
+        return [generator.generate("acyclic", n) for n in (5, 5, 6)]
+
+    def test_checkpoint_written_one_line_per_query(self, workload, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        run_workload(workload, FAST, checkpoint_path=path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 3
+        records = [json.loads(line) for line in lines]
+        assert [record["index"] for record in records] == [0, 1, 2]
+        assert records[0]["query"] == workload[0].describe()
+
+    def test_resume_reuses_completed_measurements(self, workload, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        first = run_workload(workload, FAST, checkpoint_path=path)
+        second = run_workload(workload, FAST, checkpoint_path=path)
+        # Wall-clock timings are never bit-identical across runs, so equal
+        # floats prove the measurement was loaded, not recomputed.
+        for a, b in zip(first.measurements, second.measurements):
+            assert a.dpccp_seconds == b.dpccp_seconds
+            assert a.normed_times == b.normed_times
+
+    def test_truncated_tail_is_recomputed(self, workload, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        first = run_workload(workload, FAST, checkpoint_path=path)
+        content = path.read_text()
+        path.write_text(content[: content.rfind("{")])  # kill mid-write
+        assert len(load_checkpoint(path)) == 2
+        second = run_workload(workload, FAST, checkpoint_path=path)
+        assert len(second.measurements) == 3
+        # Intact prefix reused, final measurement freshly computed.
+        assert (
+            second.measurements[0].dpccp_seconds
+            == first.measurements[0].dpccp_seconds
+        )
+        summary = second.normed_time_summary("TDMcC_APCBI")
+        assert summary.count == 3
+
+    def test_stale_records_are_ignored(self, workload, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        path.write_text(
+            json.dumps(
+                {
+                    "index": 0,
+                    "query": "someone-else's query",
+                    "dpccp_seconds": 123.0,
+                    "dpccp_classes": 1,
+                }
+            )
+            + "\n"
+        )
+        measurement = run_workload(workload, FAST, checkpoint_path=path)
+        assert measurement.measurements[0].dpccp_seconds != 123.0
+
+    def test_resume_repairs_the_truncated_checkpoint(self, workload, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        run_workload(workload, FAST, checkpoint_path=path)
+        content = path.read_text()
+        path.write_text(content[: content.rfind("{")])
+        run_workload(workload, FAST, checkpoint_path=path)
+        # The recomputed record must not concatenate onto the broken tail:
+        # a third run loads every record.
+        assert len(load_checkpoint(path)) == 3
+
+    def test_missing_checkpoint_file_is_fine(self, tmp_path):
+        assert load_checkpoint(tmp_path / "absent.jsonl") == {}

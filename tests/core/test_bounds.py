@@ -1,5 +1,7 @@
 """Tests for the lB / uB / attempts bookkeeping."""
 
+import pytest
+
 from repro.core.bounds import BoundsTable
 
 
@@ -32,6 +34,36 @@ class TestUpperBounds:
     def test_seeded_upper_bounds(self):
         bounds = BoundsTable({0b11: 7.0})
         assert bounds.upper(0b11) == 7.0
+        assert bounds.n_upper() == 1
+
+
+class TestNonFiniteRejection:
+    """A poisoned cost model must not corrupt the pruning state."""
+
+    @pytest.mark.parametrize(
+        "bogus", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_raise_lower_ignores_non_finite(self, bogus):
+        bounds = BoundsTable()
+        bounds.raise_lower(0b11, 10.0)
+        bounds.raise_lower(0b11, bogus)
+        assert bounds.lower(0b11) == 10.0
+
+    @pytest.mark.parametrize(
+        "bogus", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_lower_upper_ignores_non_finite(self, bogus):
+        bounds = BoundsTable()
+        bounds.lower_upper(0b11, bogus)
+        assert bounds.upper(0b11) is None  # NaN previously stuck here
+        bounds.lower_upper(0b11, 10.0)
+        bounds.lower_upper(0b11, bogus)
+        assert bounds.upper(0b11) == 10.0
+
+    def test_seeded_bounds_are_filtered(self):
+        bounds = BoundsTable({0b01: float("nan"), 0b10: 5.0})
+        assert bounds.upper(0b01) is None
+        assert bounds.upper(0b10) == 5.0
         assert bounds.n_upper() == 1
 
 

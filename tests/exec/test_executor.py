@@ -93,6 +93,41 @@ class TestPlanIndependence:
         assert hashed.actual_cardinalities == looped.actual_cardinalities
 
 
+class TestPoisonedPlansRefused:
+    """Satellite of the resilience layer: exec validates before running."""
+
+    @pytest.mark.parametrize("poison", [float("nan"), float("inf"), -1.0])
+    def test_bad_cost_refused_before_execution(self, executed_query, poison):
+        from repro.plans.join_tree import JoinNode, LeafNode
+        from repro.plans.validation import PlanValidationError
+
+        query, database, _ = executed_query
+        u, v = sorted(database.query.graph.edges)[0]
+        bad = JoinNode(
+            LeafNode(u, query.catalog.cardinality(u)),
+            LeafNode(v, query.catalog.cardinality(v)),
+            10.0,
+            poison,
+        )
+        with pytest.raises(PlanValidationError):
+            execute_plan(bad, database)
+
+    def test_nan_cardinality_refused(self, executed_query):
+        from repro.plans.join_tree import JoinNode, LeafNode
+        from repro.plans.validation import PlanValidationError
+
+        query, database, _ = executed_query
+        u, v = sorted(database.query.graph.edges)[0]
+        bad = JoinNode(
+            LeafNode(u, query.catalog.cardinality(u)),
+            LeafNode(v, query.catalog.cardinality(v)),
+            float("nan"),
+            1.0,
+        )
+        with pytest.raises(PlanValidationError, match="cardinality"):
+            execute_plan(bad, database)
+
+
 class TestEstimateValidation:
     def test_full_report_covers_every_plan_class(self, executed_query):
         _, database, plan = executed_query

@@ -8,6 +8,7 @@ from repro.core.optimizer import optimize
 from repro.plans.join_tree import JoinNode, LeafNode
 from repro.plans.validation import (
     PlanValidationError,
+    check_finite,
     recompute_cost,
     validate_plan,
 )
@@ -74,6 +75,55 @@ class TestRejectsBrokenPlans:
         )
         with pytest.raises(PlanValidationError, match="cost"):
             validate_plan(plan, query, HaasCostModel())
+
+
+class TestCheckFinite:
+    def _two_way_plan(self, generator, cost=10.0, cardinality=None):
+        query = generator.generate("chain", 2)
+        provider = StatisticsProvider(query)
+        if cardinality is None:
+            cardinality = provider.cardinality(0b11)
+        return JoinNode(
+            LeafNode(0, query.catalog.cardinality(0)),
+            LeafNode(1, query.catalog.cardinality(1)),
+            cardinality,
+            cost,
+        )
+
+    def test_real_plan_passes(self, small_query):
+        check_finite(optimize(small_query).plan)
+
+    @pytest.mark.parametrize("bogus", [float("nan"), float("inf")])
+    def test_non_finite_cost_rejected(self, generator, bogus):
+        with pytest.raises(PlanValidationError, match="non-finite cost"):
+            check_finite(self._two_way_plan(generator, cost=bogus))
+
+    def test_negative_cost_rejected(self, generator):
+        with pytest.raises(PlanValidationError, match="negative cost"):
+            check_finite(self._two_way_plan(generator, cost=-5.0))
+
+    @pytest.mark.parametrize("bogus", [float("nan"), float("inf")])
+    def test_non_finite_cardinality_rejected(self, generator, bogus):
+        with pytest.raises(PlanValidationError, match="non-finite cardinality"):
+            check_finite(self._two_way_plan(generator, cardinality=bogus))
+
+    def test_poison_deep_in_the_tree_is_found(self, generator):
+        query = generator.generate("chain", 3)
+        provider = StatisticsProvider(query)
+        poisoned = JoinNode(
+            LeafNode(0, query.catalog.cardinality(0)),
+            LeafNode(1, query.catalog.cardinality(1)),
+            provider.cardinality(0b011),
+            float("nan"),
+        )
+        plan = JoinNode(
+            poisoned,
+            LeafNode(2, query.catalog.cardinality(2)),
+            provider.cardinality(0b111),
+            1.0,
+        )
+        with pytest.raises(PlanValidationError, match="non-finite cost"):
+            check_finite(plan)
 
 
 class TestRecomputeCost:

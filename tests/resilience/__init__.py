@@ -1,0 +1,1 @@
+"""Tests for the resilience layer (budgets, faults, degradation)."""

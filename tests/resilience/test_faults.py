@@ -1,0 +1,157 @@
+"""Fault injector semantics: determinism, transparency, every fault point."""
+
+import math
+
+import pytest
+
+from repro.core.optimizer import Optimizer
+from repro.cost.haas import HaasCostModel
+from repro.errors import CatalogError, InjectedFaultError
+from repro.partitioning.registry import get_partitioning
+from repro.resilience import COST_FAULT_MODES, FaultInjector
+
+
+class TestArming:
+    def test_context_manager_arms_and_disarms(self):
+        injector = FaultInjector(seed=1)
+        assert not injector.active
+        with injector as armed:
+            assert armed is injector
+            assert injector.active
+        assert not injector.active
+
+    def test_arm_resets_counters(self):
+        injector = FaultInjector(seed=1)
+        with injector:
+            injector._fire("cost_model")
+        assert injector.total_injected == 1
+        with injector:
+            assert injector.total_injected == 0
+
+    @pytest.mark.parametrize("kwargs", [{"rate": -0.1}, {"rate": 1.5}, {"after": -1}])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultInjector(**kwargs)
+
+    def test_unknown_cost_mode_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector().cost_model(HaasCostModel(), mode="explode")
+
+
+class TestCostModelFaults:
+    def _stats(self, small_query):
+        from repro.cost.statistics import StatisticsProvider
+
+        provider = StatisticsProvider(small_query)
+        return provider.stats(0b01), provider.stats(0b10)
+
+    def test_raise_mode(self, small_query):
+        injector = FaultInjector(seed=0)
+        model = injector.cost_model(HaasCostModel(), mode="raise")
+        left, right = self._stats(small_query)
+        with injector:
+            with pytest.raises(InjectedFaultError):
+                model.join_cost(left, right)
+
+    @pytest.mark.parametrize("mode,check", [
+        ("nan", math.isnan),
+        ("inf", math.isinf),
+    ])
+    def test_poison_modes(self, small_query, mode, check):
+        injector = FaultInjector(seed=0)
+        model = injector.cost_model(HaasCostModel(), mode=mode)
+        left, right = self._stats(small_query)
+        with injector:
+            assert check(model.join_cost(left, right))
+
+    def test_disarmed_is_pass_through(self, small_query):
+        left, right = self._stats(small_query)
+        plain = HaasCostModel().join_cost(left, right)
+        wrapped = FaultInjector(seed=0).cost_model(HaasCostModel(), mode="raise")
+        assert wrapped.join_cost(left, right) == plain
+
+    def test_disarmed_optimization_is_bit_identical(self, small_query):
+        injector = FaultInjector(seed=0)
+        clean = Optimizer(cost_model_factory=HaasCostModel).optimize(small_query)
+        wrapped = Optimizer(
+            cost_model_factory=injector.cost_model_factory(HaasCostModel, "nan")
+        ).optimize(small_query)
+        assert wrapped.cost == clean.cost
+        assert wrapped.plan.sexpr() == clean.plan.sexpr()
+        assert injector.total_injected == 0
+
+    def test_partial_rate_is_deterministic(self, small_query):
+        left, right = self._stats(small_query)
+
+        def run():
+            injector = FaultInjector(seed=99, rate=0.5)
+            model = injector.cost_model(HaasCostModel(), mode="nan")
+            with injector:
+                outcomes = [
+                    math.isnan(model.join_cost(left, right)) for _ in range(64)
+                ]
+            return outcomes, injector.total_injected
+
+        first, n_first = run()
+        second, n_second = run()
+        assert first == second
+        assert n_first == n_second
+        assert 0 < n_first < 64  # rate 0.5 actually mixes
+
+    def test_after_delays_the_first_fault(self, small_query):
+        left, right = self._stats(small_query)
+        injector = FaultInjector(seed=0, after=3)
+        model = injector.cost_model(HaasCostModel(), mode="nan")
+        with injector:
+            outcomes = [math.isnan(model.join_cost(left, right)) for _ in range(5)]
+        assert outcomes == [False, False, False, True, True]
+
+    def test_all_modes_are_exposed(self):
+        assert set(COST_FAULT_MODES) == {"raise", "nan", "inf"}
+
+
+class TestPartitioningFaults:
+    def test_bogus_cut_is_overlapping(self, small_query):
+        injector = FaultInjector(seed=0)
+        strategy = injector.partitioning(get_partitioning("mincut_conservative"))
+        full = small_query.graph.all_vertices
+        with injector:
+            cuts = list(strategy.partitions(small_query.graph, full))
+        assert len(cuts) == 1
+        left, right = cuts[0]
+        assert left == right  # overlapping and non-covering: not a ccp
+        assert injector.injected["partitioning"] == 1
+
+    def test_disarmed_partitions_match_inner(self, small_query):
+        inner = get_partitioning("mincut_conservative")
+        wrapped = FaultInjector(seed=0).partitioning(inner)
+        full = small_query.graph.all_vertices
+        assert list(wrapped.partitions(small_query.graph, full)) == list(
+            inner.partitions(small_query.graph, full)
+        )
+
+
+class TestCatalogFaults:
+    def test_dropped_relation_raises_while_armed(self, small_query):
+        injector = FaultInjector(seed=0)
+        faulty = injector.query(small_query, drop=2)
+        with injector:
+            with pytest.raises(CatalogError, match=r"\[injected\].*R2"):
+                faulty.catalog.cardinality(2)
+        assert injector.injected["catalog"] == 1
+
+    def test_other_relations_unaffected(self, small_query):
+        injector = FaultInjector(seed=0)
+        faulty = injector.query(small_query, drop=2)
+        with injector:
+            assert faulty.catalog.cardinality(0) == small_query.catalog.cardinality(0)
+
+    def test_disarmed_catalog_is_transparent(self, small_query):
+        injector = FaultInjector(seed=0)
+        faulty = injector.query(small_query, drop=2)
+        assert faulty.catalog.cardinality(2) == small_query.catalog.cardinality(2)
+
+    def test_victim_choice_is_seeded(self, small_query):
+        a = FaultInjector(seed=5).query(small_query)
+        b = FaultInjector(seed=5).query(small_query)
+        assert a.catalog.dropped_relation == b.catalog.dropped_relation
