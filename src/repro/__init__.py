@@ -28,6 +28,12 @@ from repro.core import (
     run_goo,
 )
 from repro.baselines import DPccp, DPsize, DPsub
+from repro.context import (
+    OptimizationContext,
+    PlanCache,
+    fingerprint,
+    statistics_for,
+)
 from repro.cost import CoutCostModel, HaasCostModel, StatisticsProvider
 from repro.heuristics import available_heuristics, get_heuristic
 from repro.errors import (
@@ -83,6 +89,11 @@ __all__ = [
     "Catalog",
     "RelationStats",
     "StatisticsProvider",
+    # optimization context and plan cache
+    "OptimizationContext",
+    "PlanCache",
+    "fingerprint",
+    "statistics_for",
     # optimizers
     "optimize",
     "Optimizer",

@@ -5,6 +5,7 @@ from repro.analysis.rules import (  # noqa: F401
     bare_except,
     bench_clock,
     bitset_discipline,
+    context_discipline,
     float_cost_eq,
     mutable_default,
     registry_complete,
@@ -17,6 +18,7 @@ __all__ = [
     "bare_except",
     "bench_clock",
     "bitset_discipline",
+    "context_discipline",
     "float_cost_eq",
     "mutable_default",
     "registry_complete",

@@ -1,0 +1,69 @@
+"""``context-discipline`` — the substrate is built in repro/context/ only.
+
+:class:`~repro.cost.statistics.StatisticsProvider` and
+:class:`~repro.plans.builder.PlanBuilder` are the per-query substrate that
+:class:`~repro.context.OptimizationContext` owns.  Constructing either
+directly anywhere else re-opens the aliasing and duplicated-state bugs the
+context refactor removed (a cost model bound to the wrong provider, a
+builder whose counters nobody reads).  Library code must go through
+``OptimizationContext.for_query`` or
+:func:`~repro.context.statistics_for`; only ``repro/context/`` itself, the
+defining modules, and tests may call the constructors.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Tuple
+
+from repro.analysis.asthelpers import diagnostic_at
+from repro.analysis.registry import Rule, register_rule
+
+__all__ = ["ContextDiscipline"]
+
+#: Class names whose direct construction is reserved to repro/context/.
+_GUARDED = ("StatisticsProvider", "PlanBuilder")
+
+#: Path fragments where construction is legitimate: the context package
+#: itself and the modules that define the guarded classes.
+_ALLOWED_FRAGMENTS = (
+    "repro/context/",
+    "repro/cost/statistics.py",
+    "repro/plans/builder.py",
+)
+
+
+def _findings(tree: ast.Module) -> Iterable[Tuple[ast.AST, str]]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name in _GUARDED:
+            yield node, (
+                f"direct {name}(...) construction outside repro/context/; "
+                "use OptimizationContext.for_query() or "
+                "repro.context.statistics_for() instead"
+            )
+
+
+@register_rule
+class ContextDiscipline(Rule):
+    id = "context-discipline"
+    description = (
+        "StatisticsProvider/PlanBuilder may only be constructed inside "
+        "repro/context/ (everything else goes through OptimizationContext "
+        "or statistics_for)"
+    )
+
+    def check_module(self, module):
+        if module.is_test_file:
+            return
+        if any(fragment in module.posix for fragment in _ALLOWED_FRAGMENTS):
+            return
+        for node, message in _findings(module.tree):
+            yield diagnostic_at(module, node, self.id, message)

@@ -18,10 +18,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
 
-from repro.cost.cout import CoutCostModel
-from repro.cost.haas import HaasCostModel
+from repro.context.context import OptimizationContext
 from repro.cost.model import CostModel
-from repro.cost.statistics import StatisticsProvider
 from repro.errors import OptimizationError
 from repro.graph import bitset
 from repro.graph.query_graph import QueryGraph
@@ -95,20 +93,28 @@ class DPccp:
 
     def __init__(
         self,
-        query: Query,
+        query: Optional[Query] = None,
         cost_model: Optional[CostModel] = None,
         stats: Optional[OptimizationStats] = None,
         budget: Optional["Budget"] = None,
+        *,
+        context: Optional[OptimizationContext] = None,
     ):
-        self._query = query
-        self._graph = query.graph
-        self._provider = StatisticsProvider(query)
-        model = cost_model if cost_model is not None else HaasCostModel()
-        if isinstance(model, CoutCostModel):
-            model.bind(self._provider)
-        self._builder = PlanBuilder(self._provider, model, stats)
+        if context is None:
+            if query is None:
+                raise TypeError("DPccp needs a query (or a ready context=)")
+            context = OptimizationContext.for_query(
+                query, cost_model=cost_model, stats=stats, budget=budget
+            )
+        elif query is not None and query is not context.query:
+            raise ValueError("query and context disagree; pass one or the other")
+        self._context = context
+        self._query = context.query
+        self._graph = context.query.graph
+        self._provider = context.provider
+        self._builder = context.builder
         self._memo = MemoTable()
-        self._budget = budget
+        self._budget = budget if budget is not None else context.budget
 
     @property
     def memo(self) -> MemoTable:

@@ -14,13 +14,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.cost.cout import CoutCostModel
-from repro.cost.haas import HaasCostModel
+from repro.context.context import OptimizationContext
 from repro.cost.model import CostModel
-from repro.cost.statistics import StatisticsProvider
 from repro.errors import OptimizationError
 from repro.graph import bitset
-from repro.plans.builder import PlanBuilder
 from repro.plans.join_tree import JoinTree
 from repro.plans.memo import MemoTable
 from repro.query import Query
@@ -36,17 +33,24 @@ class DPsize:
 
     def __init__(
         self,
-        query: Query,
+        query: Optional[Query] = None,
         cost_model: Optional[CostModel] = None,
         stats: Optional[OptimizationStats] = None,
+        *,
+        context: Optional[OptimizationContext] = None,
     ):
-        self._query = query
-        self._graph = query.graph
-        self._provider = StatisticsProvider(query)
-        model = cost_model if cost_model is not None else HaasCostModel()
-        if isinstance(model, CoutCostModel):
-            model.bind(self._provider)
-        self._builder = PlanBuilder(self._provider, model, stats)
+        if context is None:
+            if query is None:
+                raise TypeError("DPsize needs a query (or a ready context=)")
+            context = OptimizationContext.for_query(
+                query, cost_model=cost_model, stats=stats
+            )
+        elif query is not None and query is not context.query:
+            raise ValueError("query and context disagree; pass one or the other")
+        self._context = context
+        self._query = context.query
+        self._graph = context.query.graph
+        self._builder = context.builder
         self._memo = MemoTable()
 
     @property

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.context import PlanCache
 from repro.core.advancements import AdvancementConfig
 from repro.core.optimizer import Optimizer, algorithm_label, run_dpccp
 from repro.cost.compare import costs_close
@@ -254,6 +255,7 @@ def run_query_matrix(
     check_costs: bool = True,
     budget_factory: Optional[Callable[[], Budget]] = None,
     resilient: bool = False,
+    plan_cache: Optional[PlanCache] = None,
 ) -> QueryMeasurement:
     """Measure DPccp plus every algorithm on one query.
 
@@ -271,6 +273,11 @@ def run_query_matrix(
     (degraded plans are *not* cost-checked — they are not claimed optimal).
     If the baseline itself fails, the algorithms are skipped (normed values
     would be meaningless without the denominator).
+
+    ``plan_cache`` shares one cross-query :class:`~repro.context.PlanCache`
+    across the matrix (non-resilient runs only).  Entries are keyed per
+    optimizer configuration, so the specs never see each other's plans —
+    only repeats of the *same* (config, isomorphic query) pair hit.
     """
     try:
         baseline = run_dpccp(
@@ -320,6 +327,7 @@ def run_query_matrix(
                     pruning=spec.pruning,
                     cost_model_factory=cost_model_factory,
                     config=spec.config,
+                    plan_cache=plan_cache,
                 )
                 result = optimizer.optimize(query, budget=budget)
                 cost, elapsed, stats = result.cost, result.elapsed, result.stats
@@ -420,6 +428,7 @@ def run_workload(
     budget_factory: Optional[Callable[[], Budget]] = None,
     resilient: bool = False,
     checkpoint_path: Optional[Union[str, Path]] = None,
+    plan_cache: Optional[PlanCache] = None,
 ) -> WorkloadMeasurement:
     """Measure a whole workload; see :func:`run_query_matrix`.
 
@@ -454,6 +463,7 @@ def run_workload(
                 check_costs,
                 budget_factory=budget_factory,
                 resilient=resilient,
+                plan_cache=plan_cache,
             )
             measurements.append(measurement)
             if checkpoint is not None:

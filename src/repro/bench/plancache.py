@@ -1,0 +1,159 @@
+"""Plan-cache benchmark: repeated workload, cold vs. warm (ISSUE tentpole).
+
+Runs a seeded workload through one :class:`~repro.core.optimizer.Optimizer`
+twice: the first pass is cold (every query misses and populates the
+cache), the second pass replays the same queries under *permuted relation
+numbering* (the adversarial case for the fingerprint — every lookup must
+still hit).  Emits ``BENCH_plancache.json``::
+
+    python -m repro.bench.plancache --out BENCH_plancache.json
+
+The process exits non-zero if the repeated half's hit rate is not 100% or
+the warm pass is not at least the required speedup factor faster, which is
+what the CI bench-smoke job asserts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from typing import Dict, List
+
+from repro.context import PlanCache
+from repro.core.optimizer import Optimizer
+from repro.query import Query
+from repro.workload.generator import QueryGenerator
+
+__all__ = ["run_plancache_benchmark", "main"]
+
+#: (family, size) pairs: big enough that enumeration dwarfs fingerprinting,
+#: small enough that the cold pass stays in CI-smoke territory.
+DEFAULT_WORKLOAD = (
+    ("chain", 12),
+    ("chain", 14),
+    ("cycle", 10),
+    ("cycle", 12),
+    ("star", 9),
+    ("star", 10),
+    ("clique", 7),
+    ("clique", 8),
+)
+
+SEED = 20120402
+
+#: Acceptance criterion: warm (cached) repeated run at least this much
+#: faster than the cold run.
+REQUIRED_SPEEDUP = 2.0
+
+
+def _workload(seed: int, shapes) -> List[Query]:
+    generator = QueryGenerator(seed=seed)
+    return [generator.generate(family, size) for family, size in shapes]
+
+
+def _permuted(queries: List[Query], seed: int) -> List[Query]:
+    """The same queries with shuffled relation numbering (isomorphic)."""
+    rng = random.Random(seed)
+    permuted = []
+    for query in queries:
+        mapping = list(range(query.n_relations))
+        rng.shuffle(mapping)
+        permuted.append(query.relabel(mapping))
+    return permuted
+
+
+def run_plancache_benchmark(
+    enumerator: str = "mincut_conservative",
+    pruning: str = "apcbi",
+    seed: int = SEED,
+    workload=DEFAULT_WORKLOAD,
+) -> Dict[str, object]:
+    """Cold pass, then permuted warm pass; returns the JSON report."""
+    cache = PlanCache()
+    optimizer = Optimizer(
+        enumerator=enumerator, pruning=pruning, plan_cache=cache
+    )
+    queries = _workload(seed, workload)
+
+    cold_started = time.perf_counter()
+    cold_costs = [optimizer.optimize(query).cost for query in queries]
+    cold_seconds = time.perf_counter() - cold_started
+    misses_after_cold = cache.misses
+
+    warm_queries = _permuted(queries, seed + 1)
+    warm_started = time.perf_counter()
+    warm_results = [optimizer.optimize(query) for query in warm_queries]
+    warm_seconds = time.perf_counter() - warm_started
+
+    repeated_lookups = len(warm_queries)
+    repeated_hits = cache.hits
+    repeated_hit_rate = repeated_hits / repeated_lookups
+    speedup = cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+
+    return {
+        "benchmark": "plancache",
+        "enumerator": enumerator,
+        "pruning": pruning,
+        "seed": seed,
+        "workload": [list(pair) for pair in workload],
+        "queries": len(queries),
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "speedup": speedup,
+        "required_speedup": REQUIRED_SPEEDUP,
+        "cold_misses": misses_after_cold,
+        "repeated_hits": repeated_hits,
+        "repeated_hit_rate": repeated_hit_rate,
+        "warm_memo_entries": [result.memo_entries for result in warm_results],
+        "cold_costs": [cost.hex() for cost in cold_costs],
+        "warm_costs": [result.cost.hex() for result in warm_results],
+        "cache": cache.snapshot(),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench-plancache", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_plancache.json",
+        help="output JSON path (default: BENCH_plancache.json)",
+    )
+    parser.add_argument(
+        "--enumerator", default="mincut_conservative", help="partitioning name"
+    )
+    parser.add_argument("--pruning", default="apcbi", help="pruning name")
+    args = parser.parse_args(argv)
+
+    report = run_plancache_benchmark(args.enumerator, args.pruning)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    print(
+        f"plan cache: cold {report['cold_seconds']:.3f}s, "
+        f"warm {report['warm_seconds']:.3f}s, "
+        f"speedup {report['speedup']:.1f}x, "
+        f"repeated hit rate {report['repeated_hit_rate']:.0%}"
+    )
+
+    failures = []
+    if report["repeated_hit_rate"] != 1.0:
+        failures.append(
+            f"repeated-half hit rate {report['repeated_hit_rate']:.0%} != 100%"
+        )
+    if report["speedup"] < REQUIRED_SPEEDUP:
+        failures.append(
+            f"warm speedup {report['speedup']:.2f}x < {REQUIRED_SPEEDUP}x"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

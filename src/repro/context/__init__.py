@@ -1,0 +1,38 @@
+"""Shared optimization substrate: per-query context + cross-query cache.
+
+:class:`OptimizationContext` owns the statistics provider, the bound cost
+model, the plan builder, the run counters and the budget for one query;
+every enumerator, baseline, heuristic rung and facade layer runs on a
+context instead of wiring its own copies.  :class:`PlanCache` sits above
+the contexts: a canonical :func:`fingerprint` keys an LRU of optimized
+plans, so repeated (or isomorphic) queries skip enumeration entirely.
+"""
+
+from repro.context.context import OptimizationContext, statistics_for
+from repro.context.fingerprint import (
+    QUANT_STEPS,
+    QueryFingerprint,
+    canonical_mapping,
+    fingerprint,
+    quantize,
+)
+from repro.context.plancache import (
+    DEFAULT_CACHE_CAPACITY,
+    CachedPlan,
+    PlanCache,
+    replay_plan,
+)
+
+__all__ = [
+    "OptimizationContext",
+    "statistics_for",
+    "QueryFingerprint",
+    "fingerprint",
+    "canonical_mapping",
+    "quantize",
+    "QUANT_STEPS",
+    "PlanCache",
+    "CachedPlan",
+    "replay_plan",
+    "DEFAULT_CACHE_CAPACITY",
+]

@@ -1,0 +1,199 @@
+"""Canonical query fingerprints — the cross-query plan-cache key.
+
+Two queries that are the *same optimization problem* must map to the same
+key even when their relations are numbered differently: a chain
+``R0-R1-R2`` and the same chain entering as ``R2-R0-R1`` should share one
+cache entry.  The fingerprint therefore canonically relabels the query
+(building on the mapping conventions of :mod:`repro.graph.renumber`:
+``mapping[old] = new``, invertible with
+:func:`~repro.graph.renumber.invert_mapping`) and hashes the relabeled
+shape together with **quantized** statistics:
+
+* cardinalities and selectivities are bucketed on a log2 grid with
+  :data:`QUANT_STEPS` steps per octave, so estimates that differ by less
+  than one bucket (≈ ``2^(1/QUANT_STEPS)``, about 19% at the default) hit
+  the same entry — repeated traffic over near-identical parameter bindings
+  is exactly the workload a plan cache exists for;
+* a perturbation of at least one full quantization step is guaranteed to
+  change the bucket (``round(x + 1) == round(x) + 1``), so materially
+  different statistics can never collide.
+
+Canonicalization runs Weisfeiler–Lehman color refinement seeded with the
+quantized vertex statistics, then places vertices greedily by (refined
+color, adjacency-to-placed signature).  Vertices the refinement cannot
+distinguish are interchangeable under every statistic the cost model sees,
+so any tie choice yields the same canonical payload; for pathological
+regular graphs where that is not the case the failure mode is a cache
+*miss* (two isomorphic queries get different keys), never a false hit —
+the key hashes the full canonical payload, so equal keys imply genuinely
+isomorphic queries with bucket-identical statistics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.graph import bitset
+from repro.query import Query
+
+__all__ = [
+    "QUANT_STEPS",
+    "QueryFingerprint",
+    "canonical_mapping",
+    "fingerprint",
+    "quantize",
+]
+
+#: Quantization steps per log2 octave.  4 steps ≈ 19% bucket width: coarse
+#: enough that sampling noise in repeated estimates stays inside one
+#: bucket, fine enough that a materially different selectivity misses.
+QUANT_STEPS = 4
+
+
+def quantize(value: float, steps: int = QUANT_STEPS) -> int:
+    """Bucket a positive quantity on a log2 grid with ``steps`` per octave."""
+    if value <= 0.0:
+        # Degenerate estimates share one sentinel bucket (not a bitset).
+        return -(1 << 30)  # repro: disable=bitset-discipline
+    return round(math.log2(value) * steps)
+
+
+class QueryFingerprint:
+    """A canonical cache key plus the relabeling that produced it."""
+
+    __slots__ = ("key", "mapping", "payload")
+
+    def __init__(self, key: str, mapping: Tuple[int, ...], payload: str):
+        self.key = key
+        #: ``mapping[original_index] = canonical_index``.
+        self.mapping = mapping
+        self.payload = payload
+
+    def __repr__(self) -> str:
+        return f"QueryFingerprint({self.key[:12]}…, n={len(self.mapping)})"
+
+
+def _vertex_seeds(query: Query, steps: int) -> List[Tuple[int, int]]:
+    """Initial WL colors: (quantized cardinality, tuple width) per vertex."""
+    return [
+        (
+            quantize(query.catalog.cardinality(index), steps),
+            query.catalog.relation(index).tuple_width,
+        )
+        for index in range(query.n_relations)
+    ]
+
+
+def _refine(query: Query, steps: int) -> List[int]:
+    """Weisfeiler–Lehman refinement; returns a stable color per vertex."""
+    graph = query.graph
+    n = query.n_relations
+    qsel: Dict[Tuple[int, int], int] = {
+        (u, v): quantize(query.catalog.selectivity(u, v), steps)
+        for u, v in graph.edges
+    }
+
+    def edge_bucket(u: int, v: int) -> int:
+        return qsel[(u, v) if u < v else (v, u)]
+
+    def ranked(raw: Sequence) -> List[int]:
+        # Rank colors by their *sorted structural value*, never by first
+        # occurrence: first-seen ids would depend on the original vertex
+        # numbering, which is exactly what the fingerprint must ignore.
+        order = {value: rank for rank, value in enumerate(sorted(set(raw)))}
+        return [order[value] for value in raw]
+
+    colors = ranked(_vertex_seeds(query, steps))
+    for _ in range(n):
+        raw = []
+        for vertex in range(n):
+            signature = tuple(
+                sorted(
+                    (colors[neighbor], edge_bucket(vertex, neighbor))
+                    for neighbor in bitset.iter_bits(graph.adjacency(vertex))
+                )
+            )
+            raw.append((colors[vertex], signature))
+        refined = ranked(raw)
+        if refined == colors:
+            break
+        colors = refined
+    return colors
+
+
+def canonical_mapping(query: Query, steps: int = QUANT_STEPS) -> List[int]:
+    """A deterministic, numbering-independent relabeling of the query.
+
+    Returns ``mapping[original_index] = canonical_index`` in the
+    :mod:`repro.graph.renumber` convention, so
+    ``query.relabel(canonical_mapping(query))`` is the canonical form and
+    :func:`~repro.graph.renumber.invert_mapping` translates back.
+    """
+    graph = query.graph
+    n = query.n_relations
+    colors = _refine(query, steps)
+    qsel: Dict[Tuple[int, int], int] = {
+        (u, v): quantize(query.catalog.selectivity(u, v), steps)
+        for u, v in graph.edges
+    }
+
+    def edge_bucket(u: int, v: int) -> int:
+        return qsel[(u, v) if u < v else (v, u)]
+
+    position: Dict[int, int] = {}
+    remaining = set(range(n))
+    while remaining:
+        best_vertex = -1
+        best_key: Tuple = ()
+        for vertex in remaining:
+            placed_adjacency = tuple(
+                sorted(
+                    (position[neighbor], edge_bucket(vertex, neighbor))
+                    for neighbor in bitset.iter_bits(graph.adjacency(vertex))
+                    if neighbor in position
+                )
+            )
+            # Vertices already attached to the placed prefix come first
+            # (keeps the prefix connected); among those, lowest refined
+            # color, then lexicographically smallest attachment.
+            key = (0 if placed_adjacency else 1, colors[vertex], placed_adjacency)
+            if best_vertex < 0 or key < best_key:
+                best_vertex, best_key = vertex, key
+        position[best_vertex] = len(position)
+        remaining.remove(best_vertex)
+
+    mapping = [0] * n
+    for original, canonical in position.items():
+        mapping[original] = canonical
+    return mapping
+
+
+def fingerprint(query: Query, steps: int = QUANT_STEPS) -> QueryFingerprint:
+    """Fingerprint ``query``: canonical key + the relabeling used.
+
+    The key is the SHA-256 of the canonical payload — vertex statistics and
+    edge selectivities after canonical relabeling and quantization — so two
+    queries share a key iff their canonical forms coincide bucket for
+    bucket.
+    """
+    mapping = canonical_mapping(query, steps)
+    seeds = _vertex_seeds(query, steps)
+    vertices = [None] * query.n_relations  # type: List
+    for original, canonical in enumerate(mapping):
+        vertices[canonical] = seeds[original]
+    edges = sorted(
+        (
+            min(mapping[u], mapping[v]),
+            max(mapping[u], mapping[v]),
+            quantize(query.catalog.selectivity(u, v), steps),
+        )
+        for u, v in query.graph.edges
+    )
+    payload = (
+        f"n={query.n_relations};steps={steps};"
+        f"V={vertices!r};E={edges!r}"
+    )
+    key = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    return QueryFingerprint(key, tuple(mapping), payload)

@@ -1,0 +1,157 @@
+"""The cross-query plan cache.
+
+An LRU of optimized plans keyed by ``(query fingerprint, algorithm
+configuration)``.  Entries store the winning join tree **in canonical
+vertex numbering** (the fingerprint's relabeling), so a hit can serve any
+query isomorphic to the one that populated the entry: :func:`replay_plan`
+translates the canonical tree back into the requesting query's numbering
+and *re-prices* it through the requesting context's builder.  Replaying
+instead of returning the stored tree verbatim keeps two contracts:
+
+* cardinalities and costs on the returned tree come from the requesting
+  query's own statistics (quantization admits hits across queries whose
+  estimates differ by less than one bucket — the stored numbers would be
+  subtly wrong for them, and
+  :func:`repro.plans.validation.validate_plan` would rightly reject them);
+* for an exact repeat of the same query the replay reproduces the original
+  floats bit for bit (same provider arithmetic, same summation order), so
+  a warm cache is observationally identical to a cold run — just without
+  the exponential enumeration.
+
+The cache is a plain in-process structure with hit/miss/eviction counters;
+one instance is typically shared across every
+:class:`~repro.core.optimizer.Optimizer` serving a workload.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Sequence
+
+from repro.graph.renumber import invert_mapping
+from repro.plans.join_tree import JoinTree, LeafNode
+
+__all__ = ["CachedPlan", "PlanCache", "replay_plan", "DEFAULT_CACHE_CAPACITY"]
+
+#: Default LRU capacity; a cached entry is one join tree (n-1 nodes), so
+#: even thousands of entries are cheap next to a single enumeration.
+DEFAULT_CACHE_CAPACITY = 512
+
+
+class CachedPlan:
+    """One cache entry: a canonical-numbered optimal tree plus provenance."""
+
+    __slots__ = ("canonical_plan", "canonical_cost", "payload")
+
+    def __init__(self, canonical_plan: JoinTree, payload: str):
+        self.canonical_plan = canonical_plan
+        self.canonical_cost = canonical_plan.cost
+        #: The fingerprint payload that keyed this entry (diagnostics).
+        self.payload = payload
+
+    def __repr__(self) -> str:
+        return (
+            f"CachedPlan(cost={self.canonical_cost:.6g}, "
+            f"set={self.canonical_plan.vertex_set:#x})"
+        )
+
+
+class PlanCache:
+    """LRU plan cache with hit / miss / eviction accounting.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries; the least recently used entry is evicted
+        when a ``put`` would exceed it.  ``capacity <= 0`` disables storage
+        entirely (every lookup misses) without disturbing callers.
+    """
+
+    __slots__ = ("_capacity", "_entries", "hits", "misses", "evictions")
+
+    def __init__(self, capacity: int = DEFAULT_CACHE_CAPACITY):
+        self._capacity = capacity
+        self._entries: "OrderedDict[str, CachedPlan]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Optional[CachedPlan]:
+        """Look up ``key``; counts the hit/miss and refreshes recency."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: str, entry: CachedPlan) -> None:
+        """Insert/refresh ``key``, evicting the LRU entry beyond capacity."""
+        if self._capacity <= 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = entry
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries; counters are preserved (they tell a story)."""
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / lookups, 0.0 before the first lookup."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        """Counter summary for JSON reports and benchmark artifacts."""
+        return {
+            "capacity": self._capacity,
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"PlanCache(entries={len(self._entries)}/{self._capacity}, "
+            f"hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions})"
+        )
+
+
+def replay_plan(canonical_plan: JoinTree, mapping: Sequence[int], context) -> JoinTree:
+    """Rebuild a canonical-numbered cached tree for ``context.query``.
+
+    ``mapping`` is the requesting query's fingerprint relabeling
+    (``mapping[original] = canonical``); leaves are rebuilt from the
+    requesting catalog and joins re-priced through the context's builder,
+    so every number on the returned tree is native to the requesting
+    query.
+    """
+    inverse = invert_mapping(mapping)
+    builder = context.builder
+    query = context.query
+
+    def rebuild(node: JoinTree) -> JoinTree:
+        if isinstance(node, LeafNode):
+            return builder.leaf(query, inverse[node.relation])
+        return builder.create_tree(rebuild(node.left), rebuild(node.right))
+
+    return rebuild(canonical_plan)

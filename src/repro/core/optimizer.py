@@ -2,9 +2,15 @@
 
 ``optimize(query, enumerator=..., pruning=...)`` wires together a
 partitioning strategy, a pruning policy, a cost model and the shared plan
-infrastructure, runs plan generation, and returns an
-:class:`OptimizationResult` carrying the plan, its cost, the run counters
-and the measured wall time.
+infrastructure (one :class:`~repro.context.OptimizationContext` per
+query), runs plan generation, and returns an :class:`OptimizationResult`
+carrying the plan, its cost, the run counters and the measured wall time.
+
+An :class:`Optimizer` may additionally be given a
+:class:`~repro.context.PlanCache`; ``optimize`` then fingerprints each
+query (:func:`repro.context.fingerprint`) and serves structurally
+identical repeats from the cache — replaying the stored canonical tree
+through the requesting query's context — instead of enumerating again.
 
 Timing semantics follow §V-C: the measured interval covers everything the
 optimizer does at query time — including the GOO heuristic and the graph
@@ -20,22 +26,22 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, Optional, Type
 
 from repro.baselines.dpccp import DPccp
+from repro.context.context import OptimizationContext
+from repro.context.fingerprint import fingerprint
+from repro.context.plancache import CachedPlan, PlanCache, replay_plan
 from repro.core.acb import AcbPlanGenerator
-from repro.core.advancements import AdvancementConfig
+from repro.core.advancements import ADVANCEMENT_NAMES, AdvancementConfig
 from repro.core.apcb import ApcbPlanGenerator
 from repro.core.apcbi import ApcbiPlanGenerator
 from repro.core.goo import run_goo
 from repro.core.pcb import PcbPlanGenerator
 from repro.core.plangen import PlanGeneratorBase, TopDownPlanGenerator
-from repro.cost.cout import CoutCostModel
 from repro.cost.haas import HaasCostModel
 from repro.cost.model import CostModel
-from repro.cost.statistics import StatisticsProvider
 from repro.errors import BudgetExceeded, UnknownAlgorithmError
 from repro.graph.renumber import invert_mapping, remap_bitset, renumber_mapping
 from repro.heuristics.registry import get_heuristic
 from repro.partitioning.registry import get_partitioning
-from repro.plans.builder import PlanBuilder
 from repro.plans.join_tree import JoinTree
 from repro.query import Query
 from repro.stats.counters import OptimizationStats
@@ -129,6 +135,11 @@ class Optimizer:
     heuristic:
         Join-heuristic name for APCBI's advancement 2 (``"goo"``,
         ``"quickpick"``, ``"min_selectivity"``); ignored by other prunings.
+    plan_cache:
+        Optional cross-query :class:`~repro.context.PlanCache`.  When set,
+        ``optimize`` consults it before enumerating and stores every fresh
+        result; one cache instance may be shared by many optimizers (the
+        algorithm configuration is part of the key).
     """
 
     def __init__(
@@ -138,12 +149,15 @@ class Optimizer:
         cost_model_factory: Callable[[], CostModel] = HaasCostModel,
         config: Optional[AdvancementConfig] = None,
         heuristic: str = "goo",
+        plan_cache: Optional[PlanCache] = None,
     ):
         self.enumerator = enumerator
         self.pruning = pruning
         self._cost_model_factory = cost_model_factory
         self.config = config if config is not None else AdvancementConfig.all_on()
         self.heuristic = heuristic
+        self.plan_cache = plan_cache
+        self._signature: Optional[str] = None
         # Fail fast on typos.
         get_partitioning(enumerator)
         get_heuristic(heuristic)
@@ -155,8 +169,43 @@ class Optimizer:
 
     # ------------------------------------------------------------------
 
+    def _context_for(
+        self, query: Query, budget: Optional["Budget"]
+    ) -> OptimizationContext:
+        """One fresh context per query: provider, bound model, builder."""
+        return OptimizationContext.for_query(
+            query, cost_model=self._cost_model_factory, budget=budget
+        )
+
+    def _config_signature(self) -> str:
+        """Cache-key fragment identifying this optimizer configuration.
+
+        Two optimizers with the same signature produce the same plan for
+        the same fingerprint, so they may share cache entries; anything
+        that can change the winning plan (enumerator, pruning, cost model,
+        heuristic, advancement toggles) is included.
+        """
+        if self._signature is None:
+            flags = "".join(
+                "1" if getattr(self.config, name) else "0"
+                for name in ADVANCEMENT_NAMES
+            )
+            self._signature = "|".join(
+                (
+                    self.enumerator,
+                    self.pruning,
+                    self._cost_model_factory().name,
+                    self.heuristic,
+                    flags,
+                )
+            )
+        return self._signature
+
     def optimize(
-        self, query: Query, budget: Optional["Budget"] = None
+        self,
+        query: Query,
+        budget: Optional["Budget"] = None,
+        context: Optional[OptimizationContext] = None,
     ) -> OptimizationResult:
         """Find an optimal join tree for ``query``.
 
@@ -168,24 +217,95 @@ class Optimizer:
         relation numbering when advancement 6 renumbered the graph), so
         callers such as :class:`repro.resilience.ResilientOptimizer` can
         degrade gracefully instead of losing all work.
+
+        ``context`` lets a caller that already built an
+        :class:`~repro.context.OptimizationContext` for this query (the
+        resilience ladder shares one across every rung) hand it in; by
+        default a fresh context is created per call.
         """
+        if context is not None:
+            if context.query is not query:
+                raise ValueError(
+                    "context was built for a different query object"
+                )
+            if budget is None:
+                budget = context.budget
         if budget is not None:
             budget.start()
+        if self.plan_cache is not None:
+            return self._optimize_cached(query, budget, context)
+        return self._dispatch(query, budget, context)
+
+    def _dispatch(
+        self,
+        query: Query,
+        budget: Optional["Budget"],
+        context: Optional[OptimizationContext],
+    ) -> OptimizationResult:
         if self.pruning in PRUNING_STRATEGIES:
-            return self._optimize_simple(query, budget)
-        return self._optimize_apcbi(query, budget)
+            return self._optimize_simple(query, budget, context)
+        return self._optimize_apcbi(query, budget, context)
+
+    # -- plan cache --------------------------------------------------------
+
+    def _optimize_cached(
+        self,
+        query: Query,
+        budget: Optional["Budget"],
+        context: Optional[OptimizationContext],
+    ) -> OptimizationResult:
+        """Serve from / populate the cross-query plan cache.
+
+        The key combines the query's canonical fingerprint with the
+        optimizer's configuration signature, so isomorphic queries (up to
+        estimate quantization) served by equivalent configurations share
+        one entry.  A hit replays the stored canonical tree through the
+        requesting query's context — cardinalities and costs on the
+        returned plan are always native to the requesting query.
+        """
+        cache = self.plan_cache
+        fp = fingerprint(query)
+        key = f"{self._config_signature()}|{fp.key}"
+        entry = cache.get(key)
+        if entry is not None:
+            started = time.perf_counter()
+            if context is None:
+                context = self._context_for(query, budget)
+            plan = replay_plan(entry.canonical_plan, fp.mapping, context)
+            context.stats.plan_cache_hits += 1
+            elapsed = time.perf_counter() - started
+            return OptimizationResult(
+                plan=plan,
+                cost=plan.cost,
+                stats=context.stats,
+                elapsed=elapsed,
+                enumerator=self.enumerator,
+                pruning=self.pruning,
+                memo_entries=0,
+                query=query,
+            )
+        result = self._dispatch(query, budget, context)
+        result.stats.plan_cache_misses += 1
+        canonical = result.plan.relabel(fp.mapping)
+        cache.put(key, CachedPlan(canonical, fp.payload))
+        return result
 
     # -- simple strategies (none / acb / pcb / apcb) -----------------------
 
     def _optimize_simple(
-        self, query: Query, budget: Optional["Budget"] = None
+        self,
+        query: Query,
+        budget: Optional["Budget"] = None,
+        context: Optional[OptimizationContext] = None,
     ) -> OptimizationResult:
         partitioning = get_partitioning(self.enumerator)
-        stats = OptimizationStats()
         generator_cls = PRUNING_STRATEGIES[self.pruning]
-        model = self._cost_model_factory()
         started = time.perf_counter()
-        generator = generator_cls(query, partitioning, model, stats, budget=budget)
+        if context is None:
+            context = self._context_for(query, budget)
+        generator = generator_cls(
+            partitioning=partitioning, context=context, budget=budget
+        )
         try:
             plan = generator.run()
         except BudgetExceeded as error:
@@ -196,7 +316,7 @@ class Optimizer:
         return OptimizationResult(
             plan=plan,
             cost=plan.cost,
-            stats=stats,
+            stats=context.stats,
             elapsed=elapsed,
             enumerator=self.enumerator,
             pruning=self.pruning,
@@ -207,27 +327,33 @@ class Optimizer:
     # -- APCBI / APCBI_Opt -------------------------------------------------
 
     def _optimize_apcbi(
-        self, query: Query, budget: Optional["Budget"] = None
+        self,
+        query: Query,
+        budget: Optional["Budget"] = None,
+        context: Optional[OptimizationContext] = None,
     ) -> OptimizationResult:
         partitioning = get_partitioning(self.enumerator)
-        stats = OptimizationStats()
         config = self.config
-        model = self._cost_model_factory()
+        if context is None:
+            context = self._context_for(query, budget)
+        stats = context.stats
 
         # APCBI_Opt: oracle upper bounds from an *untimed* DPccp pre-pass.
         # The pre-pass shares the run's budget: it is excluded from the
         # *measured* time (§V-C) but not from the caller's wall-clock
         # allowance — an anytime contract that ignored the most expensive
-        # phase would be useless.
+        # phase would be useless.  It runs on a fork of the query's context
+        # — same provider (its memoized statistics carry over into
+        # enumeration), fresh counters (its work stays untimed/uncounted).
         oracle_plan: Optional[JoinTree] = None
         oracle_bounds: Optional[Dict[int, float]] = None
         if self.pruning == "apcbi_opt":
-            oracle = DPccp(query, self._cost_model_factory(), budget=budget)
+            oracle = DPccp(context=context.fork(), budget=budget)
             oracle_plan = oracle.run()
             oracle_bounds = oracle.optimal_class_costs()
 
         started = time.perf_counter()
-        run_query = query
+        run_context = context
         mapping = None
         upper_bounds = oracle_bounds
         # A complete heuristic tree in the *original* numbering; doubles as
@@ -242,11 +368,8 @@ class Optimizer:
             if oracle_plan is not None:
                 heuristic_tree = oracle_plan
             else:
-                provider = StatisticsProvider(query)
-                if isinstance(model, CoutCostModel):
-                    model.bind(provider)
                 heuristic_result = get_heuristic(self.heuristic).build(
-                    query, PlanBuilder(provider, model, stats)
+                    query, context.builder
                 )
                 heuristic_tree = heuristic_result.tree
                 if config.heuristic_upper_bounds:
@@ -254,18 +377,19 @@ class Optimizer:
                 else:
                     upper_bounds = {}
             mapping = renumber_mapping(heuristic_tree, query.n_relations)
-            run_query = query.relabel(mapping)
+            # The renumbered query runs on a relabeled context: own provider
+            # and bound model, shared counters and budget.
+            run_context = context.relabeled(mapping)
             if upper_bounds:
                 upper_bounds = {
                     remap_bitset(vertex_set, mapping): cost
                     for vertex_set, cost in upper_bounds.items()
                 }
+        run_query = run_context.query
 
         generator = ApcbiPlanGenerator(
-            run_query,
-            partitioning,
-            model,
-            stats,
+            partitioning=partitioning,
+            context=run_context,
             config=config,
             upper_bounds=upper_bounds,
             heuristic=get_heuristic(self.heuristic),
@@ -307,6 +431,7 @@ def optimize(
     config: Optional[AdvancementConfig] = None,
     heuristic: str = "goo",
     budget: Optional["Budget"] = None,
+    plan_cache: Optional[PlanCache] = None,
 ) -> OptimizationResult:
     """One-shot convenience wrapper around :class:`Optimizer`."""
     return Optimizer(
@@ -315,6 +440,7 @@ def optimize(
         cost_model_factory=cost_model_factory,
         config=config,
         heuristic=heuristic,
+        plan_cache=plan_cache,
     ).optimize(query, budget=budget)
 
 
@@ -324,17 +450,19 @@ def run_dpccp(
     budget: Optional["Budget"] = None,
 ) -> OptimizationResult:
     """Run the bottom-up baseline with the same result envelope."""
-    stats = OptimizationStats()
     started = time.perf_counter()
     if budget is not None:
         budget.start()
-    algorithm = DPccp(query, cost_model_factory(), stats, budget=budget)
+    context = OptimizationContext.for_query(
+        query, cost_model=cost_model_factory, budget=budget
+    )
+    algorithm = DPccp(context=context, budget=budget)
     plan = algorithm.run()
     elapsed = time.perf_counter() - started
     return OptimizationResult(
         plan=plan,
         cost=plan.cost,
-        stats=stats,
+        stats=context.stats,
         elapsed=elapsed,
         enumerator="dpccp",
         pruning="dpccp",

@@ -11,10 +11,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterator, Optional, Tuple
 
-from repro.cost.cout import CoutCostModel
-from repro.cost.haas import HaasCostModel
+from repro.context.context import OptimizationContext
 from repro.cost.model import CostModel
-from repro.cost.statistics import StatisticsProvider
 from repro.errors import OptimizationError
 from repro.graph import bitset
 from repro.partitioning.base import PartitioningStrategy
@@ -35,9 +33,17 @@ INFINITY = float("inf")
 class PlanGeneratorBase:
     """Shared infrastructure of all top-down plan generators (§V-A).
 
-    Subclasses implement :meth:`run`.  Construction wires one query to one
-    partitioning strategy and one cost model; instances are single-use
-    (state accumulates in the memotable and counters).
+    Subclasses implement :meth:`run`.  A generator runs on one
+    :class:`~repro.context.OptimizationContext` — the statistics provider,
+    bound cost model, plan builder, counters and budget all come from it —
+    plus its own memotable.  Instances are single-use (state accumulates in
+    the memotable and counters).
+
+    Construction accepts either an explicit ``context=`` (the
+    :class:`~repro.core.optimizer.Optimizer` facade builds one per query
+    and threads it through every layer) or the legacy positional
+    ``(query, partitioning, cost_model, stats, budget)`` shape, which
+    builds a private context.
     """
 
     #: Registry name of the pruning strategy ("none", "acb", ...).
@@ -45,25 +51,39 @@ class PlanGeneratorBase:
 
     def __init__(
         self,
-        query: Query,
-        partitioning: PartitioningStrategy,
+        query: Optional[Query] = None,
+        partitioning: Optional[PartitioningStrategy] = None,
         cost_model: Optional[CostModel] = None,
         stats: Optional[OptimizationStats] = None,
         budget: Optional["Budget"] = None,
+        *,
+        context: Optional[OptimizationContext] = None,
     ):
-        self._query = query
-        self._graph = query.graph
+        if context is None:
+            if query is None:
+                raise TypeError(
+                    "PlanGeneratorBase needs a query (or a ready context=)"
+                )
+            context = OptimizationContext.for_query(
+                query, cost_model=cost_model, stats=stats, budget=budget
+            )
+        elif query is not None and query is not context.query:
+            raise ValueError(
+                "query and context disagree; pass one or the other"
+            )
+        if partitioning is None:
+            raise TypeError("PlanGeneratorBase needs a partitioning strategy")
+        self._context = context
+        self._query = context.query
+        self._graph = context.query.graph
         self._partitioning = partitioning
-        self._provider = StatisticsProvider(query)
-        model = cost_model if cost_model is not None else HaasCostModel()
-        if isinstance(model, CoutCostModel):
-            model.bind(self._provider)
-        self._cost_model = model
-        self._builder = PlanBuilder(self._provider, model, stats)
+        self._provider = context.provider
+        self._cost_model = context.cost_model
+        self._builder = context.builder
         self._memo = MemoTable()
-        self._budget = budget
-        for index in range(query.n_relations):
-            self._memo.register(self._builder.leaf(query, index))
+        self._budget = budget if budget is not None else context.budget
+        for index in range(self._query.n_relations):
+            self._memo.register(self._builder.leaf(self._query, index))
 
     # -- accessors shared with tests and the harness ------------------------
 

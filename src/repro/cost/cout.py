@@ -21,8 +21,9 @@ class CoutCostModel(CostModel):
     """``cost(S1 join S2) = |S1 join S2|`` under the independence model.
 
     The output cardinality depends on the joined *set*, so this model needs
-    a :class:`StatisticsProvider` to look it up; bind one with
-    :meth:`bind` (the optimizer facade does this automatically).
+    a :class:`StatisticsProvider` to look it up; :meth:`bind` returns a
+    copy attached to one (:class:`~repro.context.OptimizationContext` does
+    this automatically when building a context).
     """
 
     name = "cout"
@@ -31,9 +32,17 @@ class CoutCostModel(CostModel):
         self._provider: StatisticsProvider | None = None
 
     def bind(self, provider: StatisticsProvider) -> "CoutCostModel":
-        """Attach the per-query statistics provider; returns ``self``."""
-        self._provider = provider
-        return self
+        """Return a copy bound to ``provider``; the receiver is untouched.
+
+        Binding used to mutate ``self``, which meant a single model
+        instance reused across two generators or queries silently kept the
+        *first* query's statistics — wrong cardinalities, wrong costs, no
+        error.  A bound copy per context makes sharing an unbound model
+        safe by construction.
+        """
+        bound = CoutCostModel()
+        bound._provider = provider
+        return bound
 
     def _output_cardinality(
         self, left: IntermediateStats, right: IntermediateStats

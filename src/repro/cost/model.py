@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
-from repro.cost.statistics import IntermediateStats
+from repro.cost.statistics import IntermediateStats, StatisticsProvider
 
 __all__ = ["CostModel"]
 
@@ -31,6 +31,18 @@ class CostModel(ABC):
 
     #: Registry/display name, overridden by subclasses.
     name = "abstract"
+
+    def bind(self, provider: StatisticsProvider) -> "CostModel":
+        """Return the model to use with ``provider``'s query.
+
+        Stateless models (the default) return ``self``.  Models that
+        consult per-query statistics (:class:`~repro.cost.cout.CoutCostModel`)
+        override this to return a **bound copy**, leaving the receiver
+        untouched — one model instance may parameterize many
+        :class:`~repro.context.OptimizationContext`\\ s, and a mutating
+        bind would silently keep the *first* query's provider.
+        """
+        return self
 
     @abstractmethod
     def join_cost(self, outer: IntermediateStats, inner: IntermediateStats) -> float:

@@ -30,7 +30,16 @@ __all__ = ["IntermediateStats", "StatisticsProvider"]
 
 @dataclass(frozen=True)
 class IntermediateStats:
-    """Size facts about one (intermediate) relation."""
+    """Size facts about one (intermediate) relation.
+
+    One instance exists per memoized plan class, and large enumerations
+    memoize hundreds of thousands — ``__slots__`` drops the per-instance
+    ``__dict__`` (64 bytes/instance vs. 352 with a dict on CPython 3.11;
+    see docs/architecture.md).  Legal on a frozen dataclass here because
+    no field has a default.
+    """
+
+    __slots__ = ("vertex_set", "cardinality", "tuple_width", "pages")
 
     vertex_set: int
     cardinality: float

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Tuple
 
-from repro.cost.statistics import StatisticsProvider
+from repro.context.context import statistics_for
 from repro.exec.data import Database
 from repro.exec.operators import CompositeRow, hash_join, nested_loop_join, scan
 from repro.plans.join_tree import JoinNode, JoinTree, LeafNode
@@ -118,7 +118,7 @@ def validate_estimates(
     2 is sampling noise, not an estimation error).
     """
     graph = database.scaled_query.graph
-    provider = StatisticsProvider(database.scaled_query)
+    provider = statistics_for(database.scaled_query)
     execution = execute_plan(plan, database)
     report: Dict[int, Tuple[float, int]] = {}
 

@@ -66,7 +66,11 @@ def validate_plan(
             f"relation R{leaf.relation} appears more than once in the plan",
         )
         seen.add(leaf.relation)
-    provider = StatisticsProvider(query)
+    # Imported lazily: repro.context builds on repro.plans, so a module-level
+    # import here would close a package cycle during interpreter start-up.
+    from repro.context.context import statistics_for
+
+    provider = statistics_for(query)
     _validate_node(plan, query, provider)
     if cost_model is not None:
         recomputed = recompute_cost(plan, provider, cost_model)

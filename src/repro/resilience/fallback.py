@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.cost.statistics import StatisticsProvider
+from repro.context.context import statistics_for
 from repro.errors import OptimizationError
 from repro.plans.join_tree import JoinNode, JoinTree, LeafNode
 from repro.query import Query
@@ -39,7 +39,7 @@ def structural_fallback_plan(query: Query) -> JoinTree:
     corrupted inputs rather than a planning failure.
     """
     graph = query.graph
-    provider = StatisticsProvider(query)
+    provider = statistics_for(query)
     forest: List[JoinTree] = [
         LeafNode(
             index,

@@ -179,6 +179,13 @@ class _FaultyCostModel(CostModel):
         self._mode = mode
         self.name = inner.name
 
+    def bind(self, provider) -> "_FaultyCostModel":
+        """Delegate binding so a wrapped provider-dependent model works."""
+        bound_inner = self._inner.bind(provider)
+        if bound_inner is self._inner:
+            return self
+        return _FaultyCostModel(self._injector, bound_inner, self._mode)
+
     def _fault_value(self) -> float:
         if self._mode == "raise":
             raise InjectedFaultError(

@@ -28,15 +28,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro.context.context import OptimizationContext
 from repro.core.advancements import AdvancementConfig
 from repro.core.optimizer import OptimizationResult, Optimizer
-from repro.cost.cout import CoutCostModel
 from repro.cost.haas import HaasCostModel
 from repro.cost.model import CostModel
-from repro.cost.statistics import StatisticsProvider
 from repro.errors import BudgetExceeded, ReproError, ResilienceError
 from repro.heuristics.registry import get_heuristic
-from repro.plans.builder import PlanBuilder
 from repro.plans.join_tree import JoinTree
 from repro.plans.validation import check_finite, validate_plan
 from repro.query import Query
@@ -132,6 +130,9 @@ class ResilientResult:
     query: Query
     #: The exact result envelope when the ``exact`` rung succeeded.
     exact: Optional[OptimizationResult] = None
+    #: The one :class:`~repro.context.OptimizationContext` every rung of
+    #: the descent ran on (shared statistics provider and budget).
+    context: Optional[OptimizationContext] = None
 
     @property
     def degraded(self) -> bool:
@@ -208,7 +209,31 @@ class ResilientOptimizer:
         if budget is not None:
             budget.start()
 
-        outcome = self._run_ladder(query, budget, report)
+        # One context for the whole descent: every rung — exact, salvage,
+        # heuristics, comparison pricing — shares this statistics provider
+        # and budget, so nothing memoized during an interrupted exact run
+        # is recomputed by the rung that rescues it.  If the substrate
+        # itself cannot be built (e.g. the catalog lost a relation), no
+        # rung could run either — report that as a full ladder failure.
+        try:
+            context = OptimizationContext.for_query(
+                query, cost_model=self._cost_model_factory, budget=budget
+            )
+        except _RECOVERABLE as error:
+            report.rung = "none"
+            report.attempts.append(
+                RungAttempt(
+                    "context", "failed", f"{type(error).__name__}: {error}"
+                )
+            )
+            if budget is not None:
+                report.budget = budget.snapshot()
+            raise ResilienceError(
+                "could not build the optimization context for "
+                f"{query.describe()}:\n{report.describe()}",
+                report=report,
+            ) from error
+        outcome = self._run_ladder(query, budget, report, context)
         if budget is not None:
             report.budget = budget.snapshot()
         if outcome is None:
@@ -228,6 +253,7 @@ class ResilientOptimizer:
             stats=stats,
             query=query,
             exact=exact,
+            context=context,
         )
 
     # ------------------------------------------------------------------
@@ -237,13 +263,14 @@ class ResilientOptimizer:
         query: Query,
         budget: Optional[Budget],
         report: DegradationReport,
+        context: OptimizationContext,
     ) -> Optional[Tuple[JoinTree, OptimizationStats, Optional[OptimizationResult]]]:
         """Descend the ladder; fills ``report`` as it goes."""
         partial: Optional[JoinTree] = None
 
         # Rung 1: exact (budgeted) enumeration.
         try:
-            result = self._optimizer.optimize(query, budget=budget)
+            result = self._optimizer.optimize(query, budget=budget, context=context)
             self._validate(result.plan, query)
         except BudgetExceeded as error:
             report.budget_exceeded = error.reason
@@ -259,7 +286,7 @@ class ResilientOptimizer:
             report.chosen_cost = result.cost
             if self._compare_fallback and self._heuristic_ladder:
                 fallback = self._try_heuristic(
-                    self._heuristic_ladder[0], query, OptimizationStats()
+                    self._heuristic_ladder[0], query, context.fork()
                 )
                 if fallback is not None:
                     report.fallback_cost = fallback.cost
@@ -287,16 +314,18 @@ class ResilientOptimizer:
                 RungAttempt("best_so_far", "failed", "no complete plan salvaged")
             )
 
-        # Rungs 3..n: the heuristic ladder.
+        # Rungs 3..n: the heuristic ladder.  Each rung runs on a fork of
+        # the shared context: same provider (statistics memoized by the
+        # failed exact rung are reused) and bound model, fresh counters.
         for name in self._heuristic_ladder:
-            stats = OptimizationStats()
-            plan = self._try_heuristic(name, query, stats, report)
+            rung_context = context.fork()
+            plan = self._try_heuristic(name, query, rung_context, report)
             if plan is not None:
                 report.rung = name
                 report.chosen_cost = plan.cost
                 if report.fallback_cost is None:
                     report.fallback_cost = plan.cost
-                return plan, stats, None
+                return plan, rung_context.stats, None
 
         # Final rung: structure without costs.
         if self._structural_fallback:
@@ -319,17 +348,12 @@ class ResilientOptimizer:
         self,
         name: str,
         query: Query,
-        stats: OptimizationStats,
+        context: OptimizationContext,
         report: Optional[DegradationReport] = None,
     ) -> Optional[JoinTree]:
         """Run one heuristic rung; returns a validated plan or ``None``."""
         try:
-            model = self._cost_model_factory()
-            provider = StatisticsProvider(query)
-            if isinstance(model, CoutCostModel):
-                model.bind(provider)
-            builder = PlanBuilder(provider, model, stats)
-            result = get_heuristic(name).build(query, builder)
+            result = get_heuristic(name).build(query, context.builder)
             self._validate(result.tree, query)
         except _RECOVERABLE as error:
             if report is not None:

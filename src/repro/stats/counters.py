@@ -47,6 +47,11 @@ class OptimizationStats:
         Times the rising-budget advancement lifted a request's budget.
     lbe_evaluations:
         Lower-bound estimator invocations (the expensive part of PCB).
+    plan_cache_hits:
+        Queries answered from the cross-query
+        :class:`~repro.context.PlanCache` without enumeration.
+    plan_cache_misses:
+        Queries that consulted the plan cache and had to enumerate.
     """
 
     ccps_enumerated: int = 0
@@ -60,6 +65,8 @@ class OptimizationStats:
     plan_improvements: int = 0
     budget_raises: int = 0
     lbe_evaluations: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Plain-dict view for JSON reports."""
@@ -75,6 +82,8 @@ class OptimizationStats:
             "plan_improvements": self.plan_improvements,
             "budget_raises": self.budget_raises,
             "lbe_evaluations": self.lbe_evaluations,
+            "plan_cache_hits": self.plan_cache_hits,
+            "plan_cache_misses": self.plan_cache_misses,
         }
 
     def merge(self, other: "OptimizationStats") -> "OptimizationStats":

@@ -12,6 +12,7 @@ EXPECTED_RULES = {
     "all-exports",
     "bench-clock",
     "bitset-discipline",
+    "context-discipline",
     "no-bare-except",
     "no-float-cost-eq",
     "no-mutable-default",
@@ -28,7 +29,7 @@ def _write(tmp_path, name, code):
 
 
 class TestRuleCatalogue:
-    def test_the_nine_rules_are_registered(self):
+    def test_the_expected_rules_are_registered(self):
         assert {rule.id for rule in all_rules()} == EXPECTED_RULES
 
     def test_list_rules(self, capsys):

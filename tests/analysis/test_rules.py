@@ -32,6 +32,53 @@ class TestBitsetDiscipline:
         assert lint(code, "bitset-discipline", filename="repro/graph/bitset.py") == []
 
 
+class TestContextDiscipline:
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "from repro.cost.statistics import StatisticsProvider\n"
+            "def f(query):\n    return StatisticsProvider(query)\n",
+            "from repro.plans.builder import PlanBuilder\n"
+            "def f(p, m):\n    return PlanBuilder(p, m)\n",
+            "import repro.cost.statistics as stats\n"
+            "def f(query):\n    return stats.StatisticsProvider(query)\n",
+        ],
+    )
+    def test_direct_construction_flagged(self, lint, snippet):
+        assert _rules_of(lint(snippet, "context-discipline")) == [
+            "context-discipline"
+        ]
+
+    def test_blessed_paths_pass(self, lint):
+        code = (
+            "from repro.context import OptimizationContext, statistics_for\n"
+            "def f(query):\n"
+            "    return OptimizationContext.for_query(query), "
+            "statistics_for(query)\n"
+        )
+        assert lint(code, "context-discipline") == []
+
+    def test_allowed_inside_the_context_package(self, lint):
+        code = (
+            "from repro.cost.statistics import StatisticsProvider\n"
+            "def statistics_for(query):\n    return StatisticsProvider(query)\n"
+        )
+        assert (
+            lint(code, "context-discipline", filename="repro/context/context.py")
+            == []
+        )
+
+    def test_allowed_in_tests(self, lint):
+        code = (
+            "from repro.cost.statistics import StatisticsProvider\n"
+            "def test_f(query):\n    return StatisticsProvider(query)\n"
+        )
+        assert (
+            lint(code, "context-discipline", filename="tests/test_stats.py")
+            == []
+        )
+
+
 class TestSeededRng:
     def test_unseeded_random_flagged(self, lint):
         code = "import random\nrng = random.Random()\n"

@@ -1,0 +1,72 @@
+"""The repeated-workload plan-cache benchmark and its harness hookup."""
+
+import json
+
+from repro.bench.harness import AlgorithmSpec, run_query_matrix, run_workload
+from repro.bench.plancache import main, run_plancache_benchmark
+from repro.context import PlanCache
+from repro.workload.generator import QueryGenerator
+
+# Small enough for a unit test, big enough that every family appears.
+TINY_WORKLOAD = (("chain", 6), ("star", 5), ("cycle", 6), ("clique", 5))
+
+
+class TestRunPlancacheBenchmark:
+    def test_repeated_half_hits_every_time(self):
+        report = run_plancache_benchmark(workload=TINY_WORKLOAD)
+        assert report["queries"] == len(TINY_WORKLOAD)
+        assert report["cold_misses"] == len(TINY_WORKLOAD)
+        assert report["repeated_hits"] == len(TINY_WORKLOAD)
+        assert report["repeated_hit_rate"] == 1.0
+
+    def test_warm_results_are_cache_served_and_cost_identical(self):
+        report = run_plancache_benchmark(workload=TINY_WORKLOAD)
+        # memo_entries == 0 is the cache-served marker.
+        assert report["warm_memo_entries"] == [0] * len(TINY_WORKLOAD)
+        # The warm queries are permutations, replayed against their own
+        # statistics — same optimal cost, bit for bit (hex strings, so
+        # plain equality is exact and no-float-cost-eq does not apply).
+        assert report["warm_costs"] == report["cold_costs"]
+
+    def test_cli_writes_the_report(self, tmp_path, monkeypatch, capsys):
+        out = tmp_path / "BENCH_plancache.json"
+        monkeypatch.setattr(
+            "repro.bench.plancache.DEFAULT_WORKLOAD", TINY_WORKLOAD
+        )
+        # The tiny workload optimizes in microseconds, so the 2x speedup
+        # criterion is noisy here; the hit-rate criterion is what the
+        # unit test can assert deterministically.
+        exit_code = main(["--out", str(out)])
+        report = json.loads(out.read_text(encoding="utf-8"))
+        assert report["repeated_hit_rate"] == 1.0
+        assert "repeated hit rate 100%" in capsys.readouterr().out
+        if exit_code != 0:
+            assert report["speedup"] < report["required_speedup"]
+
+
+class TestHarnessPlanCache:
+    def test_matrix_reuses_the_cache_across_repeats(self):
+        query = QueryGenerator(seed=7).generate("cycle", 6)
+        specs = [AlgorithmSpec("mincut_conservative", "apcbi")]
+        cache = PlanCache()
+        first = run_query_matrix(query, specs, plan_cache=cache)
+        second = run_query_matrix(query, specs, plan_cache=cache)
+        assert not first.failures and not second.failures
+        # One DPccp-verified entry per config; the repeat hit it.
+        assert cache.misses == 1
+        assert cache.hits == 1
+
+    def test_workload_passes_the_cache_through(self):
+        generator = QueryGenerator(seed=9)
+        queries = [generator.generate("chain", 5)] * 2
+        specs = [AlgorithmSpec("mincut_conservative", "pcb")]
+        cache = PlanCache()
+        measurement = run_workload(queries, specs, plan_cache=cache)
+        assert len(measurement.measurements) == 2
+        assert cache.hits == 1
+
+    def test_without_a_cache_nothing_changes(self):
+        query = QueryGenerator(seed=7).generate("chain", 5)
+        specs = [AlgorithmSpec("mincut_conservative", "apcbi")]
+        measurement = run_query_matrix(query, specs)
+        assert not measurement.failures

@@ -1,0 +1,111 @@
+"""Fingerprint invariance and sensitivity tests (ISSUE satellite).
+
+The cache key must be *invariant* under relation renumbering (isomorphic
+queries share an entry) and *sensitive* to statistics changes beyond the
+quantization step (materially different queries never collide).
+"""
+
+import random
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.context import QUANT_STEPS, canonical_mapping, fingerprint, quantize
+from repro.graph.renumber import invert_mapping
+from repro.query import Query
+from repro.workload.generator import QueryGenerator
+
+
+def _permutations_of(n, seed, count=6):
+    rng = random.Random(seed)
+    for _ in range(count):
+        perm = list(range(n))
+        rng.shuffle(perm)
+        yield perm
+
+
+def _with_selectivity_factor(query, factor):
+    """The same query with every edge selectivity scaled by ``factor``."""
+    catalog = query.catalog
+    scaled = {
+        edge: min(1.0, value * factor)
+        for edge, value in catalog.selectivities.items()
+    }
+    relations = [catalog.relation(i) for i in range(catalog.n_relations)]
+    return Query(
+        graph=query.graph,
+        catalog=Catalog(relations, scaled),
+        family=query.family,
+        seed=query.seed,
+    )
+
+
+class TestQuantize:
+    def test_full_step_always_changes_the_bucket(self):
+        # round(x + 1) == round(x) + 1, so scaling a value by one full
+        # quantization step (2^(1/steps)) moves it to an adjacent bucket.
+        for value in (0.5, 1.0, 3.7, 1e4, 123456.789):
+            stepped = value * 2 ** (1.0 / QUANT_STEPS)
+            assert quantize(stepped) == quantize(value) + 1
+
+    def test_tiny_perturbations_share_a_bucket(self):
+        assert quantize(1000.0) == quantize(1000.0 * 1.01)
+
+    def test_degenerate_values_share_the_sentinel(self):
+        assert quantize(0.0) == quantize(-5.0)
+        assert quantize(0.0) < quantize(1e-300)
+
+
+class TestRenumberingInvariance:
+    @pytest.mark.parametrize("family", ["chain", "star", "cycle"])
+    @pytest.mark.parametrize("scheme", ["fk", "random"])
+    def test_permuted_numbering_gives_identical_fingerprints(
+        self, family, scheme
+    ):
+        query = QueryGenerator(seed=2012).generate(family, 7, scheme)
+        base = fingerprint(query)
+        for perm in _permutations_of(query.n_relations, seed=17):
+            permuted = query.relabel(perm)
+            other = fingerprint(permuted)
+            assert other.key == base.key, (
+                f"{family}/{scheme} permuted by {perm} changed the key"
+            )
+            assert other.payload == base.payload
+
+    def test_mapping_relabels_to_the_canonical_form(self):
+        query = QueryGenerator(seed=7).generate("cycle", 6)
+        mapping = canonical_mapping(query)
+        canonical = query.relabel(mapping)
+        # The canonical form fingerprints to itself with the identity.
+        again = fingerprint(canonical)
+        assert again.key == fingerprint(query).key
+        assert list(again.mapping) == list(range(query.n_relations))
+
+    def test_mapping_is_invertible(self):
+        query = QueryGenerator(seed=3).generate("clique", 5)
+        mapping = list(fingerprint(query).mapping)
+        inverse = invert_mapping(mapping)
+        assert sorted(mapping) == list(range(query.n_relations))
+        assert [mapping[inverse[i]] for i in range(len(mapping))] == list(
+            range(len(mapping))
+        )
+
+
+class TestStatisticsSensitivity:
+    def test_perturbation_beyond_one_step_changes_the_key(self):
+        query = QueryGenerator(seed=41).generate("chain", 6)
+        # A full quantization step is guaranteed to move every edge bucket.
+        factor = 2 ** (1.0 / QUANT_STEPS)
+        perturbed = _with_selectivity_factor(query, 1.0 / factor)
+        assert fingerprint(perturbed).key != fingerprint(query).key
+
+    def test_perturbation_within_a_bucket_keeps_the_key(self):
+        query = QueryGenerator(seed=41).generate("chain", 6)
+        nudged = _with_selectivity_factor(query, 1.001)
+        assert fingerprint(nudged).key == fingerprint(query).key
+
+    def test_different_shapes_never_collide(self):
+        generator = QueryGenerator(seed=8)
+        chain = generator.generate("chain", 6)
+        star = generator.generate("star", 6)
+        assert fingerprint(chain).key != fingerprint(star).key

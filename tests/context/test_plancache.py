@@ -1,0 +1,121 @@
+"""PlanCache mechanics and Optimizer integration."""
+
+import pytest
+
+from repro.context import (
+    CachedPlan,
+    OptimizationContext,
+    PlanCache,
+    fingerprint,
+    replay_plan,
+)
+from repro.core.optimizer import Optimizer, run_dpccp
+from repro.plans.validation import validate_plan
+from repro.workload.generator import QueryGenerator
+
+
+@pytest.fixture
+def query():
+    return QueryGenerator(seed=21).generate("cycle", 7)
+
+
+def _cached_entry(query):
+    context = OptimizationContext.for_query(query)
+    plan = run_dpccp(query).plan
+    fp = fingerprint(query)
+    return CachedPlan(plan.relabel(fp.mapping), fp.payload), fp, context
+
+
+class TestLruMechanics:
+    def test_hits_misses_and_recency(self, query):
+        cache = PlanCache(capacity=4)
+        entry, fp, _ = _cached_entry(query)
+        assert cache.get("a") is None
+        cache.put("a", entry)
+        assert cache.get("a") is entry
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_eviction_is_least_recently_used(self, query):
+        cache = PlanCache(capacity=2)
+        entry, _, _ = _cached_entry(query)
+        cache.put("a", entry)
+        cache.put("b", entry)
+        cache.get("a")  # refresh "a"; "b" becomes LRU
+        cache.put("c", entry)
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.evictions == 1
+
+    def test_zero_capacity_disables_storage(self, query):
+        cache = PlanCache(capacity=0)
+        entry, _, _ = _cached_entry(query)
+        cache.put("a", entry)
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+    def test_clear_preserves_counters(self, query):
+        cache = PlanCache()
+        entry, _, _ = _cached_entry(query)
+        cache.put("a", entry)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+        snapshot = cache.snapshot()
+        assert snapshot["hits"] == 1 and snapshot["entries"] == 0
+
+
+class TestReplay:
+    def test_replay_reproduces_the_plan_bit_for_bit(self, query):
+        entry, fp, context = _cached_entry(query)
+        replayed = replay_plan(entry.canonical_plan, fp.mapping, context)
+        original = run_dpccp(query).plan
+        assert replayed.cost.hex() == original.cost.hex()
+        assert replayed.sexpr() == original.sexpr()
+
+    def test_replay_for_an_isomorphic_query_validates(self, query):
+        entry, _, _ = _cached_entry(query)
+        perm = [2, 5, 0, 6, 1, 4, 3]
+        permuted = query.relabel(perm)
+        context = OptimizationContext.for_query(permuted)
+        replayed = replay_plan(
+            entry.canonical_plan, fingerprint(permuted).mapping, context
+        )
+        validate_plan(replayed, permuted, context.cost_model)
+
+
+class TestOptimizerIntegration:
+    def test_repeated_query_hits_and_skips_enumeration(self, query):
+        cache = PlanCache()
+        optimizer = Optimizer(plan_cache=cache)
+        cold = optimizer.optimize(query)
+        warm = optimizer.optimize(query)
+        assert cache.hits == 1 and cache.misses == 1
+        assert warm.memo_entries == 0
+        assert warm.stats.plan_cache_hits == 1
+        assert cold.stats.plan_cache_misses == 1
+        assert warm.cost.hex() == cold.cost.hex()
+        assert warm.plan.sexpr() == cold.plan.sexpr()
+
+    def test_isomorphic_query_hits_the_same_entry(self, query):
+        cache = PlanCache()
+        optimizer = Optimizer(plan_cache=cache)
+        optimizer.optimize(query)
+        permuted = query.relabel([3, 0, 5, 1, 6, 2, 4])
+        result = optimizer.optimize(permuted)
+        assert cache.hits == 1
+        validate_plan(result.plan, permuted)
+
+    def test_different_configurations_do_not_share_entries(self, query):
+        cache = PlanCache()
+        apcbi = Optimizer(pruning="apcbi", plan_cache=cache)
+        pcb = Optimizer(pruning="pcb", plan_cache=cache)
+        apcbi.optimize(query)
+        pcb.optimize(query)
+        assert cache.hits == 0 and cache.misses == 2
+        assert len(cache) == 2
+
+    def test_cacheless_optimizer_is_unchanged(self, query):
+        bare = Optimizer().optimize(query)
+        assert bare.stats.plan_cache_hits == 0
+        assert bare.stats.plan_cache_misses == 0

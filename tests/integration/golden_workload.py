@@ -1,0 +1,74 @@
+"""The seeded equivalence workload and its golden-output capture.
+
+The context refactor must be *observationally invisible*: every pruning
+variant and DPccp must return bit-identical plans and costs before and
+after moving onto :class:`repro.context.OptimizationContext`.  This module
+defines the seeded chain/star/cycle/clique workload the equivalence test
+runs, and can be executed as a script to (re)capture the golden outputs::
+
+    PYTHONPATH=src:tests python tests/integration/golden_workload.py
+
+The resulting ``golden_plans.json`` was captured on the pre-refactor tree
+(commit a02e55e) and is committed; regenerate it only when an intentional
+behavior change is being made, never to paper over a regression.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.core.optimizer import Optimizer, run_dpccp
+from repro.query import Query
+from repro.workload.generator import QueryGenerator
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "golden_plans.json"
+
+#: (family, sizes) kept small enough that all six algorithms finish the
+#: whole workload in seconds of pure-Python time.
+FAMILIES: Tuple[Tuple[str, Tuple[int, ...]], ...] = (
+    ("chain", (4, 6, 8, 10)),
+    ("star", (4, 5, 6, 7)),
+    ("cycle", (4, 6, 8)),
+    ("clique", (4, 5, 6)),
+)
+
+#: Every pruning variant of the paper plus the bottom-up baseline.
+PRUNINGS: Tuple[str, ...] = ("none", "acb", "pcb", "apcb", "apcbi")
+
+SEED = 20120401
+
+
+def golden_queries() -> List[Query]:
+    """The deterministic query list (per-family seeded generators)."""
+    queries: List[Query] = []
+    for family, sizes in FAMILIES:
+        generator = QueryGenerator(seed=SEED + sum(map(ord, family)))
+        for index, size in enumerate(sizes):
+            scheme = "fk" if index % 2 == 0 else "random"
+            queries.append(generator.generate(family, size, scheme))
+    return queries
+
+
+def capture() -> Dict[str, Dict[str, List[object]]]:
+    """Run the full matrix; returns ``{query: {algorithm: [cost, sexpr]}}``.
+
+    Costs are stored via ``float.hex`` so the equivalence check is
+    bit-exact, not merely within tolerance.
+    """
+    outputs: Dict[str, Dict[str, List[object]]] = {}
+    for query in golden_queries():
+        row: Dict[str, List[object]] = {}
+        baseline = run_dpccp(query)
+        row["dpccp"] = [baseline.cost.hex(), baseline.plan.sexpr()]
+        for pruning in PRUNINGS:
+            result = Optimizer(pruning=pruning).optimize(query)
+            row[pruning] = [result.cost.hex(), result.plan.sexpr()]
+        outputs[query.describe()] = row
+    return outputs
+
+
+if __name__ == "__main__":
+    GOLDEN_PATH.write_text(json.dumps(capture(), indent=2) + "\n")
+    print(f"wrote {GOLDEN_PATH}")

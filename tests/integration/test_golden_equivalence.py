@@ -1,0 +1,51 @@
+"""Refactor-equivalence acceptance test (ISSUE acceptance criterion).
+
+All five pruning variants and DPccp must produce bit-identical plans and
+costs on the seeded chain/star/cycle/clique workload, compared against
+``golden_plans.json`` captured on the pre-refactor tree (commit a02e55e)
+— the context refactor is required to be observationally invisible.
+Costs compare via ``float.hex``, so this is exact, not within-tolerance.
+"""
+
+import json
+
+import pytest
+
+from tests.integration.golden_workload import (
+    GOLDEN_PATH,
+    PRUNINGS,
+    capture,
+    golden_queries,
+)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def current():
+    return capture()
+
+
+def test_workload_shape_matches_the_capture(golden):
+    assert len(golden) == len(golden_queries())
+    sample = next(iter(golden.values()))
+    assert set(sample) == set(PRUNINGS) | {"dpccp"}
+
+
+def test_all_algorithms_are_bit_identical_to_the_golden_capture(
+    golden, current
+):
+    assert set(current) == set(golden)
+    mismatches = []
+    for name, want in golden.items():
+        for algorithm, (cost_hex, sexpr) in want.items():
+            got_cost, got_sexpr = current[name][algorithm]
+            if got_cost != cost_hex or got_sexpr != sexpr:
+                mismatches.append(
+                    f"{name}/{algorithm}: cost {got_cost} vs {cost_hex}, "
+                    f"plan {got_sexpr} vs {sexpr}"
+                )
+    assert not mismatches, "\n".join(mismatches)

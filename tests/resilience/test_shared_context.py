@@ -1,0 +1,67 @@
+"""The ladder runs every rung on ONE shared context (ISSUE satellite).
+
+A tight budget forces the exact rung to fail and a heuristic rung to
+rescue the run; the test asserts that exactly one
+:class:`~repro.context.OptimizationContext` was built for the whole
+descent, that the rescuing rung reused its statistics provider (fork
+semantics), and that the returned plan still validates.
+"""
+
+import pytest
+
+from repro.context import OptimizationContext
+from repro.plans.validation import check_finite, validate_plan
+from repro.resilience.budget import Budget
+from repro.resilience.optimizer import ResilientOptimizer
+from repro.workload.generator import QueryGenerator
+
+
+@pytest.fixture
+def query():
+    return QueryGenerator(seed=31).generate("clique", 9)
+
+
+def test_one_context_is_shared_across_all_rungs(query, monkeypatch):
+    built = []
+    real_for_query = OptimizationContext.for_query.__func__
+
+    def counting_for_query(cls, *args, **kwargs):
+        context = real_for_query(cls, *args, **kwargs)
+        built.append(context)
+        return context
+
+    monkeypatch.setattr(
+        OptimizationContext, "for_query", classmethod(counting_for_query)
+    )
+
+    result = ResilientOptimizer().optimize(
+        query, budget=Budget(max_expansions=5)
+    )
+
+    # The exact rung ran out of budget; a lower rung produced the plan.
+    assert result.degraded
+    assert result.rung != "exact"
+    check_finite(result.plan)
+    validate_plan(result.plan, query)
+
+    # Exactly one context was built for the entire descent, and it is the
+    # one the result exposes.
+    assert len(built) == 1
+    assert result.context is built[0]
+
+    # Fork semantics: every rung context shares the descent's statistics
+    # provider and budget identity.
+    fork = result.context.fork()
+    assert fork.provider is result.context.provider
+    assert fork.budget is result.context.budget
+
+    # The shared provider actually accumulated the rungs' statistics work
+    # (more than the per-relation singletons it starts with).
+    assert result.context.provider.cache_size() > query.n_relations
+
+
+def test_successful_exact_rung_also_exposes_the_context(query):
+    result = ResilientOptimizer().optimize(query)
+    assert not result.degraded
+    assert result.context is not None
+    assert result.stats is result.context.stats
