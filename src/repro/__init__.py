@@ -65,6 +65,24 @@ from repro.resilience import (
     ResilientOptimizer,
     ResilientResult,
 )
+from repro.errors import (
+    CircuitOpenError,
+    RetriesExhaustedError,
+    ServiceError,
+    ServiceOverloadError,
+    ServiceShutdownError,
+)
+from repro.service import (
+    AdmissionQueue,
+    BreakerBoard,
+    CircuitBreaker,
+    ManualClock,
+    OptimizationService,
+    OptimizeRequest,
+    OptimizeResponse,
+    RetryPolicy,
+    ServiceHealth,
+)
 from repro.stats import OptimizationStats
 from repro.workload import (
     QueryGenerator,
@@ -126,6 +144,16 @@ __all__ = [
     "ResilienceError",
     "ResilientOptimizer",
     "ResilientResult",
+    # serving (concurrent optimization service)
+    "OptimizationService",
+    "OptimizeRequest",
+    "OptimizeResponse",
+    "AdmissionQueue",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "BreakerBoard",
+    "ManualClock",
+    "ServiceHealth",
     # workload
     "QueryGenerator",
     "WorkloadSuite",
@@ -148,4 +176,9 @@ __all__ = [
     "CatalogError",
     "OptimizationError",
     "UnknownAlgorithmError",
+    "ServiceError",
+    "ServiceOverloadError",
+    "ServiceShutdownError",
+    "CircuitOpenError",
+    "RetriesExhaustedError",
 ]

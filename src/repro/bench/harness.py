@@ -144,15 +144,25 @@ class NormedSummary:
 
 @dataclass(frozen=True)
 class FailureCounts:
-    """How many per-query runs ended in each failure class."""
+    """How many per-query runs ended in each failure class.
+
+    ``retries`` and ``breaker_trips`` extend the taxonomy for service-mode
+    runs (:mod:`repro.bench.service`): they count *recoveries*, not lost
+    queries — a retried request that eventually returned a plan appears in
+    ``retries`` but in none of the failure classes — so neither
+    contributes to :attr:`total`.
+    """
 
     timeouts: int = 0
     errors: int = 0
     degraded: int = 0
     skipped: int = 0
+    retries: int = 0
+    breaker_trips: int = 0
 
     @property
     def total(self) -> int:
+        """Runs that ended in a failure class (recovery counters excluded)."""
         return self.timeouts + self.errors + self.degraded + self.skipped
 
     @classmethod
@@ -167,6 +177,18 @@ class FailureCounts:
             degraded=counts["degraded"],
             skipped=counts["skipped"],
         )
+
+    def as_dict(self) -> Dict[str, int]:
+        """JSON-ready counter mapping (service reports, soak output)."""
+        return {
+            "timeouts": self.timeouts,
+            "errors": self.errors,
+            "degraded": self.degraded,
+            "skipped": self.skipped,
+            "retries": self.retries,
+            "breaker_trips": self.breaker_trips,
+            "total_failed": self.total,
+        }
 
 
 @dataclass

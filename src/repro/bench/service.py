@@ -1,0 +1,217 @@
+"""Service-mode benchmarking: throughput and latency under concurrency.
+
+Where :mod:`repro.bench.harness` measures single optimizer runs in
+isolation, this module drives a whole workload through an
+:class:`~repro.service.OptimizationService` and reports the operational
+numbers a serving deployment cares about: requests per second, queue-wait
+and service-time percentiles, the degradation-rung histogram, and the
+extended :class:`~repro.bench.harness.FailureCounts` taxonomy (timeouts,
+errors, degraded responses, *plus* the recovery counters ``retries`` and
+``breaker_trips``).
+
+All timing uses ``time.perf_counter`` — by repo convention wall-clock
+performance measurement lives only under ``repro/bench``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.harness import FailureCounts
+from repro.errors import ServiceOverloadError
+from repro.query import Query
+
+__all__ = [
+    "ServiceBenchReport",
+    "percentile",
+    "run_service_bench",
+    "service_failure_counts",
+]
+
+
+def service_failure_counts(
+    timeouts: int = 0,
+    errors: int = 0,
+    degraded: int = 0,
+    skipped: int = 0,
+    retries: int = 0,
+    breaker_trips: int = 0,
+) -> FailureCounts:
+    """Assemble a :class:`FailureCounts` from service-side counters.
+
+    Shared by the bench report and the soak report so both serialize the
+    identical taxonomy (``FailureCounts.as_dict``).
+    """
+    return FailureCounts(
+        timeouts=timeouts,
+        errors=errors,
+        degraded=degraded,
+        skipped=skipped,
+        retries=retries,
+        breaker_trips=breaker_trips,
+    )
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) by linear interpolation.
+
+    Returns 0.0 for an empty sequence so reports stay JSON-clean.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+@dataclass
+class ServiceBenchReport:
+    """One service bench run's aggregate numbers."""
+
+    requests: int
+    completed: int
+    failed: int
+    timeouts: int
+    rejected: int
+    elapsed_seconds: float
+    throughput: float  # completed requests per second
+    queue_wait: Dict[str, float] = field(default_factory=dict)
+    service_time: Dict[str, float] = field(default_factory=dict)
+    rung_histogram: Dict[str, int] = field(default_factory=dict)
+    failures: FailureCounts = field(default_factory=FailureCounts)
+    breakers: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "requests": self.requests,
+            "completed": self.completed,
+            "failed": self.failed,
+            "timeouts": self.timeouts,
+            "rejected": self.rejected,
+            "elapsed_seconds": self.elapsed_seconds,
+            "throughput_rps": self.throughput,
+            "queue_wait_seconds": dict(self.queue_wait),
+            "service_seconds": dict(self.service_time),
+            "rung_histogram": dict(self.rung_histogram),
+            "failures": self.failures.as_dict(),
+            "breakers": dict(self.breakers),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent)
+
+    def describe(self) -> str:
+        lines = [
+            f"requests  : {self.requests} submitted, {self.completed} "
+            f"completed, {self.failed} failed, {self.timeouts} timeouts, "
+            f"{self.rejected} shed",
+            f"throughput: {self.throughput:.1f} req/s over "
+            f"{self.elapsed_seconds:.2f}s",
+            f"queue wait: p50={self.queue_wait.get('p50', 0.0) * 1000:.1f}ms "
+            f"p95={self.queue_wait.get('p95', 0.0) * 1000:.1f}ms "
+            f"p99={self.queue_wait.get('p99', 0.0) * 1000:.1f}ms",
+            f"service   : p50={self.service_time.get('p50', 0.0) * 1000:.1f}ms "
+            f"p95={self.service_time.get('p95', 0.0) * 1000:.1f}ms "
+            f"p99={self.service_time.get('p99', 0.0) * 1000:.1f}ms",
+            f"failures  : {self.failures.as_dict()}",
+        ]
+        if self.rung_histogram:
+            rungs = ", ".join(
+                f"{rung}={count}"
+                for rung, count in sorted(self.rung_histogram.items())
+            )
+            lines.append(f"rungs     : {rungs}")
+        return "\n".join(lines)
+
+
+def _summarize(samples: List[float]) -> Dict[str, float]:
+    return {
+        "p50": percentile(samples, 50.0),
+        "p95": percentile(samples, 95.0),
+        "p99": percentile(samples, 99.0),
+        "max": max(samples) if samples else 0.0,
+    }
+
+
+def run_service_bench(
+    queries: Sequence[Tuple[str, Query]],
+    repeats: int = 1,
+    workers: int = 4,
+    queue_capacity: int = 64,
+    deadline_seconds: Optional[float] = None,
+    service=None,
+) -> ServiceBenchReport:
+    """Push ``queries`` (``repeats`` rounds) through a service and measure.
+
+    Pass a pre-configured ``service`` (not yet started) to bench chaos or
+    custom breaker settings; by default a plain fault-free service is
+    built with the given ``workers`` and ``queue_capacity``.  The service
+    is started and shut down (draining) inside this call.
+    """
+    # Imported here: repro.service imports this module for the shared
+    # FailureCounts helper, so a module-level import would be circular.
+    from repro.service.server import OptimizationService
+
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if service is None:
+        service = OptimizationService(
+            workers=workers, queue_capacity=queue_capacity
+        )
+    rejected = 0
+    futures = []
+    started = time.perf_counter()
+    with service:
+        for round_index in range(repeats):
+            for _, query in queries:
+                try:
+                    futures.append(
+                        service.submit(
+                            query, deadline_seconds=deadline_seconds
+                        )
+                    )
+                except ServiceOverloadError:
+                    rejected += 1
+        responses = [future.result() for future in futures]
+    elapsed = time.perf_counter() - started
+
+    completed = sum(1 for r in responses if r.status == "ok")
+    failed = sum(1 for r in responses if r.status == "failed")
+    timeouts = sum(1 for r in responses if r.status == "timeout")
+    degraded = sum(1 for r in responses if r.degraded)
+    retries = sum(r.retries for r in responses)
+    health = service.healthz()
+    rungs: Dict[str, int] = {}
+    for response in responses:
+        if response.rung:
+            rungs[response.rung] = rungs.get(response.rung, 0) + 1
+    return ServiceBenchReport(
+        requests=len(futures) + rejected,
+        completed=completed,
+        failed=failed,
+        timeouts=timeouts,
+        rejected=rejected,
+        elapsed_seconds=elapsed,
+        throughput=completed / elapsed if elapsed > 0 else 0.0,
+        queue_wait=_summarize([r.queue_wait_seconds for r in responses]),
+        service_time=_summarize([r.service_seconds for r in responses]),
+        rung_histogram=rungs,
+        failures=service_failure_counts(
+            timeouts=timeouts,
+            errors=failed,
+            degraded=degraded,
+            retries=retries,
+            breaker_trips=health.breaker_trips,
+        ),
+        breakers=health.breakers,
+    )

@@ -98,6 +98,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "budget runs out; prints the degradation report",
     )
     parser.add_argument(
+        "--via-service",
+        action="store_true",
+        help="route the optimization through a one-worker "
+        "repro.service.OptimizationService (admission queue, retries, "
+        "circuit breakers) and report the serving metadata",
+    )
+    parser.add_argument(
         "--verify",
         action="store_true",
         help="cross-check the optimal cost against DPccp",
@@ -121,6 +128,7 @@ def main(argv=None) -> int:
             max_expansions=args.max_expansions,
         )
     report = None
+    service_meta = None
     try:
         if args.query is not None:
             query = load_query(args.query)
@@ -129,7 +137,48 @@ def main(argv=None) -> int:
                 args.family, args.relations, seed=args.seed,
                 join_scheme=args.join_scheme,
             )
-        if args.resilient:
+        if args.via_service:
+            # Serving path: the same stack the service's workers run, plus
+            # admission/retry/breaker metadata in the output.
+            from repro.service import OptimizationService
+
+            with OptimizationService(
+                enumerator=args.enumerator,
+                pruning=args.pruning,
+                heuristic=args.heuristic,
+                workers=1,
+            ) as service:
+                response = service.optimize(
+                    query,
+                    deadline_seconds=(
+                        args.deadline_ms / 1000.0
+                        if args.deadline_ms is not None
+                        else None
+                    ),
+                )
+            if not response.ok:
+                print(
+                    f"error: service returned {response.status}: "
+                    f"{response.error}",
+                    file=sys.stderr,
+                )
+                return 1
+            service_meta = {
+                "attempts": response.attempts,
+                "retries": response.retries,
+                "breaker_waits": response.breaker_waits,
+                "queue_wait_seconds": response.queue_wait_seconds,
+                "service_seconds": response.service_seconds,
+            }
+            resilient = response.result
+            report = resilient.report
+            label = algorithm_label(args.enumerator, args.pruning)
+            if report.degraded:
+                label = f"{label} (degraded: {report.rung})"
+            label = f"{label} [via service]"
+            plan, cost = resilient.plan, resilient.cost
+            elapsed, stats = resilient.elapsed, resilient.stats
+        elif args.resilient:
             resilient = ResilientOptimizer(
                 enumerator=args.enumerator,
                 pruning=args.pruning,
@@ -175,6 +224,8 @@ def main(argv=None) -> int:
                 "attempts": [attempt.format() for attempt in report.attempts],
                 "budget": report.budget,
             }
+        if service_meta is not None:
+            payload["service"] = service_meta
         if verified is not None:
             payload["verified_against_dpccp"] = verified
         print(json.dumps(payload, indent=2))
@@ -186,6 +237,12 @@ def main(argv=None) -> int:
         print(f"plan       : {plan.sexpr()}")
         print()
         print(plan.explain())
+        if service_meta is not None:
+            print(
+                f"service    : {service_meta['attempts']} attempt(s), "
+                f"{service_meta['retries']} retries, "
+                f"queue wait {service_meta['queue_wait_seconds'] * 1000:.2f} ms"
+            )
         if report is not None:
             print()
             print(report.describe())

@@ -25,6 +25,7 @@ one instance is typically shared across every
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, Optional, Sequence
 
@@ -57,7 +58,15 @@ class CachedPlan:
 
 
 class PlanCache:
-    """LRU plan cache with hit / miss / eviction accounting.
+    """Thread-safe LRU plan cache with hit / miss / eviction accounting.
+
+    One instance is shared by every optimizer (and, since the optimization
+    service arrived, every worker thread) serving a workload, so every
+    read-modify-write — the LRU reordering inside :meth:`get`, the
+    insert-then-evict inside :meth:`put`, and the counters both maintain —
+    happens under a single internal lock.  The critical sections are a few
+    dict operations; contention is negligible next to even one replayed
+    plan.
 
     Parameters
     ----------
@@ -67,11 +76,12 @@ class PlanCache:
         entirely (every lookup misses) without disturbing callers.
     """
 
-    __slots__ = ("_capacity", "_entries", "hits", "misses", "evictions")
+    __slots__ = ("_capacity", "_entries", "_lock", "hits", "misses", "evictions")
 
     def __init__(self, capacity: int = DEFAULT_CACHE_CAPACITY):
         self._capacity = capacity
         self._entries: "OrderedDict[str, CachedPlan]" = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -81,35 +91,40 @@ class PlanCache:
         return self._capacity
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: str) -> Optional[CachedPlan]:
         """Look up ``key``; counts the hit/miss and refreshes recency."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def put(self, key: str, entry: CachedPlan) -> None:
         """Insert/refresh ``key``, evicting the LRU entry beyond capacity."""
         if self._capacity <= 0:
             return
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = entry
-        while len(self._entries) > self._capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = entry
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
         """Drop all entries; counters are preserved (they tell a story)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     @property
     def hit_rate(self) -> float:
@@ -119,14 +134,15 @@ class PlanCache:
 
     def snapshot(self) -> Dict[str, object]:
         """Counter summary for JSON reports and benchmark artifacts."""
-        return {
-            "capacity": self._capacity,
-            "entries": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "hit_rate": self.hit_rate,
-        }
+        with self._lock:
+            return {
+                "capacity": self._capacity,
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": self.hit_rate,
+            }
 
     def __repr__(self) -> str:
         return (

@@ -43,6 +43,7 @@ from repro.graph.renumber import invert_mapping, remap_bitset, renumber_mapping
 from repro.heuristics.registry import get_heuristic
 from repro.partitioning.registry import get_partitioning
 from repro.plans.join_tree import JoinTree
+from repro.plans.validation import PlanValidationError, check_finite
 from repro.query import Query
 from repro.stats.counters import OptimizationStats
 
@@ -286,6 +287,13 @@ class Optimizer:
             )
         result = self._dispatch(query, budget, context)
         result.stats.plan_cache_misses += 1
+        # Never cache a plan whose numbers are not finite: a faulting cost
+        # model (e.g. under fault injection) could otherwise poison the
+        # cache and serve its garbage tree shape to healthy queries later.
+        try:
+            check_finite(result.plan)
+        except PlanValidationError:
+            return result
         canonical = result.plan.relabel(fp.mapping)
         cache.put(key, CachedPlan(canonical, fp.payload))
         return result

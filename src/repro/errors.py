@@ -17,6 +17,11 @@ __all__ = [
     "BudgetExceeded",
     "InjectedFaultError",
     "ResilienceError",
+    "ServiceError",
+    "ServiceOverloadError",
+    "ServiceShutdownError",
+    "CircuitOpenError",
+    "RetriesExhaustedError",
 ]
 
 
@@ -85,3 +90,58 @@ class ResilienceError(OptimizationError):
     def __init__(self, message: str, report=None):
         super().__init__(message)
         self.report = report
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by :mod:`repro.service`."""
+
+
+class ServiceOverloadError(ServiceError):
+    """Raised when the admission queue rejects a request (load shedding).
+
+    Carries the queue state at rejection time so callers (and tests) can
+    assert the shedding decision was deterministic: the queue was full,
+    with exactly ``queue_depth`` of ``capacity`` slots occupied.
+    """
+
+    def __init__(self, queue_depth: int, capacity: int):
+        super().__init__(
+            f"admission queue full ({queue_depth}/{capacity} requests "
+            "queued); request rejected"
+        )
+        self.queue_depth = queue_depth
+        self.capacity = capacity
+
+
+class ServiceShutdownError(ServiceError):
+    """Raised when a request is submitted to (or stranded in) a stopping
+    service."""
+
+
+class CircuitOpenError(ServiceError):
+    """Raised when a circuit breaker fast-fails a call to a sick component.
+
+    A *transient* condition: the retry layer backs off and tries again,
+    by which time the breaker may have moved to half-open.
+    """
+
+    def __init__(self, component: str, retry_after: float):
+        super().__init__(
+            f"circuit for {component!r} is open; retry in "
+            f"{retry_after * 1000:.0f} ms"
+        )
+        self.component = component
+        self.retry_after = retry_after
+
+
+class RetriesExhaustedError(ServiceError):
+    """Raised when every retry attempt failed and no fallback plan exists.
+
+    ``last_error`` preserves the final attempt's failure for diagnosis.
+    """
+
+    def __init__(self, attempts: int, last_error=None):
+        detail = f": last error: {last_error}" if last_error is not None else ""
+        super().__init__(f"all {attempts} attempts failed{detail}")
+        self.attempts = attempts
+        self.last_error = last_error

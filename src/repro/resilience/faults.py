@@ -36,6 +36,7 @@ leaving disarms it::
 from __future__ import annotations
 
 import random
+import time
 from typing import Callable, Dict, Iterator, Optional, Tuple
 
 from repro.catalog.catalog import Catalog
@@ -49,8 +50,12 @@ from repro.query import Query
 
 __all__ = ["FaultInjector", "COST_FAULT_MODES"]
 
-#: Supported cost-model fault modes.
-COST_FAULT_MODES = ("raise", "nan", "inf")
+#: Supported cost-model fault modes.  ``latency`` leaves every returned
+#: cost untouched and instead injects a deterministic delay (via the
+#: injector's ``sleep`` callable) — the slow-component failure mode that
+#: exercises timeout / retry / circuit-breaker paths without corrupting
+#: plan choice.
+COST_FAULT_MODES = ("raise", "nan", "inf", "latency")
 
 
 class FaultInjector:
@@ -66,16 +71,34 @@ class FaultInjector:
     after:
         Number of eligible calls to let through before any fault may fire
         (lets tests poison a run mid-flight rather than at the first call).
+    latency_seconds:
+        Delay injected per firing call site in ``latency`` mode.
+    sleep:
+        The delay primitive for ``latency`` mode, injectable so tests can
+        advance a fake clock instead of really sleeping.
     """
 
-    def __init__(self, seed: int = 0, rate: float = 1.0, after: int = 0):
+    def __init__(
+        self,
+        seed: int = 0,
+        rate: float = 1.0,
+        after: int = 0,
+        latency_seconds: float = 0.01,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
         if not 0.0 <= rate <= 1.0:
             raise ValueError(f"rate must be in [0, 1], got {rate}")
         if after < 0:
             raise ValueError(f"after must be >= 0, got {after}")
+        if latency_seconds < 0:
+            raise ValueError(
+                f"latency_seconds must be >= 0, got {latency_seconds}"
+            )
         self.seed = seed
         self.rate = rate
         self.after = after
+        self.latency_seconds = latency_seconds
+        self.sleep = sleep
         self.active = False
         #: Fault-point name -> number of faults actually injected.
         self.injected: Dict[str, int] = {}
@@ -195,6 +218,11 @@ class _FaultyCostModel(CostModel):
 
     def join_cost(self, outer: IntermediateStats, inner: IntermediateStats) -> float:
         if self._injector._fire("cost_model"):
+            if self._mode == "latency":
+                # Slow, not wrong: stall for the injected delay, then
+                # return the true cost so plan choice is unaffected.
+                self._injector.sleep(self._injector.latency_seconds)
+                return self._inner.join_cost(outer, inner)
             return self._fault_value()
         return self._inner.join_cost(outer, inner)
 
@@ -203,8 +231,10 @@ class _FaultyCostModel(CostModel):
     ) -> float:
         # Delegate so an inner model's cheap admissible bound survives
         # wrapping; min_join_cost goes through join_cost above and is
-        # therefore fault-eligible.
-        if self._injector.active:
+        # therefore fault-eligible.  Latency mode keeps the inner bound:
+        # its values must stay bit-identical to the clean run's so that
+        # injected delays never change which plans get pruned.
+        if self._injector.active and self._mode != "latency":
             return self.min_join_cost(left, right)
         return self._inner.lower_bound(left, right)
 

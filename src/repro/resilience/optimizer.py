@@ -162,6 +162,10 @@ class ResilientOptimizer:
     budget_factory:
         Zero-argument callable producing a fresh :class:`Budget` per
         :meth:`optimize` call when the caller passes none.
+    plan_cache:
+        Optional cross-query :class:`~repro.context.PlanCache` handed to
+        the exact optimizer (the heuristic rungs never consult it — a
+        degraded plan must not poison the cache).
     """
 
     def __init__(
@@ -175,6 +179,7 @@ class ResilientOptimizer:
         structural_fallback: bool = True,
         compare_fallback: bool = False,
         budget_factory: Optional[Callable[[], Budget]] = None,
+        plan_cache=None,
     ):
         self._optimizer = Optimizer(
             enumerator=enumerator,
@@ -182,6 +187,7 @@ class ResilientOptimizer:
             cost_model_factory=cost_model_factory,
             config=config,
             heuristic=heuristic,
+            plan_cache=plan_cache,
         )
         self._cost_model_factory = cost_model_factory
         self._heuristic_ladder = tuple(heuristic_ladder)
@@ -199,13 +205,25 @@ class ResilientOptimizer:
     # ------------------------------------------------------------------
 
     def optimize(
-        self, query: Query, budget: Optional[Budget] = None
+        self,
+        query: Query,
+        budget: Optional[Budget] = None,
+        context: Optional[OptimizationContext] = None,
     ) -> ResilientResult:
-        """Return a validated plan for ``query``, degrading as needed."""
+        """Return a validated plan for ``query``, degrading as needed.
+
+        ``context`` lets a caller that already owns an
+        :class:`~repro.context.OptimizationContext` for this query — the
+        optimization service forking one parent context across worker
+        threads, a test pinning the substrate — hand it in; by default a
+        fresh context is built per call.
+        """
         if budget is None and self._budget_factory is not None:
             budget = self._budget_factory()
         started = time.perf_counter()
         report = DegradationReport(rung="exact")
+        if context is not None and budget is None:
+            budget = context.budget
         if budget is not None:
             budget.start()
 
@@ -216,9 +234,10 @@ class ResilientOptimizer:
         # itself cannot be built (e.g. the catalog lost a relation), no
         # rung could run either — report that as a full ladder failure.
         try:
-            context = OptimizationContext.for_query(
-                query, cost_model=self._cost_model_factory, budget=budget
-            )
+            if context is None:
+                context = OptimizationContext.for_query(
+                    query, cost_model=self._cost_model_factory, budget=budget
+                )
         except _RECOVERABLE as error:
             report.rung = "none"
             report.attempts.append(

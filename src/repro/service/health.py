@@ -1,0 +1,102 @@
+"""Service health reporting (the ``healthz()`` envelope).
+
+A :class:`ServiceHealth` snapshot aggregates everything an operator (or
+the chaos soak's assertions) needs to judge the service at a glance:
+lifecycle state, queue depth against capacity, worker liveness, request
+counters, the degradation-rung histogram, breaker states, and the plan
+cache's hit accounting.  It is a plain dataclass with an
+:meth:`as_dict` so ``healthz`` output serializes straight to JSON.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["ServiceHealth"]
+
+
+@dataclass
+class ServiceHealth:
+    """One observation of the service's state."""
+
+    status: str  # "ok" | "degraded" | "draining" | "stopped"
+    queue: Dict[str, object] = field(default_factory=dict)
+    workers_alive: int = 0
+    workers_total: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    failed: int = 0
+    timeouts: int = 0
+    retries: int = 0
+    breaker_trips: int = 0
+    unhandled_worker_errors: int = 0
+    #: Degradation rung -> number of completed requests that landed there
+    #: ("exact" means no degradation).
+    rung_histogram: Dict[str, int] = field(default_factory=dict)
+    breakers: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    plan_cache: Optional[Dict[str, object]] = None
+
+    @property
+    def healthy(self) -> bool:
+        """Serving normally: running, fully staffed, no open breakers."""
+        return (
+            self.status == "ok"
+            and self.workers_alive == self.workers_total
+            and self.unhandled_worker_errors == 0
+            and all(
+                snapshot.get("state") == "closed"
+                for snapshot in self.breakers.values()
+            )
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "status": self.status,
+            "healthy": self.healthy,
+            "queue": dict(self.queue),
+            "workers": {
+                "alive": self.workers_alive,
+                "total": self.workers_total,
+            },
+            "requests": {
+                "accepted": self.accepted,
+                "rejected": self.rejected,
+                "completed": self.completed,
+                "failed": self.failed,
+                "timeouts": self.timeouts,
+                "retries": self.retries,
+            },
+            "breaker_trips": self.breaker_trips,
+            "unhandled_worker_errors": self.unhandled_worker_errors,
+            "rung_histogram": dict(self.rung_histogram),
+            "breakers": {
+                name: dict(snapshot) for name, snapshot in self.breakers.items()
+            },
+            "plan_cache": dict(self.plan_cache) if self.plan_cache else None,
+        }
+
+    def describe(self) -> str:
+        """Terse one-per-line rendering for CLI output."""
+        lines = [
+            f"status     : {self.status} "
+            f"({'healthy' if self.healthy else 'unhealthy'})",
+            f"queue      : {self.queue.get('depth', 0)}/"
+            f"{self.queue.get('capacity', 0)} "
+            f"(high water {self.queue.get('high_water', 0)}, "
+            f"rejected {self.rejected})",
+            f"workers    : {self.workers_alive}/{self.workers_total} alive",
+            f"requests   : {self.completed} completed, {self.failed} failed, "
+            f"{self.timeouts} timeouts, {self.retries} retries",
+            f"breakers   : {self.breaker_trips} trips",
+        ]
+        for name, snapshot in sorted(self.breakers.items()):
+            lines.append(f"  {name}: {snapshot.get('state')}")
+        if self.rung_histogram:
+            rungs = ", ".join(
+                f"{rung}={count}"
+                for rung, count in sorted(self.rung_histogram.items())
+            )
+            lines.append(f"rungs      : {rungs}")
+        return "\n".join(lines)

@@ -1,0 +1,147 @@
+"""Bounded, priority-aware admission queue (load shedding at the door).
+
+The service's first line of defence against overload is *deterministic
+rejection*: a :class:`AdmissionQueue` holds at most ``capacity`` pending
+requests, and a ``put`` against a full queue raises
+:class:`~repro.errors.ServiceOverloadError` immediately — it never blocks
+the submitting thread and never grows without bound.  The error carries
+the queue depth at rejection time, so callers (and the chaos soak) can
+assert the shedding decision followed from observable state.
+
+Ordering is priority-first: higher ``priority`` values dequeue before
+lower ones, FIFO within a priority level (a monotonically increasing
+sequence number breaks ties, so two equal-priority requests never
+compare their payloads).
+
+The queue is also the shutdown rendezvous: :meth:`close` stops admission,
+and workers blocked in :meth:`get` wake up and drain the backlog
+(``drain=True`` semantics) or see it cleared (:meth:`drain_pending`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from typing import Generic, List, Optional, Tuple, TypeVar
+
+from repro.errors import ServiceOverloadError, ServiceShutdownError
+
+__all__ = ["AdmissionQueue", "DEFAULT_QUEUE_CAPACITY"]
+
+#: Default admission-queue bound; deep enough to absorb bursts, shallow
+#: enough that a stuck worker pool sheds load within one queue's worth.
+DEFAULT_QUEUE_CAPACITY = 64
+
+T = TypeVar("T")
+
+
+class AdmissionQueue(Generic[T]):
+    """A bounded priority queue with non-blocking, deterministic admission.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of queued items; ``put`` beyond it sheds load by
+        raising :class:`ServiceOverloadError`.  Must be positive.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_QUEUE_CAPACITY):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        self._capacity = capacity
+        self._heap: List[Tuple[int, int, T]] = []
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._sequence = 0
+        self._closed = False
+        self.high_water = 0
+        self.rejected = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    @property
+    def depth(self) -> int:
+        """Current number of queued items."""
+        return len(self)
+
+    # ------------------------------------------------------------------
+
+    def put(self, item: T, priority: int = 0) -> None:
+        """Admit ``item`` or shed it; never blocks.
+
+        Raises :class:`ServiceOverloadError` when the queue is full and
+        :class:`ServiceShutdownError` when it has been closed.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServiceShutdownError(
+                    "admission queue is closed; the service is shutting down"
+                )
+            if len(self._heap) >= self._capacity:
+                self.rejected += 1
+                raise ServiceOverloadError(len(self._heap), self._capacity)
+            # heapq is a min-heap: negate so higher priority pops first;
+            # the sequence number keeps FIFO order within a priority.
+            heapq.heappush(self._heap, (-priority, self._sequence, item))
+            self._sequence += 1
+            if len(self._heap) > self.high_water:
+                self.high_water = len(self._heap)
+            self._not_empty.notify()
+
+    def get(self, timeout: Optional[float] = None) -> Optional[T]:
+        """Pop the highest-priority item, blocking while the queue is empty.
+
+        Returns ``None`` when the queue is closed and drained (the worker
+        shutdown signal) or when ``timeout`` elapses with nothing queued.
+        """
+        with self._not_empty:
+            while not self._heap:
+                if self._closed:
+                    return None
+                if not self._not_empty.wait(timeout=timeout):
+                    return None
+            return heapq.heappop(self._heap)[2]
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop admission; blocked getters drain the backlog then wake to
+        ``None``."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    def drain_pending(self) -> List[T]:
+        """Remove and return every queued item (non-draining shutdown)."""
+        with self._lock:
+            pending = [entry[2] for entry in sorted(self._heap)]
+            self._heap.clear()
+            return pending
+
+    def snapshot(self) -> dict:
+        """Queue state for health reports."""
+        with self._lock:
+            return {
+                "depth": len(self._heap),
+                "capacity": self._capacity,
+                "high_water": self.high_water,
+                "rejected": self.rejected,
+                "closed": self._closed,
+            }
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"AdmissionQueue(depth={len(self)}/{self._capacity}, "
+            f"high_water={self.high_water}, {state})"
+        )

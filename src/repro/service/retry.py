@@ -1,0 +1,110 @@
+"""Retry policy: exponential backoff with seeded jitter, transient-only.
+
+The service distinguishes two failure classes, mirroring the issue the
+degradation ladder already settles for single runs:
+
+* **transient** — injected component faults
+  (:class:`~repro.errors.InjectedFaultError`), lost catalog statistics
+  (:class:`~repro.errors.CatalogError`), and fast-fails from an open
+  circuit (:class:`~repro.errors.CircuitOpenError`).  These may heal on
+  their own, so the request is retried after an exponentially growing,
+  jittered delay;
+* **permanent** — everything else (budget exhaustion, structural errors).
+  Retrying cannot help; the request goes straight down the degradation
+  ladder and keeps whatever validated plan it produced.
+
+Jitter is drawn from a ``random.Random`` seeded per request (the lint's
+``seeded-rng`` rule applies here as everywhere), so a replayed request
+stream backs off identically — concurrency changes *when* things run, the
+seed decides *what* they decide.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Tuple, Type
+
+from repro.errors import CatalogError, CircuitOpenError, InjectedFaultError
+
+__all__ = ["RetryPolicy", "TRANSIENT_ERRORS"]
+
+#: Failure types the retry layer treats as transient.
+TRANSIENT_ERRORS: Tuple[Type[BaseException], ...] = (
+    InjectedFaultError,
+    CatalogError,
+    CircuitOpenError,
+)
+
+
+class RetryPolicy:
+    """Backoff schedule and transient/permanent classification.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total optimization attempts per request (first try included).
+    base_delay:
+        Backoff before the second attempt, in seconds.
+    multiplier:
+        Exponential growth factor between consecutive backoffs.
+    max_delay:
+        Ceiling on any single backoff (pre-jitter).
+    jitter:
+        Fraction of the delay added as seeded uniform jitter
+        (``delay * (1 + jitter * U[0, 1))``); 0 disables it.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 5,
+        base_delay: float = 0.02,
+        multiplier: float = 2.0,
+        max_delay: float = 0.5,
+        jitter: float = 0.5,
+    ):
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if base_delay < 0 or max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {multiplier}")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {jitter}")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.jitter = jitter
+
+    @staticmethod
+    def is_transient(error: BaseException) -> bool:
+        """True for failures that may heal and deserve a retry."""
+        return isinstance(error, TRANSIENT_ERRORS)
+
+    def rng_for(self, seed: int) -> random.Random:
+        """The per-request jitter RNG (deterministic for a request seed)."""
+        return random.Random(seed)
+
+    def delay(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        """Backoff before retry number ``attempt`` (1-based).
+
+        ``attempt=1`` is the delay after the first failure.  With ``rng``
+        the seeded jitter is applied; without it the deterministic base
+        schedule is returned.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        delay = min(
+            self.max_delay, self.base_delay * self.multiplier ** (attempt - 1)
+        )
+        if rng is not None and self.jitter > 0:
+            delay *= 1.0 + self.jitter * rng.random()
+        return delay
+
+    def __repr__(self) -> str:
+        return (
+            f"RetryPolicy(max_attempts={self.max_attempts}, "
+            f"base={self.base_delay * 1000:.0f}ms, "
+            f"x{self.multiplier:g}, cap={self.max_delay * 1000:.0f}ms, "
+            f"jitter={self.jitter:g})"
+        )

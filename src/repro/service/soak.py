@@ -1,0 +1,571 @@
+"""Chaos soak driver: ``python -m repro.service.soak``.
+
+Runs an :class:`~repro.service.OptimizationService` for N seconds under a
+mixed chain/star/clique workload with a seeded :class:`ChaosPlant`
+poisoning a fraction of optimization attempts (cost-model raise/NaN/Inf,
+catalog statistics loss, injected latency), then asserts the service's
+whole-run contract:
+
+* every accepted request returned a plan that passes
+  :func:`repro.plans.validation.validate_plan` (and finiteness checks) —
+  zero failed responses, zero invalid plans;
+* no worker thread died or leaked an unhandled exception;
+* **replay determinism** — each returned exact plan is bit-identical
+  (same s-expression, same cost ``repr``) to the plan a single-threaded,
+  chaos-disarmed run produces for the same query: concurrency, retries
+  and fault handling changed latency and degradation metadata only,
+  never plan choice.
+
+The chaos schedule is a pure function of ``(service seed, request id,
+attempt)``, so a given seed poisons the same attempts the same way on
+every run regardless of thread interleaving.  Exit status is 0 iff every
+assertion holds, which is what the CI ``soak-smoke`` job keys on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.service import service_failure_counts
+from repro.cost.model import CostModel
+from repro.errors import ServiceOverloadError
+from repro.plans.validation import check_finite, validate_plan
+from repro.query import Query
+from repro.resilience.faults import FaultInjector
+from repro.resilience.optimizer import ResilientOptimizer
+from repro.service.breaker import BreakerBoard
+from repro.service.retry import RetryPolicy
+from repro.service.server import OptimizationService, OptimizeRequest
+from repro.workload.generator import QueryGenerator
+
+__all__ = [
+    "ChaosPlant",
+    "ChaosAttempt",
+    "SoakRecord",
+    "SoakReport",
+    "build_query_pool",
+    "run_soak",
+    "main",
+]
+
+#: Fault kinds the plant draws from: the three cost-model corruption
+#: modes, catalog statistics loss, and injected latency.
+CHAOS_KINDS = ("raise", "nan", "inf", "catalog", "latency")
+
+
+class ChaosAttempt:
+    """One poisoned attempt: a seeded injector plus the chosen fault kind.
+
+    Implements the :class:`~repro.service.server.AttemptChaos` protocol.
+    """
+
+    def __init__(self, injector: FaultInjector, kind: str):
+        self._injector = injector
+        self.kind = kind
+
+    @property
+    def injected(self) -> Dict[str, int]:
+        return self._injector.injected
+
+    def cost_model_factory(
+        self, base: Callable[[], CostModel]
+    ) -> Callable[[], CostModel]:
+        if self.kind == "catalog":
+            return base
+        return self._injector.cost_model_factory(base, self.kind)
+
+    def wrap_query(self, query: Query) -> Query:
+        if self.kind == "catalog":
+            return self._injector.query(query)
+        return query
+
+    def __enter__(self) -> "ChaosAttempt":
+        self._injector.arm()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._injector.disarm()
+        return False
+
+    def __repr__(self) -> str:
+        return f"ChaosAttempt(kind={self.kind!r}, {self._injector!r})"
+
+
+class ChaosPlant:
+    """Seeded per-attempt fault scheduler (the service's ``chaos`` hook).
+
+    For every ``(request, attempt)`` pair one seeded draw decides whether
+    the attempt is poisoned (probability ``rate``) and with which fault
+    kind.  The decision depends only on the request's seed and the attempt
+    number — never on wall time or thread identity — so a fixed service
+    seed yields an identical fault schedule on every run.
+
+    ``latency`` attempts fire sparsely (``latency_rate`` per call site)
+    and delay rather than corrupt; the other kinds fire on every eligible
+    call after a seeded warm-up, guaranteeing the attempt actually
+    exercises the failure path.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        rate: float = 0.3,
+        kinds: Sequence[str] = CHAOS_KINDS,
+        latency_seconds: float = 0.002,
+        latency_rate: float = 0.05,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        unknown = set(kinds) - set(CHAOS_KINDS)
+        if unknown:
+            raise ValueError(f"unknown chaos kinds: {sorted(unknown)}")
+        self.seed = seed
+        self.rate = rate
+        self.kinds = tuple(kinds)
+        self.latency_seconds = latency_seconds
+        self.latency_rate = latency_rate
+        self._sleep = sleep
+        #: kind -> number of poisoned attempts scheduled (diagnostics).
+        self.scheduled: Dict[str, int] = {}
+
+    def __call__(
+        self, request: OptimizeRequest, attempt: int
+    ) -> Optional[ChaosAttempt]:
+        rng = random.Random(
+            request.seed * 2_654_435_761 + attempt * 40_503 + self.seed
+        )
+        if rng.random() >= self.rate:
+            return None
+        kind = self.kinds[rng.randrange(len(self.kinds))]
+        self.scheduled[kind] = self.scheduled.get(kind, 0) + 1
+        injector = FaultInjector(
+            seed=rng.randrange(2**31),
+            rate=self.latency_rate if kind == "latency" else 1.0,
+            after=rng.randrange(16),
+            latency_seconds=self.latency_seconds,
+            sleep=self._sleep,
+        )
+        return ChaosAttempt(injector, kind)
+
+    def __repr__(self) -> str:
+        return (
+            f"ChaosPlant(seed={self.seed}, rate={self.rate}, "
+            f"kinds={self.kinds}, scheduled={self.scheduled})"
+        )
+
+
+# ---------------------------------------------------------------------------
+
+
+def build_query_pool(
+    seed: int,
+    pool_size: int = 12,
+    families: Sequence[str] = ("chain", "star", "clique"),
+    min_relations: int = 5,
+    max_relations: int = 9,
+) -> List[Tuple[str, Query]]:
+    """A deterministic mixed-family pool of queries, cycled by the soak."""
+    if pool_size < 1:
+        raise ValueError(f"pool_size must be >= 1, got {pool_size}")
+    if min_relations > max_relations:
+        raise ValueError("min_relations must be <= max_relations")
+    rng = random.Random(seed)
+    pool = []
+    for index in range(pool_size):
+        family = families[index % len(families)]
+        n = rng.randint(min_relations, max_relations)
+        qseed = rng.randrange(2**31)
+        query = QueryGenerator(seed=qseed).generate(family, n)
+        pool.append((f"{family}-{n}@{qseed}", query))
+    return pool
+
+
+@dataclass
+class SoakRecord:
+    """The compact per-request outcome the soak keeps (plans are validated
+    and compared eagerly, then dropped, so memory stays flat)."""
+
+    request_id: int
+    pool_key: str
+    status: str
+    rung: str = ""
+    degraded: bool = False
+    attempts: int = 0
+    retries: int = 0
+    breaker_waits: int = 0
+    injected: int = 0
+    plan_sexpr: str = ""
+    cost_repr: str = ""
+    valid: bool = False
+    error: Optional[str] = None
+
+
+@dataclass
+class SoakReport:
+    """Everything one soak run observed, JSON-ready."""
+
+    seconds: float
+    seed: int
+    rate: float
+    workers: int
+    submitted: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    failed: int = 0
+    timeouts: int = 0
+    invalid_plans: int = 0
+    replay_checked: int = 0
+    replay_mismatches: int = 0
+    degraded_responses: int = 0
+    unhandled_worker_errors: int = 0
+    retries: int = 0
+    breaker_trips: int = 0
+    injected_faults: int = 0
+    scheduled_chaos: Dict[str, int] = field(default_factory=dict)
+    rung_histogram: Dict[str, int] = field(default_factory=dict)
+    breaker_trace: List[str] = field(default_factory=list)
+    breakers: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    plan_cache: Optional[Dict[str, object]] = None
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def as_dict(self) -> Dict[str, object]:
+        failures = service_failure_counts(
+            timeouts=self.timeouts,
+            errors=self.failed,
+            degraded=self.degraded_responses,
+            retries=self.retries,
+            breaker_trips=self.breaker_trips,
+        )
+        return {
+            "passed": self.passed,
+            "config": {
+                "seconds": self.seconds,
+                "seed": self.seed,
+                "rate": self.rate,
+                "workers": self.workers,
+            },
+            "requests": {
+                "submitted": self.submitted,
+                "accepted": self.accepted,
+                "rejected": self.rejected,
+                "completed": self.completed,
+                "failed": self.failed,
+                "timeouts": self.timeouts,
+            },
+            "failures": failures.as_dict(),
+            "validation": {
+                "invalid_plans": self.invalid_plans,
+                "replay_checked": self.replay_checked,
+                "replay_mismatches": self.replay_mismatches,
+                "degraded_responses": self.degraded_responses,
+                "unhandled_worker_errors": self.unhandled_worker_errors,
+            },
+            "chaos": {
+                "scheduled": dict(self.scheduled_chaos),
+                "injected_faults": self.injected_faults,
+            },
+            "rung_histogram": dict(self.rung_histogram),
+            "breaker_trace": list(self.breaker_trace),
+            "breakers": dict(self.breakers),
+            "plan_cache": self.plan_cache,
+            "violations": list(self.violations),
+        }
+
+    def describe(self) -> str:
+        lines = [
+            f"soak {'PASSED' if self.passed else 'FAILED'}: "
+            f"{self.seconds:.0f}s, seed={self.seed}, rate={self.rate}, "
+            f"workers={self.workers}",
+            f"requests   : {self.submitted} submitted, {self.accepted} "
+            f"accepted, {self.rejected} shed, {self.completed} completed, "
+            f"{self.failed} failed, {self.timeouts} timeouts",
+            f"chaos      : {self.injected_faults} faults injected "
+            f"({self.scheduled_chaos}), {self.retries} retries, "
+            f"{self.breaker_trips} breaker trips",
+            f"validation : {self.invalid_plans} invalid plans, "
+            f"{self.replay_mismatches}/{self.replay_checked} replay "
+            f"mismatches, {self.degraded_responses} degraded, "
+            f"{self.unhandled_worker_errors} unhandled worker errors",
+            f"rungs      : {self.rung_histogram}",
+        ]
+        if self.breaker_trace:
+            lines.append("breaker trace:")
+            lines.extend(f"  {line}" for line in self.breaker_trace)
+        if self.violations:
+            lines.append("violations:")
+            lines.extend(f"  {violation}" for violation in self.violations)
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+
+
+def _validate_response(record: SoakRecord, response, query: Query) -> None:
+    """Eagerly validate one response's plan against its clean query."""
+    record.status = response.status
+    record.rung = response.rung
+    record.degraded = response.degraded
+    record.attempts = response.attempts
+    record.retries = response.retries
+    record.breaker_waits = response.breaker_waits
+    record.injected = sum(response.injected.values())
+    record.error = response.error
+    if not response.ok:
+        return
+    try:
+        check_finite(response.plan)
+        validate_plan(response.plan, query)
+    except Exception as error:  # record, never crash the soak
+        record.valid = False
+        record.error = f"invalid plan: {type(error).__name__}: {error}"
+        return
+    record.valid = True
+    record.plan_sexpr = response.plan.sexpr()
+    record.cost_repr = repr(response.cost)
+
+
+def run_soak(
+    seconds: float = 30.0,
+    seed: int = 7,
+    rate: float = 0.3,
+    workers: int = 4,
+    queue_capacity: int = 64,
+    pool_size: int = 12,
+    families: Sequence[str] = ("chain", "star", "clique"),
+    min_relations: int = 5,
+    max_relations: int = 9,
+    replay: bool = True,
+    max_requests: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SoakReport:
+    """Run the chaos soak and return its :class:`SoakReport`.
+
+    ``max_requests`` additionally bounds the number of submissions (for
+    fast tests); the wall-clock bound always applies.
+    """
+    from repro.context.plancache import PlanCache
+
+    pool = build_query_pool(
+        seed,
+        pool_size=pool_size,
+        families=families,
+        min_relations=min_relations,
+        max_relations=max_relations,
+    )
+    plant = ChaosPlant(seed=seed, rate=rate)
+    service = OptimizationService(
+        workers=workers,
+        queue_capacity=queue_capacity,
+        retry_policy=RetryPolicy(
+            max_attempts=8, base_delay=0.005, max_delay=0.1
+        ),
+        breakers=BreakerBoard(failure_threshold=2, cooldown_seconds=0.1),
+        plan_cache=PlanCache(256),
+        chaos=plant,
+        seed=seed,
+    )
+    report = SoakReport(seconds=seconds, seed=seed, rate=rate, workers=workers)
+    records: List[SoakRecord] = []
+    pending: "deque[Tuple[SoakRecord, object]]" = deque()
+
+    def drain(block: bool) -> None:
+        while pending:
+            record, future = pending[0]
+            if not block and not future.done():
+                return
+            pending.popleft()
+            response = future.result()
+            key = record.pool_key
+            query = next(q for k, q in pool if k == key)
+            _validate_response(record, response, query)
+            records.append(record)
+
+    started = time.perf_counter()
+    index = 0
+    with service:
+        while time.perf_counter() - started < seconds:
+            if max_requests is not None and index >= max_requests:
+                break
+            key, query = pool[index % len(pool)]
+            report.submitted += 1
+            try:
+                future = service.submit(query, priority=index % 3)
+            except ServiceOverloadError:
+                report.rejected += 1
+                drain(block=False)
+                time.sleep(0.001)
+            else:
+                report.accepted += 1
+                pending.append(
+                    (SoakRecord(request_id=index, pool_key=key, status=""), future)
+                )
+            index += 1
+            if len(pending) >= queue_capacity:
+                drain(block=False)
+            if progress is not None and index % 200 == 0:
+                progress(
+                    f"{time.perf_counter() - started:.0f}s: {index} submitted, "
+                    f"{len(records)} completed"
+                )
+        drain(block=True)
+
+    # -- aggregate ------------------------------------------------------
+    health = service.healthz()
+    report.completed = sum(1 for r in records if r.status == "ok")
+    report.failed = sum(1 for r in records if r.status == "failed")
+    report.timeouts = sum(1 for r in records if r.status == "timeout")
+    report.invalid_plans = sum(
+        1 for r in records if r.status == "ok" and not r.valid
+    )
+    report.degraded_responses = sum(1 for r in records if r.degraded)
+    report.unhandled_worker_errors = health.unhandled_worker_errors
+    report.retries = sum(r.retries for r in records)
+    report.breaker_trips = health.breaker_trips
+    report.injected_faults = sum(r.injected for r in records)
+    report.scheduled_chaos = dict(plant.scheduled)
+    report.rung_histogram = dict(health.rung_histogram)
+    report.breaker_trace = service.breakers.trace()
+    report.breakers = service.breakers.snapshot()
+    report.plan_cache = health.plan_cache
+
+    # -- replay: single-threaded, chaos disarmed, bit-identical ---------
+    if replay:
+        clean: Dict[str, Tuple[str, str]] = {}
+        for key, query in pool:
+            result = ResilientOptimizer().optimize(query)
+            clean[key] = (result.plan.sexpr(), repr(result.cost))
+        for record in records:
+            if record.status != "ok" or record.degraded or not record.valid:
+                continue
+            report.replay_checked += 1
+            want_sexpr, want_cost = clean[record.pool_key]
+            # Bit-exact by design: replay compares repr strings, not
+            # floats — any epsilon would hide a determinism regression.
+            if (
+                record.plan_sexpr != want_sexpr
+                or record.cost_repr != want_cost  # repro: disable=no-float-cost-eq
+            ):
+                report.replay_mismatches += 1
+                if len(report.violations) < 20:
+                    report.violations.append(
+                        f"replay mismatch for request#{record.request_id} "
+                        f"({record.pool_key}): got {record.plan_sexpr} "
+                        f"@ {record.cost_repr}, want {want_sexpr} "
+                        f"@ {want_cost}"
+                    )
+
+    # -- verdicts -------------------------------------------------------
+    if report.failed:
+        report.violations.append(
+            f"{report.failed} accepted request(s) failed without a plan"
+        )
+        for record in records:
+            if record.status == "failed" and len(report.violations) < 20:
+                report.violations.append(
+                    f"  request#{record.request_id} ({record.pool_key}): "
+                    f"{record.error} after {record.attempts} attempt(s), "
+                    f"{record.breaker_waits} breaker wait(s)"
+                )
+    if report.timeouts:
+        report.violations.append(
+            f"{report.timeouts} accepted request(s) timed out"
+        )
+    if report.invalid_plans:
+        report.violations.append(
+            f"{report.invalid_plans} returned plan(s) failed validation"
+        )
+    if report.unhandled_worker_errors:
+        report.violations.append(
+            f"{report.unhandled_worker_errors} unhandled worker exception(s)"
+        )
+    if health.workers_alive not in (0, workers):
+        report.violations.append(
+            f"only {health.workers_alive}/{workers} workers survived"
+        )
+    return report
+
+
+# ---------------------------------------------------------------------------
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.soak",
+        description="Chaos soak for the concurrent optimization service: "
+        "mixed workload, seeded fault injection, validation and replay "
+        "determinism checks.",
+    )
+    parser.add_argument("--seconds", type=float, default=30.0)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=0.3,
+        help="probability an optimization attempt is poisoned",
+    )
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--queue", type=int, default=64, metavar="CAPACITY")
+    parser.add_argument("--pool", type=int, default=12, metavar="QUERIES")
+    parser.add_argument(
+        "--families", default="chain,star,clique", metavar="F1,F2,..."
+    )
+    parser.add_argument("--min-relations", type=int, default=5)
+    parser.add_argument("--max-relations", type=int, default=9)
+    parser.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        help="additional cap on submissions (for quick smoke runs)",
+    )
+    parser.add_argument(
+        "--no-replay",
+        action="store_true",
+        help="skip the single-threaded bit-identical replay check",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=None, metavar="PATH",
+        help="also write the full report as JSON",
+    )
+    parser.add_argument("--quiet", action="store_true")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    progress = None if args.quiet else lambda line: print(line, flush=True)
+    report = run_soak(
+        seconds=args.seconds,
+        seed=args.seed,
+        rate=args.rate,
+        workers=args.workers,
+        queue_capacity=args.queue,
+        pool_size=args.pool,
+        families=tuple(args.families.split(",")),
+        min_relations=args.min_relations,
+        max_relations=args.max_relations,
+        replay=not args.no_replay,
+        max_requests=args.max_requests,
+        progress=progress,
+    )
+    if args.json is not None:
+        args.json.write_text(json.dumps(report.as_dict(), indent=2))
+    print(report.describe())
+    return 0 if report.passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

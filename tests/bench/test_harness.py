@@ -250,3 +250,32 @@ class TestCheckpointing:
 
     def test_missing_checkpoint_file_is_fine(self, tmp_path):
         assert load_checkpoint(tmp_path / "absent.jsonl") == {}
+
+
+class TestFailureCountsServiceTaxonomy:
+    """retries / breaker_trips are recovery counters (ISSUE satellite)."""
+
+    def test_recovery_counters_do_not_inflate_total(self):
+        counts = FailureCounts(
+            timeouts=1, errors=2, degraded=3, skipped=4,
+            retries=50, breaker_trips=6,
+        )
+        assert counts.total == 10
+
+    def test_as_dict_reports_the_full_taxonomy(self):
+        counts = FailureCounts(timeouts=1, retries=2, breaker_trips=3)
+        payload = counts.as_dict()
+        assert payload == {
+            "timeouts": 1,
+            "errors": 0,
+            "degraded": 0,
+            "skipped": 0,
+            "retries": 2,
+            "breaker_trips": 3,
+            "total_failed": 1,
+        }
+
+    def test_tally_leaves_recovery_counters_zero(self):
+        counts = FailureCounts.tally(["timeout: x", "error: y"])
+        assert counts.retries == 0
+        assert counts.breaker_trips == 0

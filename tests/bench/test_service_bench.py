@@ -1,0 +1,93 @@
+"""Service-mode bench harness: percentiles, throughput, failure taxonomy."""
+
+import json
+
+import pytest
+
+from repro.bench.harness import FailureCounts
+from repro.bench.service import (
+    ServiceBenchReport,
+    percentile,
+    run_service_bench,
+    service_failure_counts,
+)
+from repro.workload.generator import QueryGenerator
+
+
+@pytest.fixture
+def queries():
+    generator = QueryGenerator(seed=17)
+    return [
+        ("chain-5", generator.generate("chain", 5)),
+        ("star-5", generator.generate("star", 5)),
+    ]
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 95.0) == 0.0
+
+    def test_single_value(self):
+        assert percentile([3.0], 50.0) == 3.0
+
+    def test_interpolation(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 100.0) == 4.0
+        assert percentile(values, 50.0) == pytest.approx(2.5)
+
+    def test_order_independent(self):
+        assert percentile([4.0, 1.0, 3.0, 2.0], 50.0) == pytest.approx(2.5)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+
+
+class TestServiceFailureCounts:
+    def test_builds_the_shared_taxonomy(self):
+        counts = service_failure_counts(
+            timeouts=1, errors=2, retries=3, breaker_trips=4
+        )
+        assert isinstance(counts, FailureCounts)
+        assert counts.total == 3  # recovery counters excluded
+        assert counts.as_dict()["retries"] == 3
+        assert counts.as_dict()["breaker_trips"] == 4
+
+
+class TestRunServiceBench:
+    def test_bench_completes_and_reports(self, queries):
+        report = run_service_bench(queries, repeats=2, workers=2)
+        assert report.completed == 4
+        assert report.failed == 0
+        assert report.rejected == 0
+        assert report.throughput > 0
+        assert report.elapsed_seconds > 0
+        assert report.rung_histogram.get("exact") == 4
+        assert report.service_time["p95"] >= report.service_time["p50"]
+        assert report.failures.total == 0
+
+    def test_report_serializes_to_json(self, queries):
+        report = run_service_bench(queries, repeats=1, workers=2)
+        payload = json.loads(report.to_json())
+        assert payload["completed"] == 2
+        assert "retries" in payload["failures"]
+        assert "breaker_trips" in payload["failures"]
+        assert "p99" in payload["service_seconds"]
+
+    def test_describe_is_human_readable(self, queries):
+        report = run_service_bench(queries, repeats=1, workers=1)
+        text = report.describe()
+        assert "throughput" in text
+        assert "rungs" in text
+
+    def test_repeats_must_be_positive(self, queries):
+        with pytest.raises(ValueError):
+            run_service_bench(queries, repeats=0)
+
+    def test_empty_report_defaults(self):
+        report = ServiceBenchReport(
+            requests=0, completed=0, failed=0, timeouts=0, rejected=0,
+            elapsed_seconds=0.0, throughput=0.0,
+        )
+        assert report.as_dict()["failures"]["total_failed"] == 0

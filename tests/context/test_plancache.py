@@ -119,3 +119,67 @@ class TestOptimizerIntegration:
         bare = Optimizer().optimize(query)
         assert bare.stats.plan_cache_hits == 0
         assert bare.stats.plan_cache_misses == 0
+
+
+class TestThreadSafety:
+    """The cache is shared by service workers; its LRU + counters must
+    survive concurrent hammering without losing structural integrity."""
+
+    def test_concurrent_gets_and_puts_stay_consistent(self, query):
+        import threading
+
+        entry, _, _ = _cached_entry(query)
+        cache = PlanCache(capacity=8)
+        errors = []
+        barrier = threading.Barrier(4)
+
+        def worker(worker_id):
+            barrier.wait()
+            try:
+                for i in range(200):
+                    key = f"w{worker_id}-k{i % 12}"
+                    cache.put(key, entry)
+                    found = cache.get(key)
+                    assert found is None or found is entry
+                    if i % 50 == 0:
+                        cache.snapshot()
+                        len(cache)
+            except Exception as error:
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(n,)) for n in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # Bounded, and the books balance: every lookup was a hit or a miss.
+        assert len(cache) <= 8
+        assert cache.hits + cache.misses == 4 * 200
+        snapshot = cache.snapshot()
+        assert snapshot["entries"] == len(cache)
+
+    def test_concurrent_optimizers_share_one_cache(self, query):
+        import threading
+
+        cache = PlanCache(capacity=8)
+        results = [None] * 3
+
+        def optimize(slot):
+            optimizer = Optimizer(plan_cache=cache)
+            results[slot] = optimizer.optimize(query)
+
+        threads = [
+            threading.Thread(target=optimize, args=(n,)) for n in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        sexprs = {result.plan.sexpr() for result in results}
+        assert len(sexprs) == 1  # all three agree bit for bit
+        digests = {result.cost.hex() for result in results}
+        assert len(digests) == 1
+        assert cache.misses >= 1

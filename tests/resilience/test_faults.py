@@ -107,7 +107,7 @@ class TestCostModelFaults:
         assert outcomes == [False, False, False, True, True]
 
     def test_all_modes_are_exposed(self):
-        assert set(COST_FAULT_MODES) == {"raise", "nan", "inf"}
+        assert set(COST_FAULT_MODES) == {"raise", "nan", "inf", "latency"}
 
 
 class TestPartitioningFaults:
@@ -155,3 +155,80 @@ class TestCatalogFaults:
         a = FaultInjector(seed=5).query(small_query)
         b = FaultInjector(seed=5).query(small_query)
         assert a.catalog.dropped_relation == b.catalog.dropped_relation
+
+
+class TestLatencyMode:
+    """The ``latency`` fault mode: slow, never wrong (ISSUE satellite)."""
+
+    def _stats(self, small_query):
+        from repro.cost.statistics import StatisticsProvider
+
+        provider = StatisticsProvider(small_query)
+        return provider.stats(0b01), provider.stats(0b10)
+
+    def test_latency_in_cost_fault_modes(self):
+        assert "latency" in COST_FAULT_MODES
+
+    def test_injected_delay_uses_the_injectable_sleep(self, small_query):
+        naps = []
+        injector = FaultInjector(
+            seed=0, latency_seconds=0.25, sleep=naps.append
+        )
+        model = injector.cost_model(HaasCostModel(), mode="latency")
+        left, right = self._stats(small_query)
+        with injector:
+            delayed = model.join_cost(left, right)
+        assert naps == [0.25]
+        assert injector.injected.get("cost_model") == 1
+        # Slow but correct: the returned cost is the true cost.
+        plain = HaasCostModel().join_cost(left, right)
+        assert float(delayed).hex() == float(plain).hex()
+
+    def test_disarmed_latency_mode_never_sleeps(self, small_query):
+        naps = []
+        injector = FaultInjector(seed=0, sleep=naps.append)
+        model = injector.cost_model(HaasCostModel(), mode="latency")
+        left, right = self._stats(small_query)
+        model.join_cost(left, right)
+        assert naps == []
+
+    def test_latency_rate_is_seeded_and_deterministic(self, small_query):
+        left, right = self._stats(small_query)
+
+        def schedule():
+            naps = []
+            injector = FaultInjector(
+                seed=7, rate=0.3, latency_seconds=0.01, sleep=naps.append
+            )
+            model = injector.cost_model(HaasCostModel(), mode="latency")
+            with injector:
+                for _ in range(64):
+                    model.join_cost(left, right)
+            return len(naps), injector.injected.get("cost_model", 0)
+
+        first = schedule()
+        second = schedule()
+        assert first == second
+        assert 0 < first[0] < 64
+
+    def test_latency_preserves_plan_choice_bit_for_bit(self, small_query):
+        from repro.core.optimizer import Optimizer
+
+        clean = Optimizer().optimize(small_query)
+        naps = []
+        injector = FaultInjector(
+            seed=3, rate=0.5, latency_seconds=0.001, sleep=naps.append
+        )
+        with injector:
+            slowed = Optimizer(
+                cost_model_factory=injector.cost_model_factory(
+                    HaasCostModel, "latency"
+                )
+            ).optimize(small_query)
+        assert naps  # faults really fired...
+        assert slowed.plan.sexpr() == clean.plan.sexpr()  # ...plan unmoved
+        assert slowed.cost.hex() == clean.cost.hex()
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector(latency_seconds=-0.1)

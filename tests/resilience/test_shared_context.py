@@ -65,3 +65,42 @@ def test_successful_exact_rung_also_exposes_the_context(query):
     assert not result.degraded
     assert result.context is not None
     assert result.stats is result.context.stats
+
+
+def test_two_threads_forking_one_parent_match_sequential(query):
+    """Concurrent rungs over a shared parent context stay deterministic
+    (ISSUE satellite): two threads optimizing through forks of one parent
+    produce plans bit-identical to a sequential run's."""
+    import threading
+
+    sequential = ResilientOptimizer().optimize(query)
+
+    parent = OptimizationContext.for_query(query)
+    results = [None, None]
+    errors = []
+
+    def optimize(slot):
+        try:
+            results[slot] = ResilientOptimizer().optimize(
+                query, context=parent.fork()
+            )
+        except Exception as error:
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=optimize, args=(slot,)) for slot in (0, 1)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert not errors
+    for result in results:
+        assert result is not None
+        validate_plan(result.plan, query)
+        assert result.plan.sexpr() == sequential.plan.sexpr()
+        assert result.cost.hex() == sequential.cost.hex()
+
+    # Both forks really shared the parent's statistics provider.
+    assert all(r.context.provider is parent.provider for r in results)

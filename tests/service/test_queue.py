@@ -1,0 +1,130 @@
+"""AdmissionQueue: bounds, priority order, shedding, shutdown semantics."""
+
+import threading
+
+import pytest
+
+from repro.errors import ServiceOverloadError, ServiceShutdownError
+from repro.service.queue import DEFAULT_QUEUE_CAPACITY, AdmissionQueue
+
+
+class TestAdmission:
+    def test_put_get_roundtrip(self):
+        queue = AdmissionQueue(capacity=4)
+        queue.put("a")
+        queue.put("b")
+        assert queue.get() == "a"
+        assert queue.get() == "b"
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(capacity=0)
+
+    def test_default_capacity(self):
+        assert AdmissionQueue().capacity == DEFAULT_QUEUE_CAPACITY
+
+    def test_full_queue_sheds_deterministically(self):
+        queue = AdmissionQueue(capacity=2)
+        queue.put("a")
+        queue.put("b")
+        with pytest.raises(ServiceOverloadError) as caught:
+            queue.put("c")
+        assert caught.value.queue_depth == 2
+        assert caught.value.capacity == 2
+        assert queue.rejected == 1
+        # Shedding never blocks and never grows the queue.
+        assert len(queue) == 2
+
+    def test_rejection_counter_accumulates(self):
+        queue = AdmissionQueue(capacity=1)
+        queue.put("a")
+        for _ in range(3):
+            with pytest.raises(ServiceOverloadError):
+                queue.put("x")
+        assert queue.rejected == 3
+
+    def test_high_water_tracks_deepest_backlog(self):
+        queue = AdmissionQueue(capacity=8)
+        for item in range(5):
+            queue.put(item)
+        for _ in range(5):
+            queue.get()
+        queue.put("later")
+        assert queue.high_water == 5
+
+
+class TestOrdering:
+    def test_higher_priority_dequeues_first(self):
+        queue = AdmissionQueue(capacity=8)
+        queue.put("low", priority=0)
+        queue.put("high", priority=9)
+        queue.put("mid", priority=5)
+        assert [queue.get() for _ in range(3)] == ["high", "mid", "low"]
+
+    def test_fifo_within_a_priority_level(self):
+        queue = AdmissionQueue(capacity=8)
+        for item in ("first", "second", "third"):
+            queue.put(item, priority=1)
+        assert [queue.get() for _ in range(3)] == ["first", "second", "third"]
+
+    def test_equal_priority_never_compares_payloads(self):
+        # Items need not be orderable; the sequence number breaks ties.
+        queue = AdmissionQueue(capacity=4)
+        queue.put(object(), priority=3)
+        queue.put(object(), priority=3)
+        assert queue.get() is not None
+        assert queue.get() is not None
+
+
+class TestShutdown:
+    def test_put_after_close_raises_shutdown(self):
+        queue = AdmissionQueue(capacity=4)
+        queue.close()
+        with pytest.raises(ServiceShutdownError):
+            queue.put("late")
+
+    def test_closed_empty_queue_returns_none(self):
+        queue = AdmissionQueue(capacity=4)
+        queue.close()
+        assert queue.get() is None
+
+    def test_close_still_drains_backlog(self):
+        queue = AdmissionQueue(capacity=4)
+        queue.put("pending")
+        queue.close()
+        assert queue.get() == "pending"
+        assert queue.get() is None
+
+    def test_get_timeout_returns_none(self):
+        queue = AdmissionQueue(capacity=4)
+        assert queue.get(timeout=0.01) is None
+
+    def test_close_wakes_blocked_getter(self):
+        queue = AdmissionQueue(capacity=4)
+        results = []
+
+        def getter():
+            results.append(queue.get(timeout=5.0))
+
+        thread = threading.Thread(target=getter)
+        thread.start()
+        queue.close()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert results == [None]
+
+    def test_drain_pending_empties_in_priority_order(self):
+        queue = AdmissionQueue(capacity=8)
+        queue.put("low", priority=0)
+        queue.put("high", priority=7)
+        queue.close()
+        assert queue.drain_pending() == ["high", "low"]
+        assert len(queue) == 0
+
+    def test_snapshot_reports_state(self):
+        queue = AdmissionQueue(capacity=3)
+        queue.put("a")
+        snapshot = queue.snapshot()
+        assert snapshot["depth"] == 1
+        assert snapshot["capacity"] == 3
+        assert snapshot["closed"] is False

@@ -1,0 +1,85 @@
+"""RetryPolicy: backoff schedule, seeded jitter, failure classification."""
+
+import pytest
+
+from repro.errors import (
+    BudgetExceeded,
+    CatalogError,
+    CircuitOpenError,
+    InjectedFaultError,
+)
+from repro.plans.validation import PlanValidationError
+from repro.service.retry import RetryPolicy
+
+
+class TestSchedule:
+    def test_exponential_growth_capped(self):
+        policy = RetryPolicy(
+            base_delay=0.01, multiplier=2.0, max_delay=0.05, jitter=0.0
+        )
+        delays = [policy.delay(attempt) for attempt in range(1, 6)]
+        assert delays == [0.01, 0.02, 0.04, 0.05, 0.05]
+
+    def test_attempt_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-0.1)
+
+
+class TestJitter:
+    def test_jitter_is_deterministic_per_seed(self):
+        policy = RetryPolicy(jitter=0.5)
+        first = [
+            policy.delay(attempt, policy.rng_for(123))
+            for attempt in range(1, 5)
+        ]
+        second = [
+            policy.delay(attempt, policy.rng_for(123))
+            for attempt in range(1, 5)
+        ]
+        assert first == second
+
+    def test_distinct_seeds_give_distinct_jitter(self):
+        policy = RetryPolicy(jitter=0.5)
+        a = policy.delay(1, policy.rng_for(1))
+        b = policy.delay(1, policy.rng_for(2))
+        assert a != b
+
+    def test_jitter_bounded_by_fraction(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=0.1, jitter=0.25)
+        for seed in range(20):
+            delay = policy.delay(1, policy.rng_for(seed))
+            assert 0.1 <= delay <= 0.1 * 1.25
+
+    def test_zero_jitter_ignores_rng(self):
+        policy = RetryPolicy(base_delay=0.02, jitter=0.0)
+        assert policy.delay(1, policy.rng_for(7)) == 0.02
+
+
+class TestClassification:
+    def test_injected_faults_are_transient(self):
+        assert RetryPolicy.is_transient(InjectedFaultError("boom"))
+
+    def test_catalog_loss_is_transient(self):
+        assert RetryPolicy.is_transient(CatalogError("stats missing"))
+
+    def test_open_circuit_is_transient(self):
+        assert RetryPolicy.is_transient(CircuitOpenError("cost_model", 0.1))
+
+    def test_budget_exhaustion_is_permanent(self):
+        assert not RetryPolicy.is_transient(BudgetExceeded("out of time"))
+
+    def test_validation_failure_is_permanent(self):
+        assert not RetryPolicy.is_transient(PlanValidationError("bad plan"))
+
+    def test_generic_errors_are_permanent(self):
+        assert not RetryPolicy.is_transient(ValueError("nope"))

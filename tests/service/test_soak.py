@@ -1,0 +1,175 @@
+"""Chaos soak: seeded schedules, whole-run assertions, replay determinism."""
+
+import json
+
+import pytest
+
+from repro.service.soak import (
+    ChaosPlant,
+    SoakReport,
+    build_query_pool,
+    main,
+    run_soak,
+)
+from repro.service.server import OptimizeRequest
+from repro.workload.generator import QueryGenerator
+
+
+@pytest.fixture
+def request_zero():
+    query = QueryGenerator(seed=9).generate("chain", 5)
+    return OptimizeRequest(query=query, request_id=0, seed=424242)
+
+
+class TestChaosPlant:
+    def test_schedule_is_deterministic(self, request_zero):
+        def schedule():
+            plant = ChaosPlant(seed=3, rate=0.5)
+            return [
+                repr(plant(request_zero, attempt)) for attempt in range(16)
+            ]
+
+        assert schedule() == schedule()
+
+    def test_rate_zero_never_poisons(self, request_zero):
+        plant = ChaosPlant(seed=3, rate=0.0)
+        assert all(plant(request_zero, a) is None for a in range(32))
+
+    def test_rate_one_always_poisons(self, request_zero):
+        plant = ChaosPlant(seed=3, rate=1.0)
+        assert all(plant(request_zero, a) is not None for a in range(8))
+
+    def test_distinct_attempts_draw_fresh_coins(self, request_zero):
+        # A poisoned first attempt does not force a poisoned second one.
+        plant = ChaosPlant(seed=0, rate=0.5)
+        decisions = {plant(request_zero, a) is None for a in range(64)}
+        assert decisions == {True, False}
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ChaosPlant(rate=1.5)
+        with pytest.raises(ValueError):
+            ChaosPlant(kinds=("raise", "meteor"))
+
+    def test_armed_attempt_reports_injections(self, request_zero):
+        from repro.cost.haas import HaasCostModel
+        from repro.cost.statistics import StatisticsProvider
+        from repro.errors import InjectedFaultError
+
+        plant = ChaosPlant(seed=3, rate=1.0, kinds=("raise",))
+        attempt = plant(request_zero, 0)
+        assert attempt is not None and attempt.kind == "raise"
+        factory = attempt.cost_model_factory(HaasCostModel)
+        provider = StatisticsProvider(request_zero.query)
+        left, right = provider.stats(0b01), provider.stats(0b10)
+        with attempt:
+            model = factory()
+            with pytest.raises(InjectedFaultError):
+                for _ in range(32):  # fire past the seeded warm-up
+                    model.join_cost(left, right)
+        assert sum(attempt.injected.values()) >= 1
+
+
+class TestQueryPool:
+    def test_pool_is_deterministic(self):
+        first = [key for key, _ in build_query_pool(seed=5, pool_size=6)]
+        second = [key for key, _ in build_query_pool(seed=5, pool_size=6)]
+        assert first == second
+
+    def test_pool_mixes_families(self):
+        pool = build_query_pool(seed=5, pool_size=6)
+        families = {key.split("-")[0] for key, _ in pool}
+        assert families == {"chain", "star", "clique"}
+
+    def test_pool_respects_size_bounds(self):
+        pool = build_query_pool(
+            seed=5, pool_size=4, min_relations=4, max_relations=5
+        )
+        for _, query in pool:
+            assert 4 <= query.graph.n_vertices <= 5
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            build_query_pool(seed=0, pool_size=0)
+        with pytest.raises(ValueError):
+            build_query_pool(seed=0, min_relations=9, max_relations=5)
+
+
+class TestRunSoak:
+    def soak(self, **overrides):
+        settings = dict(
+            seconds=30.0,
+            seed=7,
+            rate=0.3,
+            workers=2,
+            pool_size=6,
+            min_relations=4,
+            max_relations=6,
+            max_requests=18,
+        )
+        settings.update(overrides)
+        return run_soak(**settings)
+
+    def test_short_soak_passes_every_assertion(self):
+        report = self.soak()
+        assert report.passed, report.violations
+        assert report.accepted == report.submitted - report.rejected
+        assert report.completed == report.accepted
+        assert report.failed == 0
+        assert report.timeouts == 0
+        assert report.invalid_plans == 0
+        assert report.replay_mismatches == 0
+        assert report.unhandled_worker_errors == 0
+
+    def test_chaos_actually_fired(self):
+        report = self.soak(rate=0.8, max_requests=12)
+        assert report.passed, report.violations
+        assert report.injected_faults > 0
+        assert sum(report.scheduled_chaos.values()) > 0
+
+    def test_single_worker_run_is_fully_reproducible(self):
+        first = self.soak(workers=1, max_requests=10)
+        second = self.soak(workers=1, max_requests=10)
+        assert first.passed and second.passed
+        assert first.breaker_trace == second.breaker_trace
+        assert first.rung_histogram == second.rung_histogram
+        assert first.scheduled_chaos == second.scheduled_chaos
+        assert first.retries == second.retries
+
+    def test_report_serializes_to_json(self):
+        report = self.soak(max_requests=6, replay=False)
+        payload = json.loads(json.dumps(report.as_dict()))
+        assert payload["passed"] is True
+        assert "failures" in payload
+        assert payload["failures"]["retries"] == report.retries
+        assert payload["failures"]["breaker_trips"] == report.breaker_trips
+
+    def test_violations_flip_passed(self):
+        report = SoakReport(seconds=1.0, seed=0, rate=0.0, workers=1)
+        assert report.passed
+        report.violations.append("synthetic")
+        assert not report.passed
+        assert report.as_dict()["passed"] is False
+
+
+class TestMain:
+    def test_cli_smoke_passes_and_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "soak.json"
+        code = main(
+            [
+                "--seconds", "30",
+                "--seed", "7",
+                "--rate", "0.3",
+                "--workers", "2",
+                "--pool", "4",
+                "--min-relations", "4",
+                "--max-relations", "5",
+                "--max-requests", "8",
+                "--json", str(out),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        assert "soak PASSED" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["passed"] is True

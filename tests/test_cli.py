@@ -72,3 +72,49 @@ class TestQueryDocuments:
         path.write_text(json.dumps({"relations": [], "joins": []}))
         assert main(["--query", str(path)]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestViaService:
+    def test_text_output_reports_serving_metadata(self, capsys):
+        assert main(
+            [
+                "--family", "chain", "--relations", "5", "--seed", "1",
+                "--via-service",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "[via service]" in output
+        assert "service    :" in output
+        assert "retries" in output
+
+    def test_json_output_carries_service_section(self, capsys):
+        assert main(
+            [
+                "--family", "cycle", "--relations", "5", "--seed", "2",
+                "--via-service", "--json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["service"]["attempts"] == 1
+        assert payload["service"]["retries"] == 0
+        assert payload["cost"] > 0
+
+    def test_service_plan_matches_direct_run(self, capsys):
+        argv = ["--family", "acyclic", "--relations", "6", "--seed", "9", "--json"]
+        assert main(argv) == 0
+        direct = json.loads(capsys.readouterr().out)
+        assert main(argv + ["--via-service"]) == 0
+        served = json.loads(capsys.readouterr().out)
+        assert served["plan"] == direct["plan"]
+        got = repr(served["cost"])
+        want = repr(direct["cost"])
+        assert got == want
+
+    def test_deadline_flows_through_the_service(self, capsys):
+        assert main(
+            [
+                "--family", "chain", "--relations", "5", "--seed", "1",
+                "--via-service", "--deadline-ms", "60000",
+            ]
+        ) == 0
+        assert "[via service]" in capsys.readouterr().out
