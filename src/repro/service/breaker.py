@@ -179,6 +179,19 @@ class CircuitBreaker:
             # Success in CLOSED is the steady state; in OPEN it cannot
             # happen (allow() refused the call).
 
+    def release_probe(self) -> None:
+        """Hand back a half-open probe slot whose call never ran.
+
+        Not an outcome: no event is counted and no state changes — the
+        slot simply becomes available to the next prober.  Callers that
+        were admitted by :meth:`allow` but then abort before the guarded
+        call (e.g. another component's breaker refused) must release, or
+        the bounded probe budget leaks and the breaker refuses forever.
+        """
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+
     def record_failure(self) -> None:
         """A guarded call failed with this component implicated."""
         with self._lock:

@@ -29,6 +29,8 @@ class ServiceHealth:
     completed: int = 0
     failed: int = 0
     timeouts: int = 0
+    #: Accepted requests whose callers cancelled them while still queued.
+    cancelled: int = 0
     retries: int = 0
     breaker_trips: int = 0
     unhandled_worker_errors: int = 0
@@ -66,6 +68,7 @@ class ServiceHealth:
                 "completed": self.completed,
                 "failed": self.failed,
                 "timeouts": self.timeouts,
+                "cancelled": self.cancelled,
                 "retries": self.retries,
             },
             "breaker_trips": self.breaker_trips,
@@ -88,7 +91,8 @@ class ServiceHealth:
             f"rejected {self.rejected})",
             f"workers    : {self.workers_alive}/{self.workers_total} alive",
             f"requests   : {self.completed} completed, {self.failed} failed, "
-            f"{self.timeouts} timeouts, {self.retries} retries",
+            f"{self.timeouts} timeouts, {self.cancelled} cancelled, "
+            f"{self.retries} retries",
             f"breakers   : {self.breaker_trips} trips",
         ]
         for name, snapshot in sorted(self.breakers.items()):

@@ -271,6 +271,7 @@ class OptimizationService:
         self.completed = 0
         self.failed = 0
         self.timeouts = 0
+        self.cancelled = 0
         self.retries = 0
         self.unhandled_worker_errors = 0
         self.rung_histogram: Dict[str, int] = {}
@@ -297,31 +298,51 @@ class OptimizationService:
             self._threads.append(thread)
         return self
 
-    def shutdown(self, drain: bool = True, timeout: Optional[float] = None) -> None:
-        """Stop the service.
+    def shutdown(self, drain: bool = True, timeout: Optional[float] = None) -> bool:
+        """Stop the service; ``True`` iff every worker actually exited.
 
         ``drain=True`` finishes every queued and in-flight request before
         the workers exit; ``drain=False`` fails pending (not-yet-started)
         requests with :class:`ServiceShutdownError` and only lets
-        in-flight work finish.
+        in-flight work finish.  ``timeout`` bounds the *total* wait across
+        all worker joins; on ``False`` the service stays ``draining``
+        (never falsely ``stopped``) and ``shutdown`` may be called again
+        to keep waiting.
         """
         with self._lock:
             if self._state == "stopped":
-                return
+                return True
             self._state = "draining"
         self._queue.close()
         if not drain:
             for ticket in self._queue.drain_pending():
+                # A caller may have cancelled the future while it was
+                # queued; claiming it first keeps one cancelled ticket
+                # from aborting the whole shutdown sequence.
+                if not ticket.future.set_running_or_notify_cancel():
+                    with self._lock:
+                        self.cancelled += 1
+                    continue
                 ticket.future.set_exception(
                     ServiceShutdownError(
                         f"{ticket.request.describe()} cancelled by "
                         "non-draining shutdown"
                     )
                 )
+        # Joins happen in real time whatever clock the breakers use, and
+        # the deadline is shared: N workers never wait N * timeout.
+        join_deadline = None if timeout is None else time.monotonic() + timeout
         for thread in self._threads:
-            thread.join(timeout=timeout)
+            remaining = (
+                None
+                if join_deadline is None
+                else max(0.0, join_deadline - time.monotonic())
+            )
+            thread.join(timeout=remaining)
+        stopped = not any(thread.is_alive() for thread in self._threads)
         with self._lock:
-            self._state = "stopped"
+            self._state = "stopped" if stopped else "draining"
+        return stopped
 
     def __enter__(self) -> "OptimizationService":
         return self.start()
@@ -413,6 +434,7 @@ class OptimizationService:
                 completed=self.completed,
                 failed=self.failed,
                 timeouts=self.timeouts,
+                cancelled=self.cancelled,
                 retries=self.retries,
                 breaker_trips=self._breakers.total_trips,
                 unhandled_worker_errors=self.unhandled_worker_errors,
@@ -442,6 +464,15 @@ class OptimizationService:
             if ticket is None:
                 if self._queue.closed and len(self._queue) == 0:
                     return
+                continue
+            # Claim the future before doing any work: a caller may have
+            # cancelled it while it sat in the queue, and a cancelled
+            # future rejects set_result (InvalidStateError would kill the
+            # worker).  Claiming also pins the future RUNNING, so it can
+            # no longer be cancelled mid-processing.
+            if not ticket.future.set_running_or_notify_cancel():
+                with self._lock:
+                    self.cancelled += 1
                 continue
             started = self._clock()
             queue_wait = started - ticket.admitted_at
@@ -488,11 +519,22 @@ class OptimizationService:
         return None
 
     def _gate_breakers(self) -> Optional[CircuitOpenError]:
-        """Consult every component breaker; first refusal wins."""
+        """Consult every component breaker; first refusal wins.
+
+        All-or-nothing: admitting a half-open breaker consumes one of its
+        bounded probe slots, so a refusal by a *later* component must hand
+        back every slot already taken — the attempt is not going to run,
+        and a leaked slot would refuse probes forever (half-open breakers
+        only release slots when an outcome is recorded).
+        """
+        admitted = []
         for component in BREAKER_COMPONENTS:
             breaker = self._breakers.breaker(component)
             if not breaker.allow():
+                for earlier in admitted:
+                    earlier.release_probe()
                 return CircuitOpenError(component, breaker.retry_after())
+            admitted.append(breaker)
         return None
 
     def _record_outcome(self, injected: Dict[str, int]) -> None:
@@ -582,8 +624,11 @@ class OptimizationService:
                 injected = dict(chaos.injected) if chaos is not None else {}
                 self._merge_injected(response, injected)
                 transient = bool(injected) or self._retry.is_transient(error)
-                if injected:
-                    self._record_outcome(injected)
+                # Always record, even with nothing injected: the gate may
+                # have admitted half-open probes, and only an outcome
+                # releases those slots (no component implicated == every
+                # component succeeded).
+                self._record_outcome(injected)
                 last_error = error
                 if not transient:
                     response.error = f"{type(error).__name__}: {error}"

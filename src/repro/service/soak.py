@@ -28,6 +28,7 @@ import argparse
 import json
 import random
 import sys
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -135,7 +136,9 @@ class ChaosPlant:
         self.latency_rate = latency_rate
         self._sleep = sleep
         #: kind -> number of poisoned attempts scheduled (diagnostics).
+        #: Updated from every worker thread, hence the lock.
         self.scheduled: Dict[str, int] = {}
+        self._scheduled_lock = threading.Lock()
 
     def __call__(
         self, request: OptimizeRequest, attempt: int
@@ -146,7 +149,8 @@ class ChaosPlant:
         if rng.random() >= self.rate:
             return None
         kind = self.kinds[rng.randrange(len(self.kinds))]
-        self.scheduled[kind] = self.scheduled.get(kind, 0) + 1
+        with self._scheduled_lock:
+            self.scheduled[kind] = self.scheduled.get(kind, 0) + 1
         injector = FaultInjector(
             seed=rng.randrange(2**31),
             rate=self.latency_rate if kind == "latency" else 1.0,

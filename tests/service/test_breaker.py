@@ -114,6 +114,21 @@ class TestHalfOpen:
         breaker.record_success()
         assert breaker.state == CLOSED
 
+    def test_release_probe_returns_an_unused_slot(self):
+        clock = ManualClock()
+        breaker = self.tripped(clock)
+        assert breaker.allow()
+        assert not breaker.allow()  # the single probe slot is taken
+        breaker.release_probe()  # admitted call aborted before running
+        assert breaker.allow()  # the slot is available again
+        assert breaker.state == HALF_OPEN  # releasing is not an outcome
+
+    def test_release_probe_outside_half_open_is_a_no_op(self):
+        breaker = make(ManualClock())
+        breaker.release_probe()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
     def test_probe_failure_reopens(self):
         clock = ManualClock()
         breaker = self.tripped(clock)

@@ -1,6 +1,7 @@
 """OptimizationService end-to-end: serving, shedding, retrying, breaking."""
 
 import threading
+from concurrent.futures import CancelledError
 
 import pytest
 
@@ -10,7 +11,13 @@ from repro.plans.validation import check_finite, validate_plan
 from repro.resilience.budget import Budget
 from repro.resilience.faults import FaultInjector
 from repro.resilience.optimizer import ResilientOptimizer
-from repro.service.breaker import CLOSED, OPEN, BreakerBoard, ManualClock
+from repro.service.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerBoard,
+    ManualClock,
+)
 from repro.service.retry import RetryPolicy
 from repro.service.server import OptimizationService
 from repro.service.soak import ChaosAttempt
@@ -214,6 +221,49 @@ class TestShutdownSemantics:
             if future.exception() is not None:
                 assert isinstance(future.exception(), ServiceShutdownError)
 
+    def test_cancelled_queued_future_does_not_kill_the_worker(self, query):
+        # Cancelling a still-queued future must not crash the worker that
+        # later dequeues it (set_result on a cancelled future raises
+        # InvalidStateError); the ticket is skipped and counted.
+        chaos = StallingChaos()
+        with make_service(workers=1, chaos=chaos) as service:
+            blocker = service.submit(query)
+            assert chaos.started.wait(timeout=10.0)
+            doomed = service.submit(query)
+            assert doomed.cancel()  # still queued: cancel succeeds
+            chaos.release.set()
+            assert blocker.result().ok
+            follow_up = service.optimize(query)  # the worker still answers
+            assert follow_up.ok
+            health = service.healthz()
+            assert health.workers_alive == 1
+            assert health.unhandled_worker_errors == 0
+            assert health.cancelled == 1
+        with pytest.raises(CancelledError):
+            doomed.result()
+
+    def test_non_draining_shutdown_survives_cancelled_pending(self, query):
+        chaos = StallingChaos()
+        service = make_service(workers=1, queue_capacity=8, chaos=chaos)
+        service.start()
+        blocker = service.submit(query)
+        assert chaos.started.wait(timeout=10.0)
+        pending = [service.submit(query) for _ in range(3)]
+        assert pending[1].cancel()
+        # The worker is still parked: the bounded join times out, the
+        # cancelled ticket is skipped (no InvalidStateError aborting the
+        # sequence), and the state honestly stays "draining".
+        assert service.shutdown(drain=False, timeout=0.05) is False
+        assert service.healthz().status == "draining"
+        for future in (pending[0], pending[2]):
+            assert isinstance(future.exception(), ServiceShutdownError)
+        assert pending[1].cancelled()
+        # A second shutdown after the worker unparks really stops.
+        chaos.release.set()
+        assert service.shutdown(drain=False, timeout=10.0) is True
+        assert service.healthz().status == "stopped"
+        assert blocker.result().ok
+
     def test_restart_is_rejected(self, query):
         service = make_service()
         service.start()
@@ -358,6 +408,27 @@ class TestBreakers:
         assert response.rung == "exact"
         assert response.breaker_waits == 4  # limit + the bypassing check
         validate_plan(response.plan, query)
+
+    def test_gate_refusal_releases_half_open_probe_slots(self):
+        # cost_model is half-open (one probe slot) while catalog is still
+        # open: gating admits the cost_model probe, then catalog refuses.
+        # The consumed slot must be handed back, or every later gate pays
+        # the full fail-open backstop against a probe-starved breaker.
+        clock = ManualClock()
+        board = BreakerBoard(
+            failure_threshold=1, cooldown_seconds=0.05, clock=clock
+        )
+        service = make_service(breakers=board, clock=clock, sleep=clock.sleep)
+        cost = board.breaker("cost_model")
+        catalog = board.breaker("catalog")
+        cost.record_failure()  # opens at t=0
+        clock.advance(0.05)  # cost_model cooldown elapses -> half-open
+        catalog.record_failure()  # opens at t=0.05, still in cooldown
+        refusal = service._gate_breakers()
+        assert refusal is not None
+        assert refusal.component == "catalog"
+        assert cost.state == HALF_OPEN
+        assert cost.allow()  # the probe slot came back, not leaked
 
     def test_open_breaker_waits_do_not_consume_attempts(self, query):
         clock = ManualClock()

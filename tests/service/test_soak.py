@@ -1,6 +1,7 @@
 """Chaos soak: seeded schedules, whole-run assertions, replay determinism."""
 
 import json
+import threading
 
 import pytest
 
@@ -50,6 +51,31 @@ class TestChaosPlant:
             ChaosPlant(rate=1.5)
         with pytest.raises(ValueError):
             ChaosPlant(kinds=("raise", "meteor"))
+
+    def test_scheduled_counts_survive_concurrent_calls(self, request_zero):
+        # Workers call the plant concurrently; rate=1.0 schedules one
+        # fault per call, so the per-kind tallies must sum exactly.
+        plant = ChaosPlant(seed=3, rate=1.0)
+        per_thread, threads = 50, 4
+
+        def schedule(base):
+            for offset in range(per_thread):
+                request = OptimizeRequest(
+                    query=request_zero.query,
+                    request_id=base + offset,
+                    seed=base + offset,
+                )
+                plant(request, 0)
+
+        workers = [
+            threading.Thread(target=schedule, args=(index * per_thread,))
+            for index in range(threads)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert sum(plant.scheduled.values()) == per_thread * threads
 
     def test_armed_attempt_reports_injections(self, request_zero):
         from repro.cost.haas import HaasCostModel
