@@ -7,6 +7,7 @@ from repro.analysis.rules import (  # noqa: F401
     bitset_discipline,
     context_discipline,
     float_cost_eq,
+    metric_discipline,
     mutable_default,
     registry_complete,
     seeded_rng,
@@ -20,6 +21,7 @@ __all__ = [
     "bitset_discipline",
     "context_discipline",
     "float_cost_eq",
+    "metric_discipline",
     "mutable_default",
     "registry_complete",
     "seeded_rng",

@@ -1,0 +1,151 @@
+"""``metric-discipline`` — metrics flow through the telemetry registry.
+
+The telemetry layer (:mod:`repro.telemetry`) is the single place the repo
+counts things for operators.  Three patterns undermine it:
+
+* **ad-hoc module-level counters** — an integer bound at module level and
+  mutated through ``global``.  Invisible to the exposition endpoint,
+  racy under the service's worker threads, and unresettable in tests.
+  Counters belong on a :class:`~repro.telemetry.MetricRegistry`;
+* **hand-constructed instruments** — ``Counter(...)`` / ``Gauge(...)`` /
+  ``Histogram(...)`` built directly instead of via the registry's
+  get-or-create accessors.  A free-floating instrument never appears in
+  ``expose_text()`` and silently forks the metric namespace;
+* **off-convention names** — registry calls with a literal metric name
+  that is not ``repro_``-prefixed ``snake_case``, or a counter whose name
+  does not end in ``_total`` (the Prometheus counter convention every
+  dashboard query in ``docs/telemetry.md`` assumes).
+
+Only string-literal names are checked — the adapters render some names
+with f-strings, and those templates live inside ``repro/telemetry/``
+where this rule (like the instrument-construction check) does not apply.
+Tests are exempt throughout.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Set
+
+from repro.analysis.asthelpers import diagnostic_at, dotted_name
+from repro.analysis.registry import Rule, register_rule
+
+__all__ = ["MetricDiscipline"]
+
+#: Valid exposition metric name: repro_-prefixed snake_case.
+_NAME_RE = re.compile(r"^repro_[a-z][a-z0-9_]*$")
+
+#: Instrument classes that must be obtained from a registry.
+_INSTRUMENTS = {"Counter", "Gauge", "Histogram"}
+
+#: Registry get-or-create accessors whose first argument is a metric name.
+_GETTERS = {"counter", "gauge", "histogram"}
+
+
+def _instrument_imports(tree: ast.Module) -> Set[str]:
+    """Local names the telemetry instrument classes are imported under."""
+    names = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module and (
+            node.module == "repro.telemetry"
+            or node.module.startswith("repro.telemetry.")
+        ):
+            for alias in node.names:
+                if alias.name in _INSTRUMENTS:
+                    names.add(alias.asname or alias.name)
+    return names
+
+
+def _module_level_ints(tree: ast.Module) -> Set[str]:
+    """Names bound at module level to a plain integer literal."""
+    names = set()
+    for node in tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        if not (
+            isinstance(value, ast.Constant)
+            and type(value.value) is int  # excludes bool
+        ):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+@register_rule
+class MetricDiscipline(Rule):
+    id = "metric-discipline"
+    description = (
+        "metrics go through MetricRegistry with repro_-prefixed snake_case "
+        "names (counters ending in _total); no ad-hoc global counters"
+    )
+
+    def check_module(self, module):
+        if module.is_test_file or "telemetry" in module.path.parts:
+            return
+        instrument_names = _instrument_imports(module.tree)
+        global_ints = _module_level_ints(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Global):
+                for name in node.names:
+                    if name in global_ints:
+                        yield diagnostic_at(
+                            module,
+                            node,
+                            self.id,
+                            f"module-level counter {name!r} mutated via "
+                            "`global` is invisible to telemetry; record it "
+                            "on a MetricRegistry instead",
+                        )
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            func_name = dotted_name(node.func)
+            if func_name in instrument_names or (
+                func_name is not None
+                and func_name.startswith("repro.telemetry")
+                and func_name.rsplit(".", 1)[-1] in _INSTRUMENTS
+            ):
+                yield diagnostic_at(
+                    module,
+                    node,
+                    self.id,
+                    f"direct {func_name.rsplit('.', 1)[-1]}(...) construction "
+                    "bypasses the registry and never reaches expose_text(); "
+                    "use MetricRegistry.counter()/gauge()/histogram()",
+                )
+                continue
+            if not (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _GETTERS
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                continue
+            metric = node.args[0].value
+            if not _NAME_RE.match(metric):
+                yield diagnostic_at(
+                    module,
+                    node,
+                    self.id,
+                    f"metric name {metric!r} breaks the naming scheme; use "
+                    "repro_-prefixed snake_case (see docs/telemetry.md)",
+                )
+            elif node.func.attr == "counter" and not metric.endswith("_total"):
+                yield diagnostic_at(
+                    module,
+                    node,
+                    self.id,
+                    f"counter {metric!r} must end in _total (Prometheus "
+                    "counter convention)",
+                )

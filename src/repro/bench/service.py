@@ -16,6 +16,7 @@ performance measurement lives only under ``repro/bench``.
 from __future__ import annotations
 
 import json
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -23,6 +24,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.bench.harness import FailureCounts
 from repro.errors import ServiceOverloadError
 from repro.query import Query
+
+# The canonical percentile lives in repro.telemetry.summary (NaN for an
+# empty sample set); re-exported here because bench callers historically
+# import it from this module.
+from repro.telemetry.summary import percentile, summarize_spans
 
 __all__ = [
     "ServiceBenchReport",
@@ -55,23 +61,23 @@ def service_failure_counts(
     )
 
 
-def percentile(values: Sequence[float], q: float) -> float:
-    """The ``q``-th percentile (0..100) by linear interpolation.
+def _json_safe(value):
+    """Replace NaN/Inf with ``None`` recursively (JSON has no NaN literal;
+    ``json.dumps`` would happily emit the invalid token)."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {key: _json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    return value
 
-    Returns 0.0 for an empty sequence so reports stay JSON-clean.
-    """
-    if not 0.0 <= q <= 100.0:
-        raise ValueError(f"q must be in [0, 100], got {q}")
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    if len(ordered) == 1:
-        return ordered[0]
-    rank = (q / 100.0) * (len(ordered) - 1)
-    low = int(rank)
-    high = min(low + 1, len(ordered) - 1)
-    fraction = rank - low
-    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+def _fmt_ms(value: Optional[float]) -> str:
+    """Milliseconds for humans; ``n/a`` when nothing was measured."""
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "n/a"
+    return f"{value * 1000:.1f}ms"
 
 
 @dataclass
@@ -90,6 +96,9 @@ class ServiceBenchReport:
     rung_histogram: Dict[str, int] = field(default_factory=dict)
     failures: FailureCounts = field(default_factory=FailureCounts)
     breakers: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    #: Per-phase span duration summaries ({span: {group: {p50, ...}}}),
+    #: populated when the bench ran with tracing armed.
+    spans: Dict[str, Dict[str, Dict[str, float]]] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -105,10 +114,12 @@ class ServiceBenchReport:
             "rung_histogram": dict(self.rung_histogram),
             "failures": self.failures.as_dict(),
             "breakers": dict(self.breakers),
+            "spans": dict(self.spans),
         }
 
     def to_json(self, indent: int = 2) -> str:
-        return json.dumps(self.as_dict(), indent=indent)
+        # Empty percentile summaries are NaN; JSON renders them as null.
+        return json.dumps(_json_safe(self.as_dict()), indent=indent)
 
     def describe(self) -> str:
         lines = [
@@ -117,12 +128,12 @@ class ServiceBenchReport:
             f"{self.rejected} shed",
             f"throughput: {self.throughput:.1f} req/s over "
             f"{self.elapsed_seconds:.2f}s",
-            f"queue wait: p50={self.queue_wait.get('p50', 0.0) * 1000:.1f}ms "
-            f"p95={self.queue_wait.get('p95', 0.0) * 1000:.1f}ms "
-            f"p99={self.queue_wait.get('p99', 0.0) * 1000:.1f}ms",
-            f"service   : p50={self.service_time.get('p50', 0.0) * 1000:.1f}ms "
-            f"p95={self.service_time.get('p95', 0.0) * 1000:.1f}ms "
-            f"p99={self.service_time.get('p99', 0.0) * 1000:.1f}ms",
+            f"queue wait: p50={_fmt_ms(self.queue_wait.get('p50'))} "
+            f"p95={_fmt_ms(self.queue_wait.get('p95'))} "
+            f"p99={_fmt_ms(self.queue_wait.get('p99'))}",
+            f"service   : p50={_fmt_ms(self.service_time.get('p50'))} "
+            f"p95={_fmt_ms(self.service_time.get('p95'))} "
+            f"p99={_fmt_ms(self.service_time.get('p99'))}",
             f"failures  : {self.failures.as_dict()}",
         ]
         if self.rung_histogram:
@@ -131,6 +142,14 @@ class ServiceBenchReport:
                 for rung, count in sorted(self.rung_histogram.items())
             )
             lines.append(f"rungs     : {rungs}")
+        for span_name, groups in sorted(self.spans.items()):
+            for group, stats in sorted(groups.items()):
+                lines.append(
+                    f"span {span_name}/{group}: n={stats.get('count', 0)} "
+                    f"p50={_fmt_ms(stats.get('p50'))} "
+                    f"p95={_fmt_ms(stats.get('p95'))} "
+                    f"p99={_fmt_ms(stats.get('p99'))}"
+                )
         return "\n".join(lines)
 
 
@@ -139,7 +158,7 @@ def _summarize(samples: List[float]) -> Dict[str, float]:
         "p50": percentile(samples, 50.0),
         "p95": percentile(samples, 95.0),
         "p99": percentile(samples, 99.0),
-        "max": max(samples) if samples else 0.0,
+        "max": max(samples) if samples else float("nan"),
     }
 
 
@@ -150,6 +169,7 @@ def run_service_bench(
     queue_capacity: int = 64,
     deadline_seconds: Optional[float] = None,
     service=None,
+    telemetry=None,
 ) -> ServiceBenchReport:
     """Push ``queries`` (``repeats`` rounds) through a service and measure.
 
@@ -157,6 +177,10 @@ def run_service_bench(
     custom breaker settings; by default a plain fault-free service is
     built with the given ``workers`` and ``queue_capacity``.  The service
     is started and shut down (draining) inside this call.
+
+    ``telemetry`` (a :class:`~repro.telemetry.Telemetry` bundle) arms the
+    service's instrumentation; when its tracer retained spans, the report
+    gains per-rung / per-enumerator duration summaries (:attr:`spans`).
     """
     # Imported here: repro.service imports this module for the shared
     # FailureCounts helper, so a module-level import would be circular.
@@ -166,8 +190,12 @@ def run_service_bench(
         raise ValueError(f"repeats must be >= 1, got {repeats}")
     if service is None:
         service = OptimizationService(
-            workers=workers, queue_capacity=queue_capacity
+            workers=workers,
+            queue_capacity=queue_capacity,
+            telemetry=telemetry,
         )
+    elif telemetry is None:
+        telemetry = service.telemetry
     rejected = 0
     futures = []
     started = time.perf_counter()
@@ -214,4 +242,9 @@ def run_service_bench(
             breaker_trips=health.breaker_trips,
         ),
         breakers=health.breakers,
+        spans=(
+            summarize_spans(telemetry.tracer.finished_spans())
+            if telemetry is not None and telemetry.tracer is not None
+            else {}
+        ),
     )

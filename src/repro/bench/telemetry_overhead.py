@@ -1,0 +1,177 @@
+"""Telemetry overhead smoke: armed instrumentation must stay under 5%.
+
+Runs the same seeded workload through :func:`repro.core.optimizer.optimize`
+twice per round — once disarmed (``telemetry=None``, the hot-path default)
+and once armed (metrics registry + tracer, ``detailed_spans`` off, as the
+service runs it) — alternating the order so cache warmup cannot favor one
+mode.  Reports the per-mode minimum across rounds (the noise-robust
+statistic for timing) and fails the process when
+
+* armed time exceeds disarmed time by more than ``--threshold`` (default
+  5%), or
+* any armed plan differs from its disarmed twin — telemetry must be
+  observation only, bit-identical plans and costs.
+
+CI runs this as the ``telemetry-overhead`` job::
+
+    python -m repro.bench.telemetry_overhead --out BENCH_telemetry.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List
+
+from repro.core.optimizer import optimize
+from repro.query import Query
+from repro.telemetry import MetricRegistry, Telemetry, Tracer
+from repro.workload.generator import QueryGenerator
+
+__all__ = ["run_overhead_benchmark", "main"]
+
+#: (family, size) pairs — large enough that enumeration dominates and the
+#: relative cost of span/counter bookkeeping is measured honestly, small
+#: enough for CI-smoke wall-clock.
+DEFAULT_WORKLOAD = (
+    ("chain", 14),
+    ("cycle", 12),
+    ("star", 10),
+    ("clique", 8),
+)
+
+SEED = 20120402
+
+#: Acceptance criterion: armed runtime within this fraction of disarmed.
+DEFAULT_THRESHOLD = 0.05
+
+
+def _workload(seed: int, shapes) -> List[Query]:
+    generator = QueryGenerator(seed=seed)
+    return [generator.generate(family, size) for family, size in shapes]
+
+
+def _run_pass(queries: List[Query], telemetry) -> tuple:
+    """One full pass over the workload; returns (seconds, plan signatures)."""
+    started = time.perf_counter()
+    signatures = []
+    for query in queries:
+        result = optimize(query, telemetry=telemetry)
+        signatures.append((result.plan.sexpr(), result.cost.hex()))
+    return time.perf_counter() - started, signatures
+
+
+def run_overhead_benchmark(
+    rounds: int = 5,
+    seed: int = SEED,
+    workload=DEFAULT_WORKLOAD,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Dict[str, object]:
+    """Alternating disarmed/armed passes; returns the JSON report."""
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    queries = _workload(seed, workload)
+
+    disarmed_times: List[float] = []
+    armed_times: List[float] = []
+    disarmed_signatures = None
+    mismatches = 0
+    for round_index in range(rounds):
+        # Alternate which mode goes first so neither benefits from the
+        # allocator/branch-predictor warmup of the other.
+        modes = ("disarmed", "armed")
+        if round_index % 2:
+            modes = ("armed", "disarmed")
+        for mode in modes:
+            if mode == "disarmed":
+                seconds, signatures = _run_pass(queries, None)
+                disarmed_times.append(seconds)
+                disarmed_signatures = signatures
+            else:
+                telemetry = Telemetry(
+                    registry=MetricRegistry(), tracer=Tracer()
+                )
+                seconds, signatures = _run_pass(queries, telemetry)
+                armed_times.append(seconds)
+                if (
+                    disarmed_signatures is not None
+                    and signatures != disarmed_signatures
+                ):
+                    mismatches += 1
+
+    disarmed_best = min(disarmed_times)
+    armed_best = min(armed_times)
+    overhead = (
+        armed_best / disarmed_best - 1.0
+        if disarmed_best > 0
+        else float("inf")
+    )
+    return {
+        "benchmark": "telemetry_overhead",
+        "seed": seed,
+        "workload": [list(pair) for pair in workload],
+        "rounds": rounds,
+        "disarmed_seconds": disarmed_times,
+        "armed_seconds": armed_times,
+        "disarmed_best": disarmed_best,
+        "armed_best": armed_best,
+        "overhead_fraction": overhead,
+        "threshold_fraction": threshold,
+        "plan_mismatches": mismatches,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench-telemetry-overhead",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_telemetry.json",
+        help="output JSON path (default: BENCH_telemetry.json)",
+    )
+    parser.add_argument("--rounds", type=int, default=5)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="maximum tolerated armed/disarmed overhead fraction",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_overhead_benchmark(
+        rounds=args.rounds, threshold=args.threshold
+    )
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    print(
+        f"telemetry overhead: disarmed {report['disarmed_best']:.3f}s, "
+        f"armed {report['armed_best']:.3f}s, "
+        f"overhead {report['overhead_fraction']:+.1%} "
+        f"(threshold {report['threshold_fraction']:.0%}), "
+        f"{report['plan_mismatches']} plan mismatches"
+    )
+
+    failures = []
+    if report["plan_mismatches"]:
+        failures.append(
+            f"{report['plan_mismatches']} armed pass(es) produced plans "
+            "that differ from the disarmed baseline"
+        )
+    if report["overhead_fraction"] > args.threshold:
+        failures.append(
+            f"armed overhead {report['overhead_fraction']:.1%} exceeds "
+            f"{args.threshold:.0%}"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -114,6 +114,18 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit a machine-readable JSON result instead of text",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="arm telemetry and write the optimization's span tree(s) "
+        "to PATH as JSONL",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the telemetry metric exposition after the result",
+    )
     return parser
 
 
@@ -126,6 +138,15 @@ def main(argv=None) -> int:
                 args.deadline_ms / 1000.0 if args.deadline_ms is not None else None
             ),
             max_expansions=args.max_expansions,
+        )
+    telemetry = None
+    sink = None
+    if args.trace is not None or args.metrics:
+        from repro.telemetry import MetricRegistry, Telemetry, Tracer, TraceSink
+
+        sink = TraceSink(args.trace) if args.trace is not None else None
+        telemetry = Telemetry(
+            registry=MetricRegistry(), tracer=Tracer(sink=sink)
         )
     report = None
     service_meta = None
@@ -147,6 +168,7 @@ def main(argv=None) -> int:
                 pruning=args.pruning,
                 heuristic=args.heuristic,
                 workers=1,
+                telemetry=telemetry,
             ) as service:
                 response = service.optimize(
                     query,
@@ -183,6 +205,7 @@ def main(argv=None) -> int:
                 enumerator=args.enumerator,
                 pruning=args.pruning,
                 heuristic=args.heuristic,
+                telemetry=telemetry,
             ).optimize(query, budget=budget)
             report = resilient.report
             label = algorithm_label(args.enumerator, args.pruning)
@@ -197,6 +220,7 @@ def main(argv=None) -> int:
                 pruning=args.pruning,
                 heuristic=args.heuristic,
                 budget=budget,
+                telemetry=telemetry,
             )
             label, plan, cost = result.label, result.plan, result.cost
             elapsed, stats = result.elapsed, result.stats
@@ -249,6 +273,23 @@ def main(argv=None) -> int:
         if verified is not None:
             print()
             print(f"verified against DPccp: {'OK' if verified else 'MISMATCH'}")
+
+    if telemetry is not None:
+        if args.metrics:
+            if not args.via_service:
+                # The service already published its counters via the
+                # response path; direct runs publish their stats here.
+                from repro.telemetry.adapters import publish_optimization_stats
+
+                publish_optimization_stats(telemetry.registry, stats)
+            print()
+            print(telemetry.registry.expose_text(), end="")
+        if sink is not None:
+            sink.close()
+            print(
+                f"wrote {sink.written} trace(s) to {args.trace}",
+                file=sys.stderr,
+            )
 
     if verified is False:
         return 2

@@ -18,7 +18,10 @@ shared across components*:
   contexts);
 * the plan builder (CREATETREE/BUILDTREE) wired to both;
 * the run counters (:class:`~repro.stats.counters.OptimizationStats`);
-* the optional cooperative :class:`~repro.resilience.Budget`.
+* the optional cooperative :class:`~repro.resilience.Budget`;
+* the optional :class:`~repro.telemetry.Telemetry` bundle (metric
+  registry + tracer), threaded read-only so every layer records into the
+  same instruments.
 
 The context is immutable in the sense that its components never change
 identity after construction; the provider cache and the counters mutate
@@ -47,6 +50,7 @@ from repro.stats.counters import OptimizationStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a package cycle
     from repro.resilience.budget import Budget
+    from repro.telemetry import Telemetry
 
 __all__ = ["OptimizationContext", "statistics_for"]
 
@@ -71,7 +75,14 @@ class OptimizationContext:
     trusts that the pieces are mutually consistent).
     """
 
-    __slots__ = ("_query", "_provider", "_cost_model", "_builder", "_budget")
+    __slots__ = (
+        "_query",
+        "_provider",
+        "_cost_model",
+        "_builder",
+        "_budget",
+        "_telemetry",
+    )
 
     def __init__(
         self,
@@ -80,12 +91,14 @@ class OptimizationContext:
         cost_model: CostModel,
         builder: PlanBuilder,
         budget: Optional["Budget"] = None,
+        telemetry: Optional["Telemetry"] = None,
     ):
         self._query = query
         self._provider = provider
         self._cost_model = cost_model
         self._builder = builder
         self._budget = budget
+        self._telemetry = telemetry
 
     @classmethod
     def for_query(
@@ -95,6 +108,7 @@ class OptimizationContext:
         stats: Optional[OptimizationStats] = None,
         budget: Optional["Budget"] = None,
         page_size: int = DEFAULT_PAGE_SIZE,
+        telemetry: Optional["Telemetry"] = None,
     ) -> "OptimizationContext":
         """Build a fresh context for ``query``.
 
@@ -103,6 +117,11 @@ class OptimizationContext:
         context binds it to its own provider via
         :meth:`~repro.cost.model.CostModel.bind`, so provider-dependent
         models (``C_out``) never alias state across queries.
+
+        ``telemetry`` (a :class:`repro.telemetry.Telemetry` bundle) rides
+        along read-only; components reach it via :attr:`telemetry` to
+        record spans and metrics.  ``None`` — the default — means fully
+        disarmed instrumentation.
         """
         provider = StatisticsProvider(query, page_size)
         if cost_model is None:
@@ -115,7 +134,7 @@ class OptimizationContext:
         builder = PlanBuilder(
             provider, model, stats if stats is not None else OptimizationStats()
         )
-        return cls(query, provider, model, builder, budget)
+        return cls(query, provider, model, builder, budget, telemetry)
 
     # -- components --------------------------------------------------------
 
@@ -145,6 +164,11 @@ class OptimizationContext:
     def budget(self) -> Optional["Budget"]:
         return self._budget
 
+    @property
+    def telemetry(self) -> Optional["Telemetry"]:
+        """The observability bundle, or ``None`` when disarmed."""
+        return self._telemetry
+
     # -- derived contexts ---------------------------------------------------
 
     def relabeled(self, mapping) -> "OptimizationContext":
@@ -160,7 +184,9 @@ class OptimizationContext:
         provider = StatisticsProvider(query, self._provider.page_size)
         model = self._cost_model.bind(provider)
         builder = PlanBuilder(provider, model, self._builder.stats)
-        return OptimizationContext(query, provider, model, builder, self._budget)
+        return OptimizationContext(
+            query, provider, model, builder, self._budget, self._telemetry
+        )
 
     def fork(
         self,
@@ -186,6 +212,7 @@ class OptimizationContext:
             self._cost_model,
             builder,
             budget if budget is not None else self._budget,
+            self._telemetry,
         )
 
     def __repr__(self) -> str:

@@ -35,7 +35,7 @@ class ApcbPlanGenerator(PlanGeneratorBase):
     def bounds(self) -> BoundsTable:
         return self._bounds
 
-    def run(self) -> JoinTree:
+    def _run(self) -> JoinTree:
         self._tdpg(self._graph.all_vertices, INFINITY)
         return self._finish()
 

@@ -108,7 +108,7 @@ class ApcbiPlanGenerator(PlanGeneratorBase):
 
     # ------------------------------------------------------------------
 
-    def run(self) -> JoinTree:
+    def _run(self) -> JoinTree:
         self._tdpg(self._graph.all_vertices, INFINITY)
         return self._finish()
 

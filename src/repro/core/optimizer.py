@@ -49,6 +49,7 @@ from repro.stats.counters import OptimizationStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a package cycle
     from repro.resilience.budget import Budget
+    from repro.telemetry import Telemetry
 
 __all__ = [
     "OptimizationResult",
@@ -141,6 +142,12 @@ class Optimizer:
         ``optimize`` consults it before enumerating and stores every fresh
         result; one cache instance may be shared by many optimizers (the
         algorithm configuration is part of the key).
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` bundle.  When set it
+        is threaded into every per-query context, so the plan generators
+        record ``enumerate`` spans and the cache path emits
+        ``plan_cache_hit`` events.  Telemetry never influences plan
+        choice.
     """
 
     def __init__(
@@ -151,6 +158,7 @@ class Optimizer:
         config: Optional[AdvancementConfig] = None,
         heuristic: str = "goo",
         plan_cache: Optional[PlanCache] = None,
+        telemetry: Optional["Telemetry"] = None,
     ):
         self.enumerator = enumerator
         self.pruning = pruning
@@ -158,6 +166,7 @@ class Optimizer:
         self.config = config if config is not None else AdvancementConfig.all_on()
         self.heuristic = heuristic
         self.plan_cache = plan_cache
+        self.telemetry = telemetry
         self._signature: Optional[str] = None
         # Fail fast on typos.
         get_partitioning(enumerator)
@@ -175,7 +184,10 @@ class Optimizer:
     ) -> OptimizationContext:
         """One fresh context per query: provider, bound model, builder."""
         return OptimizationContext.for_query(
-            query, cost_model=self._cost_model_factory, budget=budget
+            query,
+            cost_model=self._cost_model_factory,
+            budget=budget,
+            telemetry=self.telemetry,
         )
 
     def _config_signature(self) -> str:
@@ -274,6 +286,8 @@ class Optimizer:
                 context = self._context_for(query, budget)
             plan = replay_plan(entry.canonical_plan, fp.mapping, context)
             context.stats.plan_cache_hits += 1
+            if self.telemetry is not None:
+                self.telemetry.event("plan_cache_hit", key=key)
             elapsed = time.perf_counter() - started
             return OptimizationResult(
                 plan=plan,
@@ -440,6 +454,7 @@ def optimize(
     heuristic: str = "goo",
     budget: Optional["Budget"] = None,
     plan_cache: Optional[PlanCache] = None,
+    telemetry: Optional["Telemetry"] = None,
 ) -> OptimizationResult:
     """One-shot convenience wrapper around :class:`Optimizer`."""
     return Optimizer(
@@ -449,6 +464,7 @@ def optimize(
         config=config,
         heuristic=heuristic,
         plan_cache=plan_cache,
+        telemetry=telemetry,
     ).optimize(query, budget=budget)
 
 
@@ -456,16 +472,30 @@ def run_dpccp(
     query: Query,
     cost_model_factory: Callable[[], CostModel] = HaasCostModel,
     budget: Optional["Budget"] = None,
+    telemetry: Optional["Telemetry"] = None,
 ) -> OptimizationResult:
     """Run the bottom-up baseline with the same result envelope."""
     started = time.perf_counter()
     if budget is not None:
         budget.start()
     context = OptimizationContext.for_query(
-        query, cost_model=cost_model_factory, budget=budget
+        query,
+        cost_model=cost_model_factory,
+        budget=budget,
+        telemetry=telemetry,
     )
     algorithm = DPccp(context=context, budget=budget)
-    plan = algorithm.run()
+    if telemetry is not None:
+        with telemetry.span(
+            "enumerate",
+            enumerator="dpccp",
+            pruning="dpccp",
+            relations=query.n_relations,
+        ) as span:
+            plan = algorithm.run()
+            span.set(ccps_enumerated=context.stats.ccps_enumerated)
+    else:
+        plan = algorithm.run()
     elapsed = time.perf_counter() - started
     return OptimizationResult(
         plan=plan,

@@ -25,7 +25,7 @@ class PcbPlanGenerator(PlanGeneratorBase):
         super().__init__(*args, **kwargs)
         self._lbe = LowerBoundEstimator(self._provider, self._cost_model)
 
-    def run(self) -> JoinTree:
+    def _run(self) -> JoinTree:
         self._tdpg(self._graph.all_vertices)
         return self._finish()
 

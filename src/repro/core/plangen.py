@@ -82,6 +82,7 @@ class PlanGeneratorBase:
         self._builder = context.builder
         self._memo = MemoTable()
         self._budget = budget if budget is not None else context.budget
+        self._telemetry = context.telemetry
         for index in range(self._query.n_relations):
             self._memo.register(self._builder.leaf(self._query, index))
 
@@ -130,13 +131,36 @@ class PlanGeneratorBase:
         Checking per emitted ccp (not just per expansion) keeps a single
         pathological plan class — an 18-relation clique root has ~3^18
         ccps — from outliving the deadline by an unbounded margin.
+
+        When telemetry is armed with ``detailed_spans``, each pass gets a
+        ``partitioner_pass`` span (high volume — one span per plan-class
+        expansion — hence the explicit opt-in; default tracing records one
+        ``enumerate`` span per run instead, see :meth:`run`).
         """
+        telemetry = self._telemetry
+        if telemetry is None or not telemetry.detailed_spans:
+            return self._emit_partitions(vertex_set)
+        return self._emit_partitions_traced(vertex_set, telemetry)
+
+    def _emit_partitions(self, vertex_set: int) -> Iterator[Tuple[int, int]]:
         budget = self._budget
         for pair in self._partitioning.partitions(self._graph, vertex_set):
             if budget is not None:
                 budget.check(len(self._memo))
             self.stats.ccps_enumerated += 1
             yield pair
+
+    def _emit_partitions_traced(
+        self, vertex_set: int, telemetry
+    ) -> Iterator[Tuple[int, int]]:
+        ccps = 0
+        with telemetry.span(
+            "partitioner_pass", vertex_set=vertex_set
+        ) as span:
+            for pair in self._emit_partitions(vertex_set):
+                ccps += 1
+                yield pair
+            span.set(ccps=ccps)
 
     def _finish(self) -> JoinTree:
         """Fetch the final plan and fold terminal counters."""
@@ -150,7 +174,32 @@ class PlanGeneratorBase:
         return plan
 
     def run(self) -> JoinTree:
-        """Produce an optimal join tree for the whole query."""
+        """Produce an optimal join tree for the whole query.
+
+        When telemetry is armed the whole run is wrapped in one
+        ``enumerate`` span (enumerator, pruning, relation count; final ccp
+        and plan-class counters on exit) — a single span per run, so
+        production tracing costs one context-manager entry regardless of
+        query size.  Subclasses implement :meth:`_run`.
+        """
+        telemetry = self._telemetry
+        if telemetry is None:
+            return self._run()
+        with telemetry.span(
+            "enumerate",
+            enumerator=self._partitioning.name,
+            pruning=self.pruning_name,
+            relations=self._query.n_relations,
+        ) as span:
+            plan = self._run()
+            span.set(
+                ccps_enumerated=self.stats.ccps_enumerated,
+                plan_classes_built=self._memo.n_plan_classes(),
+            )
+        return plan
+
+    def _run(self) -> JoinTree:
+        """Subclass hook: the actual enumeration, without instrumentation."""
         raise NotImplementedError
 
 
@@ -159,7 +208,7 @@ class TopDownPlanGenerator(PlanGeneratorBase):
 
     pruning_name = "none"
 
-    def run(self) -> JoinTree:
+    def _run(self) -> JoinTree:
         self._tdpgsub(self._graph.all_vertices)
         return self._finish()
 

@@ -22,6 +22,7 @@ __all__ = [
     "ServiceShutdownError",
     "CircuitOpenError",
     "RetriesExhaustedError",
+    "TelemetryError",
 ]
 
 
@@ -145,3 +146,13 @@ class RetriesExhaustedError(ServiceError):
         super().__init__(f"all {attempts} attempts failed{detail}")
         self.attempts = attempts
         self.last_error = last_error
+
+
+class TelemetryError(ReproError):
+    """Raised for telemetry misuse: bad metric names, type collisions,
+    negative counter increments.
+
+    Telemetry must never corrupt an optimization, so these are raised at
+    registration/recording time — loudly and early — rather than producing
+    a silently wrong exposition.
+    """

@@ -41,6 +41,7 @@ from repro.query import Query
 from repro.resilience.budget import Budget
 from repro.resilience.fallback import structural_fallback_plan
 from repro.stats.counters import OptimizationStats
+from repro.telemetry import NULL_SPAN, Telemetry
 
 __all__ = [
     "DEFAULT_HEURISTIC_LADDER",
@@ -166,6 +167,12 @@ class ResilientOptimizer:
         Optional cross-query :class:`~repro.context.PlanCache` handed to
         the exact optimizer (the heuristic rungs never consult it — a
         degraded plan must not poison the cache).
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` bundle.  Armed, every
+        rung of a descent records a ``ladder_rung`` span (attribute
+        ``rung``), budget exhaustion and degradation become span events,
+        and the bundle is threaded into the per-query context so the
+        enumerators underneath trace too.
     """
 
     def __init__(
@@ -180,6 +187,7 @@ class ResilientOptimizer:
         compare_fallback: bool = False,
         budget_factory: Optional[Callable[[], Budget]] = None,
         plan_cache=None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self._optimizer = Optimizer(
             enumerator=enumerator,
@@ -188,6 +196,7 @@ class ResilientOptimizer:
             config=config,
             heuristic=heuristic,
             plan_cache=plan_cache,
+            telemetry=telemetry,
         )
         self._cost_model_factory = cost_model_factory
         self._heuristic_ladder = tuple(heuristic_ladder)
@@ -196,11 +205,22 @@ class ResilientOptimizer:
         self._structural_fallback = structural_fallback
         self._compare_fallback = compare_fallback
         self._budget_factory = budget_factory
+        self._telemetry = telemetry
 
     @property
     def optimizer(self) -> Optimizer:
         """The wrapped exact optimizer."""
         return self._optimizer
+
+    def _span(self, name: str, **attrs: object):
+        """A telemetry span, or the shared no-op when disarmed."""
+        if self._telemetry is None:
+            return NULL_SPAN
+        return self._telemetry.span(name, **attrs)
+
+    def _event(self, name: str, **attrs: object) -> None:
+        if self._telemetry is not None:
+            self._telemetry.event(name, **attrs)
 
     # ------------------------------------------------------------------
 
@@ -236,7 +256,10 @@ class ResilientOptimizer:
         try:
             if context is None:
                 context = OptimizationContext.for_query(
-                    query, cost_model=self._cost_model_factory, budget=budget
+                    query,
+                    cost_model=self._cost_model_factory,
+                    budget=budget,
+                    telemetry=self._telemetry,
                 )
         except _RECOVERABLE as error:
             report.rung = "none"
@@ -255,6 +278,8 @@ class ResilientOptimizer:
         outcome = self._run_ladder(query, budget, report, context)
         if budget is not None:
             report.budget = budget.snapshot()
+        if outcome is not None and report.degraded:
+            self._event("degraded", rung=report.rung)
         if outcome is None:
             report.rung = "none"
             raise ResilienceError(
@@ -289,12 +314,16 @@ class ResilientOptimizer:
 
         # Rung 1: exact (budgeted) enumeration.
         try:
-            result = self._optimizer.optimize(query, budget=budget, context=context)
-            self._validate(result.plan, query)
+            with self._span("ladder_rung", rung="exact"):
+                result = self._optimizer.optimize(
+                    query, budget=budget, context=context
+                )
+                self._validate(result.plan, query)
         except BudgetExceeded as error:
             report.budget_exceeded = error.reason
             report.attempts.append(RungAttempt("exact", "failed", str(error)))
             partial = error.partial_plan
+            self._event("budget_exhausted", reason=error.reason)
         except _RECOVERABLE as error:
             report.attempts.append(
                 RungAttempt("exact", "failed", f"{type(error).__name__}: {error}")
@@ -314,7 +343,8 @@ class ResilientOptimizer:
         # Rung 2: best-so-far plan salvaged from the interrupted run.
         if partial is not None:
             try:
-                self._validate(partial, query)
+                with self._span("ladder_rung", rung="best_so_far"):
+                    self._validate(partial, query)
             except _RECOVERABLE as error:
                 report.attempts.append(
                     RungAttempt(
@@ -338,7 +368,8 @@ class ResilientOptimizer:
         # failed exact rung are reused) and bound model, fresh counters.
         for name in self._heuristic_ladder:
             rung_context = context.fork()
-            plan = self._try_heuristic(name, query, rung_context, report)
+            with self._span("ladder_rung", rung=name):
+                plan = self._try_heuristic(name, query, rung_context, report)
             if plan is not None:
                 report.rung = name
                 report.chosen_cost = plan.cost
@@ -349,8 +380,9 @@ class ResilientOptimizer:
         # Final rung: structure without costs.
         if self._structural_fallback:
             try:
-                plan = structural_fallback_plan(query)
-                validate_plan(plan, query)
+                with self._span("ladder_rung", rung="structural"):
+                    plan = structural_fallback_plan(query)
+                    validate_plan(plan, query)
             except _RECOVERABLE as error:
                 report.attempts.append(
                     RungAttempt(

@@ -39,6 +39,9 @@ class ServiceHealth:
     rung_histogram: Dict[str, int] = field(default_factory=dict)
     breakers: Dict[str, Dict[str, object]] = field(default_factory=dict)
     plan_cache: Optional[Dict[str, object]] = None
+    #: Telemetry registry snapshot (metric name -> value) when the service
+    #: runs with a :class:`~repro.telemetry.Telemetry` bundle attached.
+    metrics: Optional[Dict[str, object]] = None
 
     @property
     def healthy(self) -> bool:
@@ -78,6 +81,7 @@ class ServiceHealth:
                 name: dict(snapshot) for name, snapshot in self.breakers.items()
             },
             "plan_cache": dict(self.plan_cache) if self.plan_cache else None,
+            "metrics": dict(self.metrics) if self.metrics else None,
         }
 
     def describe(self) -> str:

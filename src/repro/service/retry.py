@@ -48,10 +48,12 @@ class RetryPolicy:
     multiplier:
         Exponential growth factor between consecutive backoffs.
     max_delay:
-        Ceiling on any single backoff (pre-jitter).
+        Ceiling on any single backoff.  The cap is enforced *after*
+        jitter, so no computed delay ever exceeds it.
     jitter:
         Fraction of the delay added as seeded uniform jitter
-        (``delay * (1 + jitter * U[0, 1))``); 0 disables it.
+        (``delay * (1 + jitter * U[0, 1))``, then clamped to
+        ``max_delay``); 0 disables it.
     """
 
     def __init__(
@@ -90,16 +92,15 @@ class RetryPolicy:
 
         ``attempt=1`` is the delay after the first failure.  With ``rng``
         the seeded jitter is applied; without it the deterministic base
-        schedule is returned.
+        schedule is returned.  ``max_delay`` caps the final value either
+        way — jitter widens the schedule below the cap, never above it.
         """
         if attempt < 1:
             raise ValueError(f"attempt must be >= 1, got {attempt}")
-        delay = min(
-            self.max_delay, self.base_delay * self.multiplier ** (attempt - 1)
-        )
+        delay = self.base_delay * self.multiplier ** (attempt - 1)
         if rng is not None and self.jitter > 0:
             delay *= 1.0 + self.jitter * rng.random()
-        return delay
+        return min(self.max_delay, delay)
 
     def __repr__(self) -> str:
         return (

@@ -62,6 +62,11 @@ from repro.service.breaker import BreakerBoard
 from repro.service.health import ServiceHealth
 from repro.service.queue import DEFAULT_QUEUE_CAPACITY, AdmissionQueue
 from repro.service.retry import RetryPolicy
+from repro.telemetry import NULL_SPAN, Telemetry
+from repro.telemetry.adapters import (
+    publish_optimization_stats,
+    publish_service_health,
+)
 
 __all__ = [
     "AttemptChaos",
@@ -212,6 +217,13 @@ class OptimizationService:
         attempt proceeds ungated (a liveness backstop — breakers shed
         load, they never starve a request out of an answer; waits do not
         consume retry attempts).
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` bundle.  Armed, each
+        served request records a ``request`` span with per-attempt child
+        spans (breaker refusals and trips become span events), response
+        outcomes and latencies land in the metric registry, every
+        completed response's optimizer counters are accumulated into it,
+        and :meth:`healthz` embeds a registry snapshot.
     """
 
     def __init__(
@@ -234,6 +246,7 @@ class OptimizationService:
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
         breaker_wait_limit: int = 64,
+        telemetry: Optional[Telemetry] = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -246,7 +259,9 @@ class OptimizationService:
             pruning=pruning,
             config=config,
             heuristic=heuristic,
+            telemetry=telemetry,
         )
+        self._telemetry = telemetry
         self._cost_model_factory = cost_model_factory
         self._queue: AdmissionQueue[_Ticket] = AdmissionQueue(queue_capacity)
         self._retry = retry_policy if retry_policy is not None else RetryPolicy()
@@ -446,6 +461,11 @@ class OptimizationService:
                     else None
                 ),
             )
+        # Registry work happens outside the service lock: publishing takes
+        # per-metric locks and must never serialize the request path.
+        if self._telemetry is not None:
+            publish_service_health(self._telemetry.registry, health)
+            health.metrics = self._telemetry.registry.snapshot()
         return health
 
     @property
@@ -455,6 +475,10 @@ class OptimizationService:
     @property
     def plan_cache(self) -> Optional[PlanCache]:
         return self._plan_cache
+
+    @property
+    def telemetry(self) -> Optional[Telemetry]:
+        return self._telemetry
 
     # -- the worker loop ----------------------------------------------
 
@@ -476,8 +500,24 @@ class OptimizationService:
                 continue
             started = self._clock()
             queue_wait = started - ticket.admitted_at
+            span = (
+                NULL_SPAN
+                if self._telemetry is None
+                else self._telemetry.span(
+                    "request",
+                    request_id=ticket.request.request_id,
+                    priority=ticket.request.priority,
+                )
+            )
             try:
-                response = self._process(ticket, queue_wait)
+                with span:
+                    response = self._process(ticket, queue_wait)
+                    span.set(
+                        status=response.status,
+                        rung=response.rung,
+                        attempts=response.attempts,
+                        retries=response.retries,
+                    )
             except Exception as error:  # the worker must never die
                 with self._lock:
                     self.unhandled_worker_errors += 1
@@ -502,6 +542,27 @@ class OptimizationService:
                 self.timeouts += 1
             else:
                 self.failed += 1
+        if self._telemetry is not None:
+            self._publish_response(response)
+
+    def _publish_response(self, response: OptimizeResponse) -> None:
+        """Fold one response into the metric registry (no service lock held)."""
+        registry = self._telemetry.registry
+        registry.counter(
+            "repro_service_responses_total",
+            "Responses served, by terminal status.",
+            labels={"status": response.status},
+        ).inc()
+        registry.histogram(
+            "repro_service_request_seconds",
+            "End-to-end service time per response (queue wait excluded).",
+        ).observe(response.service_seconds)
+        registry.histogram(
+            "repro_service_queue_wait_seconds",
+            "Admission-queue wait per response.",
+        ).observe(response.queue_wait_seconds)
+        if response.ok and response.result is not None:
+            publish_optimization_stats(registry, response.result.stats)
 
     # -- one request, attempt by attempt -------------------------------
 
@@ -540,12 +601,18 @@ class OptimizationService:
     def _record_outcome(self, injected: Dict[str, int]) -> None:
         """Feed the breakers: implicated components failed, the rest
         succeeded."""
+        trips_before = self._breakers.total_trips
         for component in BREAKER_COMPONENTS:
             breaker = self._breakers.breaker(component)
             if injected.get(component):
                 breaker.record_failure()
             else:
                 breaker.record_success()
+        if (
+            self._telemetry is not None
+            and self._breakers.total_trips > trips_before
+        ):
+            self._telemetry.event("breaker_trip", injected=dict(injected))
 
     def _process(self, ticket: _Ticket, queue_wait: float) -> OptimizeResponse:
         request = ticket.request
@@ -580,6 +647,12 @@ class OptimizationService:
             while refusal is not None:
                 response.breaker_waits += 1
                 last_error = refusal
+                if self._telemetry is not None:
+                    self._telemetry.event(
+                        "breaker_open",
+                        component=refusal.component,
+                        retry_after=refusal.retry_after,
+                    )
                 if response.breaker_waits > self._breaker_wait_limit:
                     # Liveness backstop: proceed ungated.  Breakers shed
                     # load off a sick component; they must never starve a
@@ -617,8 +690,17 @@ class OptimizationService:
             )
             budget = self._attempt_budget(deadline_at)
             guard = chaos if chaos is not None else nullcontext()
+            attempt_span = (
+                NULL_SPAN
+                if self._telemetry is None
+                else self._telemetry.span(
+                    "attempt",
+                    number=attempt,
+                    chaos_armed=chaos is not None,
+                )
+            )
             try:
-                with guard:
+                with attempt_span, guard:
                     result = optimizer.optimize(query, budget=budget)
             except ReproError as error:
                 injected = dict(chaos.injected) if chaos is not None else {}
@@ -645,6 +727,7 @@ class OptimizationService:
                 # The ladder rescued an injected failure — a *transient*
                 # condition.  Keep the validated degraded plan as a
                 # fallback, tell the breakers, and retry for exact.
+                attempt_span.set(outcome="degraded_retry", rung=result.rung)
                 self._record_outcome(injected)
                 best_degraded = result
                 last_error = ResilienceError(
@@ -658,6 +741,7 @@ class OptimizationService:
 
             # Success: exact, or organically degraded (permanent cause —
             # retrying would just re-run the same budget into the ground).
+            attempt_span.set(outcome="ok", rung=result.rung)
             self._record_outcome(injected)
             return self._fill_ok(response, result)
 

@@ -45,6 +45,8 @@ from repro.resilience.optimizer import ResilientOptimizer
 from repro.service.breaker import BreakerBoard
 from repro.service.retry import RetryPolicy
 from repro.service.server import OptimizationService, OptimizeRequest
+from repro.telemetry import Telemetry, Tracer, TraceSink
+from repro.telemetry.summary import summarize_spans
 from repro.workload.generator import QueryGenerator
 
 __all__ = [
@@ -241,6 +243,11 @@ class SoakReport:
     breakers: Dict[str, Dict[str, object]] = field(default_factory=dict)
     plan_cache: Optional[Dict[str, object]] = None
     violations: List[str] = field(default_factory=list)
+    #: Per-phase span duration summaries, populated when the soak ran with
+    #: a tracing-armed :class:`~repro.telemetry.Telemetry` bundle.
+    span_summary: Dict[str, Dict[str, Dict[str, float]]] = field(
+        default_factory=dict
+    )
 
     @property
     def passed(self) -> bool:
@@ -287,6 +294,7 @@ class SoakReport:
             "breakers": dict(self.breakers),
             "plan_cache": self.plan_cache,
             "violations": list(self.violations),
+            "span_summary": dict(self.span_summary),
         }
 
     def describe(self) -> str:
@@ -355,11 +363,15 @@ def run_soak(
     replay: bool = True,
     max_requests: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> SoakReport:
     """Run the chaos soak and return its :class:`SoakReport`.
 
     ``max_requests`` additionally bounds the number of submissions (for
-    fast tests); the wall-clock bound always applies.
+    fast tests); the wall-clock bound always applies.  ``telemetry`` arms
+    the service's spans and metrics for the chaos run — the replay stays
+    disarmed on purpose, so a passing soak also certifies that armed and
+    disarmed optimization choose bit-identical plans.
     """
     from repro.context.plancache import PlanCache
 
@@ -381,6 +393,7 @@ def run_soak(
         plan_cache=PlanCache(256),
         chaos=plant,
         seed=seed,
+        telemetry=telemetry,
     )
     report = SoakReport(seconds=seconds, seed=seed, rate=rate, workers=workers)
     records: List[SoakRecord] = []
@@ -445,6 +458,10 @@ def run_soak(
     report.breaker_trace = service.breakers.trace()
     report.breakers = service.breakers.snapshot()
     report.plan_cache = health.plan_cache
+    if telemetry is not None and telemetry.tracer is not None:
+        report.span_summary = summarize_spans(
+            telemetry.tracer.finished_spans()
+        )
 
     # -- replay: single-threaded, chaos disarmed, bit-identical ---------
     if replay:
@@ -544,6 +561,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", type=Path, default=None, metavar="PATH",
         help="also write the full report as JSON",
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="arm telemetry and write per-request span trees as JSONL",
+    )
     parser.add_argument("--quiet", action="store_true")
     return parser
 
@@ -551,6 +572,11 @@ def _build_parser() -> argparse.ArgumentParser:
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     progress = None if args.quiet else lambda line: print(line, flush=True)
+    telemetry = None
+    sink = None
+    if args.trace is not None:
+        sink = TraceSink(args.trace)
+        telemetry = Telemetry(tracer=Tracer(sink=sink))
     report = run_soak(
         seconds=args.seconds,
         seed=args.seed,
@@ -564,7 +590,11 @@ def main(argv=None) -> int:
         replay=not args.no_replay,
         max_requests=args.max_requests,
         progress=progress,
+        telemetry=telemetry,
     )
+    if sink is not None:
+        sink.close()
+        print(f"wrote {sink.written} trace(s) to {sink.path}", flush=True)
     if args.json is not None:
         args.json.write_text(json.dumps(report.as_dict(), indent=2))
     print(report.describe())

@@ -10,7 +10,7 @@ secondary counters that the ablation analysis and the tests use.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, fields
 from typing import Dict
 
 __all__ = ["OptimizationStats"]
@@ -69,26 +69,22 @@ class OptimizationStats:
     plan_cache_misses: int = 0
 
     def as_dict(self) -> Dict[str, int]:
-        """Plain-dict view for JSON reports."""
+        """Plain-dict view for JSON reports.
+
+        Driven off ``dataclasses.fields`` so a newly added counter can
+        never be silently dropped from reports (or from :meth:`merge`).
+        """
         return {
-            "ccps_enumerated": self.ccps_enumerated,
-            "ccps_considered": self.ccps_considered,
-            "trees_created": self.trees_created,
-            "plan_classes_built": self.plan_classes_built,
-            "failed_builds": self.failed_builds,
-            "memo_hits": self.memo_hits,
-            "bound_rejections": self.bound_rejections,
-            "pcb_prunes": self.pcb_prunes,
-            "plan_improvements": self.plan_improvements,
-            "budget_raises": self.budget_raises,
-            "lbe_evaluations": self.lbe_evaluations,
-            "plan_cache_hits": self.plan_cache_hits,
-            "plan_cache_misses": self.plan_cache_misses,
+            spec.name: getattr(self, spec.name) for spec in fields(self)
         }
 
     def merge(self, other: "OptimizationStats") -> "OptimizationStats":
         """Element-wise sum (used when aggregating workload runs)."""
         merged = OptimizationStats()
-        for key, value in self.as_dict().items():
-            setattr(merged, key, value + getattr(other, key))
+        for spec in fields(self):
+            setattr(
+                merged,
+                spec.name,
+                getattr(self, spec.name) + getattr(other, spec.name),
+            )
         return merged

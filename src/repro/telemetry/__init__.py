@@ -1,0 +1,89 @@
+"""Unified observability for the repro stack.
+
+One layer, three concerns (see ``docs/telemetry.md``):
+
+* **metrics** — :class:`MetricRegistry` with counters, gauges, and
+  fixed-bucket histograms; Prometheus text exposition via
+  :meth:`MetricRegistry.expose_text`;
+* **tracing** — :class:`Tracer`/:class:`Span` trees per request
+  (request → attempt → ladder rung → enumerator run → partitioner pass),
+  exported as JSONL via :class:`TraceSink`;
+* **bundling** — :class:`Telemetry` carries one registry plus one tracer
+  through :class:`~repro.context.OptimizationContext` so every layer
+  reaches the same instruments without globals.
+
+The whole layer is determinism-neutral: no randomness, injectable
+clocks, and no influence on any plan decision — the golden-equivalence
+suite proves armed and disarmed runs produce bit-identical plans.
+Adapters for the pre-existing counter silos live in
+:mod:`repro.telemetry.adapters` (imported on demand, not here, to keep
+this package importable from every layer without cycles).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.telemetry.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+)
+from repro.telemetry.spans import NULL_SPAN, Span, Tracer, TraceSink
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Span",
+    "Tracer",
+    "TraceSink",
+    "NULL_SPAN",
+    "Telemetry",
+]
+
+
+class Telemetry:
+    """One registry + one tracer, threaded together through the stack.
+
+    ``span(name)`` returns a real span when a tracer is attached and the
+    shared :data:`NULL_SPAN` otherwise, so instrumented code writes a
+    single unconditional ``with telemetry.span(...)`` and pays one ``is
+    None`` check when tracing is off.  ``detailed_spans`` gates the
+    high-cardinality inner spans (per-partitioner-pass); production
+    tracing keeps it off and records one span per enumerator run.
+    """
+
+    __slots__ = ("registry", "tracer", "detailed_spans")
+
+    def __init__(
+        self,
+        registry: Optional[MetricRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        detailed_spans: bool = False,
+    ):
+        self.registry = registry if registry is not None else MetricRegistry()
+        self.tracer = tracer
+        self.detailed_spans = detailed_spans
+
+    def span(self, name: str, **attrs: object):
+        """A context-managed span, or :data:`NULL_SPAN` when not tracing."""
+        if self.tracer is None:
+            return NULL_SPAN
+        return self.tracer.span(name, **attrs)
+
+    def event(self, name: str, **attrs: object) -> None:
+        """Attach an event to the innermost open span, if any."""
+        if self.tracer is None:
+            return
+        current = self.tracer.current()
+        if current is not None:
+            current.event(name, **attrs)
+
+    def __repr__(self) -> str:
+        traced = "traced" if self.tracer is not None else "untraced"
+        return f"Telemetry({self.registry!r}, {traced})"

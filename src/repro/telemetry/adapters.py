@@ -1,0 +1,173 @@
+"""Adapters that publish the legacy counter silos into a registry.
+
+The repo grew four disjoint counter silos before telemetry existed:
+:class:`~repro.stats.OptimizationStats` (the paper's Table III counters),
+:class:`~repro.service.ServiceHealth` (the ``healthz`` envelope),
+:class:`~repro.bench.FailureCounts` (the bench failure taxonomy), and
+:class:`~repro.bench.profiling.EnumerationProfile` (per-class enumeration
+passes).  Rather than rewriting those types — their dataclass shapes are
+load-bearing for JSON reports and tests — each adapter here reads a silo
+object *duck-typed* (``as_dict()`` or plain attributes) and publishes its
+values under stable Prometheus-style names.
+
+Duck-typing matters for imports: this module must not import
+``repro.service`` or ``repro.bench`` (they import telemetry), so the
+adapters never name the silo classes.
+
+Counters are published as **gauges set to the silo's current total**
+when the silo itself is cumulative (health, failure counts) and as
+**counter increments** when the silo is per-run (optimization stats,
+enumeration profiles) — a service serving many requests accumulates
+per-run stats into ever-growing totals.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.telemetry.metrics import MetricRegistry
+
+__all__ = [
+    "publish_optimization_stats",
+    "publish_service_health",
+    "publish_failure_counts",
+    "publish_enumeration_profile",
+]
+
+
+def publish_optimization_stats(
+    registry: MetricRegistry, stats, labels: Optional[Mapping[str, object]] = None
+) -> None:
+    """Accumulate one run's :class:`OptimizationStats` into ``registry``.
+
+    Each counter field becomes ``repro_optimizer_<field>_total``; calling
+    this once per completed run turns per-run counters into service-level
+    running totals.
+    """
+    for field_name, value in stats.as_dict().items():
+        registry.counter(
+            f"repro_optimizer_{field_name}_total",
+            f"Total {field_name.replace('_', ' ')} across optimizer runs.",
+            labels=labels,
+        ).inc(value)
+
+
+def publish_service_health(registry: MetricRegistry, health) -> None:
+    """Mirror a :class:`ServiceHealth` snapshot into ``registry`` gauges.
+
+    The health envelope's counters are already lifetime totals maintained
+    by the service, so they are *set*, not incremented — publishing two
+    snapshots back-to-back is idempotent.
+    """
+    registry.gauge(
+        "repro_service_up",
+        "1 while the service reports status ok, else 0.",
+    ).set(1.0 if health.status == "ok" else 0.0)
+    registry.gauge(
+        "repro_service_healthy",
+        "1 while the service is fully staffed with no open breakers.",
+    ).set(1.0 if health.healthy else 0.0)
+    registry.gauge(
+        "repro_service_workers_alive", "Worker threads currently alive."
+    ).set(health.workers_alive)
+    registry.gauge(
+        "repro_service_workers_total", "Worker threads configured."
+    ).set(health.workers_total)
+    queue = health.queue or {}
+    registry.gauge(
+        "repro_service_queue_depth", "Requests waiting in the admission queue."
+    ).set(queue.get("depth", 0))
+    registry.gauge(
+        "repro_service_queue_capacity", "Admission queue capacity."
+    ).set(queue.get("capacity", 0))
+    registry.gauge(
+        "repro_service_queue_high_water",
+        "Deepest the admission queue has been.",
+    ).set(queue.get("high_water", 0))
+    request_fields = (
+        "accepted",
+        "rejected",
+        "completed",
+        "failed",
+        "timeouts",
+        "cancelled",
+        "retries",
+    )
+    for field_name in request_fields:
+        registry.gauge(
+            f"repro_service_requests_{field_name}",
+            f"Lifetime {field_name} requests reported by healthz.",
+        ).set(getattr(health, field_name))
+    for field_name in ("breaker_trips", "unhandled_worker_errors"):
+        registry.gauge(
+            f"repro_service_{field_name}",
+            f"Lifetime {field_name.replace('_', ' ')} reported by healthz.",
+        ).set(getattr(health, field_name))
+    for rung, count in sorted(health.rung_histogram.items()):
+        registry.gauge(
+            "repro_service_rung_requests",
+            "Completed requests per degradation rung.",
+            labels={"rung": rung},
+        ).set(count)
+    for name, snapshot in sorted(health.breakers.items()):
+        registry.gauge(
+            "repro_service_breaker_open",
+            "1 while the named circuit breaker is open.",
+            labels={"component": name},
+        ).set(0.0 if snapshot.get("state") == "closed" else 1.0)
+    if health.plan_cache:
+        for key in ("hits", "misses", "entries", "evictions"):
+            if key in health.plan_cache:
+                registry.gauge(
+                    f"repro_service_plan_cache_{key}",
+                    f"Plan cache {key} reported by healthz.",
+                ).set(health.plan_cache[key])
+
+
+def publish_failure_counts(
+    registry: MetricRegistry, counts, labels: Optional[Mapping[str, object]] = None
+) -> None:
+    """Mirror a bench :class:`FailureCounts` tally into ``registry``.
+
+    Bench tallies are per-run aggregates computed at the end of a
+    workload, so each class is *set* as a gauge
+    (``repro_failures_<class>``) rather than accumulated.
+    """
+    for field_name, value in counts.as_dict().items():
+        registry.gauge(
+            f"repro_failures_{field_name}",
+            f"Workload runs that ended in class {field_name!r} "
+            "(recovery counters count recoveries, not losses).",
+            labels=labels,
+        ).set(value)
+
+
+def publish_enumeration_profile(
+    registry: MetricRegistry, profile, labels: Optional[Mapping[str, object]] = None
+) -> None:
+    """Accumulate an :class:`EnumerationProfile` into ``registry``.
+
+    Publishes the pass/class totals plus the cascade diagnostic: how many
+    classes were enumerated more than once (the APCB worst-case signal of
+    §IV-D).
+    """
+    registry.counter(
+        "repro_enumeration_passes_total",
+        "Enumeration passes over some P_ccp(S).",
+        labels=labels,
+    ).inc(profile.total_passes)
+    registry.counter(
+        "repro_enumeration_classes_total",
+        "Distinct plan classes whose ccps were enumerated.",
+        labels=labels,
+    ).inc(profile.distinct_classes)
+    registry.counter(
+        "repro_enumeration_ccps_total",
+        "ccps produced across all enumeration passes.",
+        labels=labels,
+    ).inc(sum(profile.ccps.values()))
+    registry.counter(
+        "repro_enumeration_reenumerated_classes_total",
+        "Plan classes enumerated more than once (ACB cascade signal).",
+        labels=labels,
+    ).inc(len(profile.re_enumerated_classes()))

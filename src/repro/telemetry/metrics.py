@@ -1,0 +1,470 @@
+"""Thread-safe metric primitives and the :class:`MetricRegistry`.
+
+The registry is the single place metrics are declared (the
+``metric-discipline`` lint rule enforces that no other module grows ad-hoc
+module-level counters).  Three instrument kinds cover everything the repo
+measures:
+
+* :class:`Counter` — monotonically increasing totals (requests served,
+  ccps enumerated, faults injected);
+* :class:`Gauge` — point-in-time values that move both ways (queue depth,
+  workers alive);
+* :class:`Histogram` — fixed-bucket distributions (latencies, passes per
+  plan class) with Prometheus-style cumulative exposition.
+
+Design constraints, in order:
+
+1. **determinism-neutral** — recording a metric never draws randomness,
+   never reads a wall clock, never changes control flow; armed and
+   disarmed runs make bit-identical plan decisions;
+2. **near-zero cost when disabled** — every hot-path record checks one
+   shared flag before taking any lock;
+3. **thread-safe** — instruments carry their own lock; the service's
+   worker pool records concurrently.
+
+Metric names follow the Prometheus convention documented in
+``docs/telemetry.md``: ``repro_<subsystem>_<quantity>[_<unit>][_total]``,
+with optional labels for low-cardinality breakdowns (degradation rung,
+enumerator name, response status).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Type
+
+from repro.errors import TelemetryError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "render_labels",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram buckets, in seconds: half a millisecond to ten
+#: seconds, roughly logarithmic — the range a pure-Python optimization
+#: run actually spans.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class _Switch:
+    """A shared on/off flag; one attribute load on every hot-path record."""
+
+    __slots__ = ("on",)
+
+    def __init__(self, on: bool = True):
+        self.on = on
+
+
+def _escape_label_value(value: object) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def render_labels(labels: Optional[Mapping[str, object]]) -> str:
+    """``{k="v",...}`` rendering (sorted, escaped); empty string if none."""
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label_value(value)}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+class _Instrument:
+    """Shared plumbing of all three metric kinds."""
+
+    kind = "untyped"
+    __slots__ = ("name", "help", "labels", "_lock", "_switch")
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labels: Optional[Mapping[str, object]],
+        switch: _Switch,
+    ):
+        self.name = name
+        self.help = help_text
+        self.labels = dict(labels) if labels else {}
+        self._lock = threading.Lock()
+        self._switch = switch
+
+    @property
+    def full_name(self) -> str:
+        """Name plus rendered labels — the registry/snapshot key."""
+        return self.name + render_labels(self.labels)
+
+    def expose_lines(self) -> List[str]:
+        raise NotImplementedError
+
+    def snapshot_value(self) -> object:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.full_name}, {self.snapshot_value()!r})"
+
+
+class Counter(_Instrument):
+    """A monotonically increasing total."""
+
+    kind = "counter"
+    __slots__ = ("_value",)
+
+    def __init__(self, name, help_text, labels, switch):
+        super().__init__(name, help_text, labels, switch)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0); a no-op while disabled."""
+        if not self._switch.on:
+            return
+        if amount < 0:
+            raise TelemetryError(
+                f"counter {self.full_name} cannot decrease (inc({amount}))"
+            )
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def expose_lines(self) -> List[str]:
+        return [f"{self.full_name} {_format_number(self.value)}"]
+
+    def snapshot_value(self) -> object:
+        return self.value
+
+
+class Gauge(_Instrument):
+    """A point-in-time value that can move both ways."""
+
+    kind = "gauge"
+    __slots__ = ("_value",)
+
+    def __init__(self, name, help_text, labels, switch):
+        super().__init__(name, help_text, labels, switch)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        if not self._switch.on:
+            return
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not self._switch.on:
+            return
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def expose_lines(self) -> List[str]:
+        return [f"{self.full_name} {_format_number(self.value)}"]
+
+    def snapshot_value(self) -> object:
+        return self.value
+
+
+class Histogram(_Instrument):
+    """A fixed-bucket distribution (Prometheus cumulative-bucket style).
+
+    ``buckets`` are the finite upper bounds, strictly increasing; an
+    implicit ``+Inf`` bucket catches the overflow.  Buckets are fixed at
+    registration so recording is a bisect plus two adds — no allocation,
+    no rebalancing, no data-dependent behavior.
+    """
+
+    kind = "histogram"
+    __slots__ = ("buckets", "_counts", "_sum", "_count")
+
+    def __init__(self, name, help_text, labels, switch, buckets):
+        super().__init__(name, help_text, labels, switch)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise TelemetryError(f"histogram {name} needs at least one bucket")
+        if any(not math.isfinite(b) for b in bounds):
+            raise TelemetryError(f"histogram {name} buckets must be finite")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise TelemetryError(
+                f"histogram {name} buckets must be strictly increasing"
+            )
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1 for +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        if not self._switch.on:
+            return
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def total(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def bucket_counts(self) -> Dict[str, int]:
+        """Cumulative counts keyed by upper bound (``"+Inf"`` last)."""
+        with self._lock:
+            counts = list(self._counts)
+        cumulative: Dict[str, int] = {}
+        running = 0
+        for bound, count in zip(self.buckets, counts):
+            running += count
+            cumulative[_format_number(bound)] = running
+        cumulative["+Inf"] = running + counts[-1]
+        return cumulative
+
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-th percentile by interpolation inside buckets.
+
+        Returns ``NaN`` when nothing was observed.  Values in the overflow
+        bucket clamp to the largest finite bound (the estimate cannot
+        exceed what the buckets can resolve).
+        """
+        if not 0.0 <= q <= 100.0:
+            raise TelemetryError(f"q must be in [0, 100], got {q}")
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+        if total == 0:
+            return float("nan")
+        rank = (q / 100.0) * total
+        running = 0.0
+        lower = 0.0
+        for bound, count in zip(self.buckets, counts):
+            if count:
+                running += count
+                if running >= rank:
+                    fraction = 1.0 - (running - rank) / count
+                    return lower + (bound - lower) * fraction
+            lower = bound
+        return self.buckets[-1]
+
+    def expose_lines(self) -> List[str]:
+        label_str = render_labels(self.labels)
+        joiner = "," if label_str else ""
+        base = label_str[1:-1] if label_str else ""
+        lines = []
+        for le, cumulative in self.bucket_counts().items():
+            lines.append(
+                f'{self.name}_bucket{{{base}{joiner}le="{le}"}} {cumulative}'
+            )
+        lines.append(f"{self.name}_sum{label_str} {_format_number(self.total)}")
+        lines.append(f"{self.name}_count{label_str} {self.count}")
+        return lines
+
+    def snapshot_value(self) -> object:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "buckets": self.bucket_counts(),
+        }
+
+
+def _format_number(value: float) -> str:
+    """Integral floats render without the trailing ``.0`` (``17`` not ``17.0``)."""
+    if isinstance(value, float) and value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+class MetricRegistry:
+    """Get-or-create registry of named instruments.
+
+    ``counter`` / ``gauge`` / ``histogram`` return the existing instrument
+    for a ``(name, labels)`` pair or create it; asking for the same name
+    with a different kind raises :class:`~repro.errors.TelemetryError`
+    (one name, one meaning).  ``disable()`` turns every recording into a
+    flag check — the instruments stay registered, their values freeze.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self._switch = _Switch(enabled)
+        self._metrics: Dict[str, _Instrument] = {}
+        self._help: Dict[str, str] = {}
+        self._kinds: Dict[str, str] = {}
+        self._buckets: Dict[str, Tuple[float, ...]] = {}
+        self._lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self._switch.on
+
+    def enable(self) -> None:
+        self._switch.on = True
+
+    def disable(self) -> None:
+        self._switch.on = False
+
+    # -- registration --------------------------------------------------
+
+    def _get(
+        self,
+        cls: Type[_Instrument],
+        name: str,
+        help_text: str,
+        labels: Optional[Mapping[str, object]],
+        **extra,
+    ) -> _Instrument:
+        if not _NAME_RE.match(name):
+            raise TelemetryError(f"invalid metric name {name!r}")
+        for label in labels or ():
+            if not _LABEL_NAME_RE.match(label):
+                raise TelemetryError(
+                    f"invalid label name {label!r} on metric {name!r}"
+                )
+        key = name + render_labels(labels)
+        with self._lock:
+            existing = self._metrics.get(key)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise TelemetryError(
+                        f"metric {key} already registered as "
+                        f"{existing.kind}, not {cls.kind}"
+                    )
+                if cls is Histogram:
+                    requested = tuple(
+                        float(b)
+                        for b in extra.get("buckets", DEFAULT_LATENCY_BUCKETS)
+                    )
+                    if requested != self._buckets.get(name):
+                        raise TelemetryError(
+                            f"histogram {name!r} re-registered with "
+                            "different buckets; bucket layouts are fixed "
+                            "per name"
+                        )
+                return existing
+            registered_kind = self._kinds.get(name)
+            if registered_kind is not None and registered_kind != cls.kind:
+                raise TelemetryError(
+                    f"metric name {name!r} already registered as "
+                    f"{registered_kind}, not {cls.kind}"
+                )
+            if cls is Histogram:
+                buckets = tuple(
+                    float(b)
+                    for b in extra.get("buckets", DEFAULT_LATENCY_BUCKETS)
+                )
+                known = self._buckets.get(name)
+                if known is not None and known != buckets:
+                    raise TelemetryError(
+                        f"histogram {name!r} re-registered with different "
+                        "buckets; bucket layouts are fixed per name"
+                    )
+                self._buckets[name] = buckets
+                metric: _Instrument = Histogram(
+                    name, help_text, labels, self._switch, buckets
+                )
+            else:
+                metric = cls(name, help_text, labels, self._switch)
+            self._metrics[key] = metric
+            self._kinds[name] = cls.kind
+            if help_text and name not in self._help:
+                self._help[name] = help_text
+            return metric
+
+    def counter(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Optional[Mapping[str, object]] = None,
+    ) -> Counter:
+        metric = self._get(Counter, name, help_text, labels)
+        assert isinstance(metric, Counter)
+        return metric
+
+    def gauge(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Optional[Mapping[str, object]] = None,
+    ) -> Gauge:
+        metric = self._get(Gauge, name, help_text, labels)
+        assert isinstance(metric, Gauge)
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Optional[Mapping[str, object]] = None,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        metric = self._get(Histogram, name, help_text, labels, buckets=buckets)
+        assert isinstance(metric, Histogram)
+        return metric
+
+    # -- introspection -------------------------------------------------
+
+    def metrics(self) -> List[_Instrument]:
+        """Every registered instrument, sorted by full name."""
+        with self._lock:
+            return sorted(self._metrics.values(), key=lambda m: m.full_name)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-dict view: full metric name -> current value."""
+        return {
+            metric.full_name: metric.snapshot_value()
+            for metric in self.metrics()
+        }
+
+    def expose_text(self) -> str:
+        """Prometheus text exposition (HELP/TYPE once per metric name)."""
+        lines: List[str] = []
+        seen_header: set = set()
+        for metric in self.metrics():
+            if metric.name not in seen_header:
+                seen_header.add(metric.name)
+                help_text = self._help.get(metric.name, "")
+                if help_text:
+                    lines.append(f"# HELP {metric.name} {help_text}")
+                lines.append(f"# TYPE {metric.name} {metric.kind}")
+            lines.extend(metric.expose_lines())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"MetricRegistry({len(self)} metrics, {state})"

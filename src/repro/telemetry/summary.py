@@ -1,0 +1,96 @@
+"""Sample percentiles and per-phase span summaries.
+
+This module owns the repo's canonical :func:`percentile` — the bench
+layer re-exports it — and turns a tracer's finished spans into the
+per-rung / per-enumerator latency tables the bench harness and the soak
+driver print.
+
+Empty samples yield ``NaN``, never ``0.0``: a run that served nothing
+must not masquerade as an impossibly fast one.  JSON writers serialize
+``NaN`` as ``null`` and renderers print ``n/a``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.telemetry.spans import Span
+
+__all__ = [
+    "percentile",
+    "summarize_samples",
+    "summarize_spans",
+    "DEFAULT_GROUP_ATTRS",
+]
+
+#: Default span-name -> grouping-attribute mapping for
+#: :func:`summarize_spans`: ladder rungs group by rung, enumerator runs by
+#: enumerator, retry attempts by outcome.
+DEFAULT_GROUP_ATTRS: Mapping[str, str] = {
+    "ladder_rung": "rung",
+    "enumerate": "enumerator",
+    "attempt": "outcome",
+}
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile by linear interpolation between ranks.
+
+    Returns ``NaN`` for an empty sample set — the honest answer when
+    nothing was measured.  ``q`` is in percent (``95.0``, not ``0.95``).
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    if not values:
+        return float("nan")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] + (ordered[high] - ordered[low]) * fraction
+
+
+def summarize_samples(values: Sequence[float]) -> Dict[str, float]:
+    """count/p50/p95/p99/max for one sample set (NaN-valued when empty)."""
+    return {
+        "count": len(values),
+        "p50": percentile(values, 50.0),
+        "p95": percentile(values, 95.0),
+        "p99": percentile(values, 99.0),
+        "max": max(values) if values else float("nan"),
+    }
+
+
+def summarize_spans(
+    spans: Iterable[Span],
+    group_attrs: Optional[Mapping[str, str]] = None,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Group finished spans and summarize their durations.
+
+    ``group_attrs`` maps a span name to the attribute that partitions it
+    (``ladder_rung`` spans group by their ``rung``, ``enumerate`` spans by
+    ``enumerator``).  Spans with other names are grouped by name alone
+    under the key ``"*"``.  Returns
+    ``{span_name: {group_value: {count, p50, p95, p99, max}}}`` with
+    durations in seconds; open spans (no duration yet) are skipped.
+    """
+    if group_attrs is None:
+        group_attrs = DEFAULT_GROUP_ATTRS
+    buckets: Dict[str, Dict[str, List[float]]] = {}
+    for span in spans:
+        duration = span.duration
+        if duration is None:
+            continue
+        attr = group_attrs.get(span.name)
+        group = str(span.attrs.get(attr, "*")) if attr else "*"
+        buckets.setdefault(span.name, {}).setdefault(group, []).append(duration)
+    return {
+        name: {
+            group: summarize_samples(samples)
+            for group, samples in sorted(groups.items())
+        }
+        for name, groups in sorted(buckets.items())
+    }

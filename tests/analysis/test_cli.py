@@ -13,6 +13,7 @@ EXPECTED_RULES = {
     "bench-clock",
     "bitset-discipline",
     "context-discipline",
+    "metric-discipline",
     "no-bare-except",
     "no-float-cost-eq",
     "no-mutable-default",

@@ -289,6 +289,80 @@ class TestAllExports:
         assert lint(code, "all-exports") == []
 
 
+class TestMetricDiscipline:
+    def test_global_counter_flagged(self, lint):
+        code = (
+            "_REQUESTS = 0\n\n"
+            "def handle():\n"
+            "    global _REQUESTS\n"
+            "    _REQUESTS += 1\n"
+        )
+        diagnostics = lint(code, "metric-discipline", filename="repro/svc.py")
+        assert _rules_of(diagnostics) == ["metric-discipline"]
+        assert "_REQUESTS" in diagnostics[0].message
+
+    def test_direct_instrument_construction_flagged(self, lint):
+        code = (
+            "from repro.telemetry import Counter\n\n"
+            "def make():\n"
+            '    return Counter("repro_x_total", "help")\n'
+        )
+        diagnostics = lint(code, "metric-discipline", filename="repro/svc.py")
+        assert _rules_of(diagnostics) == ["metric-discipline"]
+
+    def test_bad_metric_name_flagged(self, lint):
+        code = (
+            "def publish(registry):\n"
+            '    registry.gauge("queueDepth", "help").set(1)\n'
+        )
+        diagnostics = lint(code, "metric-discipline", filename="repro/svc.py")
+        assert _rules_of(diagnostics) == ["metric-discipline"]
+        assert "naming scheme" in diagnostics[0].message
+
+    def test_counter_without_total_suffix_flagged(self, lint):
+        code = (
+            "def publish(registry):\n"
+            '    registry.counter("repro_requests", "help").inc()\n'
+        )
+        diagnostics = lint(code, "metric-discipline", filename="repro/svc.py")
+        assert _rules_of(diagnostics) == ["metric-discipline"]
+        assert "_total" in diagnostics[0].message
+
+    def test_registry_accessors_with_good_names_pass(self, lint):
+        code = (
+            "def publish(registry):\n"
+            '    registry.counter("repro_requests_total", "help").inc()\n'
+            '    registry.gauge("repro_queue_depth", "help").set(3)\n'
+            '    registry.histogram("repro_wait_seconds", "help").observe(0.1)\n'
+        )
+        assert lint(code, "metric-discipline", filename="repro/svc.py") == []
+
+    def test_telemetry_package_and_tests_exempt(self, lint):
+        code = (
+            "_COUNT = 0\n\n"
+            "def bump():\n"
+            "    global _COUNT\n"
+            "    _COUNT += 1\n"
+        )
+        assert (
+            lint(code, "metric-discipline",
+                 filename="repro/telemetry/metrics.py") == []
+        )
+        assert (
+            lint(code, "metric-discipline",
+                 filename="tests/test_counting.py") == []
+        )
+
+    def test_non_counter_global_passes(self, lint):
+        code = (
+            '_MODE = "fast"\n\n'
+            "def set_mode(mode):\n"
+            "    global _MODE\n"
+            "    _MODE = mode\n"
+        )
+        assert lint(code, "metric-discipline", filename="repro/svc.py") == []
+
+
 class TestSyntaxError:
     def test_unparsable_file_reported(self, lint):
         diagnostics = lint("def broken(:\n", "no-bare-except")

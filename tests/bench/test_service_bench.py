@@ -1,6 +1,7 @@
 """Service-mode bench harness: percentiles, throughput, failure taxonomy."""
 
 import json
+import math
 
 import pytest
 
@@ -24,8 +25,10 @@ def queries():
 
 
 class TestPercentile:
-    def test_empty_is_zero(self):
-        assert percentile([], 95.0) == 0.0
+    def test_empty_is_nan(self):
+        # Regression: the old implementation returned 0.0 for an empty
+        # sample set, which read as "impossibly fast", not "no data".
+        assert math.isnan(percentile([], 95.0))
 
     def test_single_value(self):
         assert percentile([3.0], 50.0) == 3.0
@@ -91,3 +94,16 @@ class TestRunServiceBench:
             elapsed_seconds=0.0, throughput=0.0,
         )
         assert report.as_dict()["failures"]["total_failed"] == 0
+
+    def test_empty_percentiles_render_as_null_and_na(self):
+        # NaN percentiles must not leak into JSON (no NaN literal there)
+        # or into the human-readable rendering.
+        report = ServiceBenchReport(
+            requests=0, completed=0, failed=0, timeouts=0, rejected=0,
+            elapsed_seconds=0.0, throughput=0.0,
+            queue_wait={"p50": float("nan"), "p95": float("nan"),
+                        "p99": float("nan"), "max": float("nan")},
+        )
+        payload = json.loads(report.to_json())
+        assert payload["queue_wait_seconds"]["p95"] is None
+        assert "p50=n/a" in report.describe()

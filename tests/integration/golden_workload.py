@@ -51,19 +51,23 @@ def golden_queries() -> List[Query]:
     return queries
 
 
-def capture() -> Dict[str, Dict[str, List[object]]]:
+def capture(telemetry=None) -> Dict[str, Dict[str, List[object]]]:
     """Run the full matrix; returns ``{query: {algorithm: [cost, sexpr]}}``.
 
     Costs are stored via ``float.hex`` so the equivalence check is
-    bit-exact, not merely within tolerance.
+    bit-exact, not merely within tolerance.  ``telemetry`` arms the
+    instrumentation layer during the capture — the telemetry determinism
+    test relies on armed and disarmed captures being identical.
     """
     outputs: Dict[str, Dict[str, List[object]]] = {}
     for query in golden_queries():
         row: Dict[str, List[object]] = {}
-        baseline = run_dpccp(query)
+        baseline = run_dpccp(query, telemetry=telemetry)
         row["dpccp"] = [baseline.cost.hex(), baseline.plan.sexpr()]
         for pruning in PRUNINGS:
-            result = Optimizer(pruning=pruning).optimize(query)
+            result = Optimizer(
+                pruning=pruning, telemetry=telemetry
+            ).optimize(query)
             row[pruning] = [result.cost.hex(), result.plan.sexpr()]
         outputs[query.describe()] = row
     return outputs

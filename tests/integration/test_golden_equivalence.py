@@ -49,3 +49,24 @@ def test_all_algorithms_are_bit_identical_to_the_golden_capture(
                     f"plan {got_sexpr} vs {sexpr}"
                 )
     assert not mismatches, "\n".join(mismatches)
+
+
+def test_armed_telemetry_is_bit_identical_to_the_golden_capture(golden):
+    # The telemetry determinism contract: arming metrics + tracing (with
+    # the expensive per-partition spans on) must not perturb a single
+    # plan or cost bit anywhere in the six-algorithm matrix.
+    from repro.telemetry import MetricRegistry, Telemetry, Tracer
+
+    telemetry = Telemetry(
+        registry=MetricRegistry(), tracer=Tracer(), detailed_spans=True
+    )
+    armed = capture(telemetry=telemetry)
+    mismatches = []
+    for name, want in golden.items():
+        for algorithm, (cost_hex, sexpr) in want.items():
+            got_cost, got_sexpr = armed[name][algorithm]
+            if got_cost != cost_hex or got_sexpr != sexpr:
+                mismatches.append(f"{name}/{algorithm}")
+    assert not mismatches, "\n".join(mismatches)
+    # And the instrumentation actually observed the runs.
+    assert telemetry.tracer.finished_spans()

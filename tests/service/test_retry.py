@@ -55,10 +55,21 @@ class TestJitter:
         assert a != b
 
     def test_jitter_bounded_by_fraction(self):
-        policy = RetryPolicy(base_delay=0.1, max_delay=0.1, jitter=0.25)
+        policy = RetryPolicy(base_delay=0.1, max_delay=1.0, jitter=0.25)
         for seed in range(20):
             delay = policy.delay(1, policy.rng_for(seed))
             assert 0.1 <= delay <= 0.1 * 1.25
+
+    def test_jitter_never_exceeds_max_delay(self):
+        # Regression: jitter used to be applied after the cap, so a
+        # capped delay could still be inflated past max_delay.
+        policy = RetryPolicy(
+            base_delay=0.1, multiplier=2.0, max_delay=0.1, jitter=1.0
+        )
+        for seed in range(50):
+            for attempt in range(1, 6):
+                delay = policy.delay(attempt, policy.rng_for(seed))
+                assert delay <= policy.max_delay
 
     def test_zero_jitter_ignores_rng(self):
         policy = RetryPolicy(base_delay=0.02, jitter=0.0)

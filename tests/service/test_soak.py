@@ -177,6 +177,35 @@ class TestRunSoak:
         assert not report.passed
         assert report.as_dict()["passed"] is False
 
+    def test_traced_soak_replays_with_zero_mismatches(self, tmp_path):
+        # Telemetry determinism under chaos + concurrency: an armed soak
+        # must still replay bit-identically against the disarmed
+        # single-threaded baseline, and the trace tree must contain the
+        # full request -> attempt -> ladder_rung -> enumerate hierarchy.
+        from repro.telemetry import Telemetry, Tracer, TraceSink
+
+        trace_path = tmp_path / "soak_trace.jsonl"
+        sink = TraceSink(trace_path)
+        telemetry = Telemetry(tracer=Tracer(sink=sink))
+        report = self.soak(max_requests=10, telemetry=telemetry)
+        sink.close()
+        assert report.passed, report.violations
+        assert report.replay_mismatches == 0
+        assert report.span_summary  # per-rung latency tables present
+        roots = [
+            json.loads(line)
+            for line in trace_path.read_text().splitlines()
+        ]
+        assert roots and all(root["name"] == "request" for root in roots)
+        names = set()
+        for root in roots:
+            stack = [root]
+            while stack:
+                node = stack.pop()
+                names.add(node["name"])
+                stack.extend(node.get("children", []))
+        assert {"request", "attempt", "ladder_rung", "enumerate"} <= names
+
 
 class TestMain:
     def test_cli_smoke_passes_and_writes_json(self, tmp_path, capsys):

@@ -1,6 +1,28 @@
 """Tests for the run counters."""
 
+from dataclasses import fields
+
 from repro.stats.counters import OptimizationStats
+
+
+class TestFieldParity:
+    def test_as_dict_covers_every_field(self):
+        # as_dict/merge are driven off dataclasses.fields(); this pins the
+        # invariant so a hand-maintained view can never drift again.
+        declared = {spec.name for spec in fields(OptimizationStats)}
+        assert set(OptimizationStats().as_dict()) == declared
+
+    def test_merge_sums_every_field(self):
+        a = OptimizationStats(**{
+            spec.name: index + 1
+            for index, spec in enumerate(fields(OptimizationStats))
+        })
+        b = OptimizationStats(**{
+            spec.name: 100 for spec in fields(OptimizationStats)
+        })
+        merged = a.merge(b)
+        for index, spec in enumerate(fields(OptimizationStats)):
+            assert getattr(merged, spec.name) == index + 1 + 100
 
 
 class TestAsDict:

@@ -1,0 +1,116 @@
+"""Silo adapters: each legacy counter surface reaches the registry."""
+
+from types import SimpleNamespace
+
+from repro.bench.harness import FailureCounts
+from repro.bench.profiling import EnumerationProfile
+from repro.stats.counters import OptimizationStats
+from repro.telemetry import MetricRegistry
+from repro.telemetry.adapters import (
+    publish_enumeration_profile,
+    publish_failure_counts,
+    publish_optimization_stats,
+    publish_service_health,
+)
+
+
+def _fake_health(**overrides):
+    """A ServiceHealth stand-in (the adapter is duck-typed on purpose)."""
+    health = SimpleNamespace(
+        status="ok",
+        healthy=True,
+        workers_alive=2,
+        workers_total=2,
+        queue={"depth": 1, "capacity": 8, "high_water": 3},
+        accepted=10,
+        rejected=1,
+        completed=9,
+        failed=0,
+        timeouts=0,
+        cancelled=0,
+        retries=2,
+        breaker_trips=1,
+        unhandled_worker_errors=0,
+        rung_histogram={"exact": 8, "heuristic:goo": 1},
+        breakers={"cost_model": {"state": "open"}, "catalog": {"state": "closed"}},
+        plan_cache={"hits": 4, "misses": 5},
+    )
+    for key, value in overrides.items():
+        setattr(health, key, value)
+    return health
+
+
+class TestOptimizationStatsAdapter:
+    def test_every_field_becomes_a_total_counter(self):
+        registry = MetricRegistry()
+        stats = OptimizationStats(ccps_enumerated=5, memo_hits=2)
+        publish_optimization_stats(registry, stats)
+        snapshot = registry.snapshot()
+        assert snapshot["repro_optimizer_ccps_enumerated_total"] == 5
+        assert snapshot["repro_optimizer_memo_hits_total"] == 2
+        for field_name in stats.as_dict():
+            assert f"repro_optimizer_{field_name}_total" in snapshot
+
+    def test_per_run_publishes_accumulate(self):
+        registry = MetricRegistry()
+        publish_optimization_stats(
+            registry, OptimizationStats(trees_created=3)
+        )
+        publish_optimization_stats(
+            registry, OptimizationStats(trees_created=4)
+        )
+        assert registry.snapshot()["repro_optimizer_trees_created_total"] == 7
+
+
+class TestServiceHealthAdapter:
+    def test_snapshot_publishes_gauges(self):
+        registry = MetricRegistry()
+        publish_service_health(registry, _fake_health())
+        snapshot = registry.snapshot()
+        assert snapshot["repro_service_up"] == 1
+        assert snapshot["repro_service_requests_accepted"] == 10
+        assert snapshot["repro_service_queue_depth"] == 1
+        assert snapshot['repro_service_rung_requests{rung="exact"}'] == 8
+        assert snapshot['repro_service_breaker_open{component="cost_model"}'] == 1
+        assert snapshot['repro_service_breaker_open{component="catalog"}'] == 0
+        assert snapshot["repro_service_plan_cache_hits"] == 4
+
+    def test_republishing_is_idempotent(self):
+        registry = MetricRegistry()
+        publish_service_health(registry, _fake_health())
+        publish_service_health(registry, _fake_health())
+        assert registry.snapshot()["repro_service_requests_accepted"] == 10
+
+    def test_degraded_health_flips_up_gauge(self):
+        registry = MetricRegistry()
+        publish_service_health(
+            registry, _fake_health(status="degraded", healthy=False)
+        )
+        snapshot = registry.snapshot()
+        assert snapshot["repro_service_up"] == 0
+        assert snapshot["repro_service_healthy"] == 0
+
+
+class TestFailureCountsAdapter:
+    def test_classes_publish_as_gauges(self):
+        registry = MetricRegistry()
+        counts = FailureCounts(timeouts=1, degraded=3, retries=2)
+        publish_failure_counts(registry, counts)
+        snapshot = registry.snapshot()
+        assert snapshot["repro_failures_timeouts"] == 1
+        assert snapshot["repro_failures_degraded"] == 3
+        assert snapshot["repro_failures_retries"] == 2
+
+
+class TestEnumerationProfileAdapter:
+    def test_profile_totals_publish(self):
+        registry = MetricRegistry()
+        profile = EnumerationProfile(
+            passes={0b011: 2, 0b110: 1}, ccps={0b011: 6, 0b110: 2}
+        )
+        publish_enumeration_profile(registry, profile)
+        snapshot = registry.snapshot()
+        assert snapshot["repro_enumeration_passes_total"] == 3
+        assert snapshot["repro_enumeration_classes_total"] == 2
+        assert snapshot["repro_enumeration_ccps_total"] == 8
+        assert snapshot["repro_enumeration_reenumerated_classes_total"] == 1

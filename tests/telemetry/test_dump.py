@@ -1,0 +1,45 @@
+"""The exposition dump CLI: every silo present, trace tree written."""
+
+import json
+
+from repro.telemetry.dump import main, run_dump
+
+
+class TestRunDump:
+    def test_all_four_silos_reach_the_registry(self):
+        telemetry = run_dump(queries=3, seed=7, workers=1)
+        names = {metric.name for metric in telemetry.registry.metrics()}
+        assert any(name.startswith("repro_optimizer_") for name in names)
+        assert any(name.startswith("repro_service_") for name in names)
+        assert any(name.startswith("repro_failures_") for name in names)
+        assert any(name.startswith("repro_enumeration_") for name in names)
+
+    def test_trace_file_holds_request_trees(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        run_dump(queries=2, seed=7, workers=1, trace_path=str(path))
+        roots = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        request_roots = [r for r in roots if r["name"] == "request"]
+        assert len(request_roots) == 2
+        names = set()
+        for root in request_roots:
+            stack = [root]
+            while stack:
+                node = stack.pop()
+                names.add(node["name"])
+                stack.extend(node.get("children", []))
+        assert {"request", "attempt", "ladder_rung", "enumerate"} <= names
+
+
+class TestMain:
+    def test_text_exposition_prints_nonempty(self, capsys):
+        assert main(["--queries", "2", "--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_service_responses_total counter" in out
+        assert "repro_optimizer_ccps_enumerated_total" in out
+
+    def test_json_snapshot_prints_valid_json(self, capsys):
+        assert main(["--queries", "2", "--workers", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert any(key.startswith("repro_service_") for key in payload)

@@ -1,0 +1,190 @@
+"""Metric primitives: counters, gauges, histograms, registry discipline."""
+
+import math
+import threading
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricRegistry,
+)
+from repro.telemetry.metrics import render_labels
+
+
+@pytest.fixture
+def registry():
+    return MetricRegistry()
+
+
+class TestCounter:
+    def test_accumulates(self, registry):
+        counter = registry.counter("repro_widgets_total", "widgets")
+        counter.inc()
+        counter.inc(3)
+        assert counter.value == 4
+
+    def test_negative_increment_rejected(self, registry):
+        counter = registry.counter("repro_widgets_total")
+        with pytest.raises(TelemetryError):
+            counter.inc(-1)
+
+    def test_disabled_registry_freezes_values(self, registry):
+        counter = registry.counter("repro_widgets_total")
+        counter.inc()
+        registry.disable()
+        counter.inc(100)
+        assert counter.value == 1
+        registry.enable()
+        counter.inc()
+        assert counter.value == 2
+
+    def test_concurrent_increments_do_not_lose_updates(self, registry):
+        counter = registry.counter("repro_widgets_total")
+
+        def bump():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("repro_queue_depth")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value == 6
+
+    def test_disabled_set_is_a_noop(self, registry):
+        gauge = registry.gauge("repro_queue_depth")
+        registry.disable()
+        gauge.set(9)
+        assert gauge.value == 0
+
+
+class TestHistogram:
+    def test_observe_fills_cumulative_buckets(self, registry):
+        histogram = registry.histogram(
+            "repro_wait_seconds", buckets=(0.1, 1.0)
+        )
+        for value in (0.05, 0.5, 0.5, 5.0):
+            histogram.observe(value)
+        counts = histogram.bucket_counts()
+        assert counts["0.1"] == 1
+        assert counts["1"] == 3
+        assert counts["+Inf"] == 4
+        assert histogram.count == 4
+        assert histogram.total == pytest.approx(6.05)
+
+    def test_boundary_value_lands_in_its_bucket(self, registry):
+        # Prometheus buckets are upper-inclusive: observe(le) counts in le.
+        histogram = registry.histogram(
+            "repro_wait_seconds", buckets=(0.1, 1.0)
+        )
+        histogram.observe(0.1)
+        assert histogram.bucket_counts()["0.1"] == 1
+
+    def test_percentile_interpolates_and_clamps(self, registry):
+        histogram = registry.histogram(
+            "repro_wait_seconds", buckets=(0.1, 1.0)
+        )
+        assert math.isnan(histogram.percentile(50.0))
+        for _ in range(10):
+            histogram.observe(0.05)
+        assert 0.0 < histogram.percentile(50.0) <= 0.1
+        histogram.observe(99.0)  # overflow bucket
+        assert histogram.percentile(100.0) == 1.0  # clamped to last bound
+
+    def test_bucket_validation(self, registry):
+        with pytest.raises(TelemetryError):
+            registry.histogram("repro_a_seconds", buckets=())
+        with pytest.raises(TelemetryError):
+            registry.histogram("repro_b_seconds", buckets=(1.0, 1.0))
+        with pytest.raises(TelemetryError):
+            registry.histogram("repro_c_seconds", buckets=(float("inf"),))
+
+    def test_default_buckets_cover_latency_range(self, registry):
+        histogram = registry.histogram("repro_wait_seconds")
+        assert histogram.buckets == DEFAULT_LATENCY_BUCKETS
+
+
+class TestRegistry:
+    def test_get_or_create_returns_the_same_instrument(self, registry):
+        assert registry.counter("repro_x_total") is registry.counter(
+            "repro_x_total"
+        )
+        assert registry.counter(
+            "repro_x_total", labels={"k": "a"}
+        ) is not registry.counter("repro_x_total", labels={"k": "b"})
+
+    def test_kind_collision_rejected(self, registry):
+        registry.counter("repro_x_total")
+        with pytest.raises(TelemetryError):
+            registry.gauge("repro_x_total")
+
+    def test_kind_collision_across_label_sets_rejected(self, registry):
+        registry.counter("repro_x_total", labels={"k": "a"})
+        with pytest.raises(TelemetryError):
+            registry.gauge("repro_x_total", labels={"k": "b"})
+
+    def test_histogram_bucket_mismatch_rejected(self, registry):
+        registry.histogram("repro_x_seconds", buckets=(1.0,))
+        with pytest.raises(TelemetryError):
+            registry.histogram("repro_x_seconds", buckets=(2.0,))
+
+    def test_invalid_names_rejected(self, registry):
+        with pytest.raises(TelemetryError):
+            registry.counter("bad name")
+        with pytest.raises(TelemetryError):
+            registry.counter("repro_x_total", labels={"bad-label": 1})
+
+    def test_snapshot_maps_full_names_to_values(self, registry):
+        registry.counter("repro_x_total").inc(2)
+        registry.gauge("repro_y", labels={"rung": "exact"}).set(7)
+        snapshot = registry.snapshot()
+        assert snapshot["repro_x_total"] == 2
+        assert snapshot['repro_y{rung="exact"}'] == 7
+
+
+class TestExposition:
+    def test_text_format(self, registry):
+        registry.counter("repro_x_total", "Things counted.").inc(3)
+        registry.gauge("repro_y", "A level.").set(1.5)
+        text = registry.expose_text()
+        assert "# HELP repro_x_total Things counted." in text
+        assert "# TYPE repro_x_total counter" in text
+        assert "repro_x_total 3" in text
+        assert "repro_y 1.5" in text
+        assert text.endswith("\n")
+
+    def test_histogram_exposition_shape(self, registry):
+        histogram = registry.histogram(
+            "repro_wait_seconds", "Waits.", buckets=(0.5,)
+        )
+        histogram.observe(0.1)
+        text = registry.expose_text()
+        assert 'repro_wait_seconds_bucket{le="0.5"} 1' in text
+        assert 'repro_wait_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_wait_seconds_sum 0.1" in text
+        assert "repro_wait_seconds_count 1" in text
+
+    def test_help_and_type_emitted_once_per_name(self, registry):
+        registry.counter("repro_x_total", "Help.", labels={"k": "a"}).inc()
+        registry.counter("repro_x_total", "Help.", labels={"k": "b"}).inc()
+        text = registry.expose_text()
+        assert text.count("# TYPE repro_x_total counter") == 1
+
+    def test_label_rendering_sorted_and_escaped(self):
+        rendered = render_labels({"b": 'say "hi"', "a": 1})
+        assert rendered == '{a="1",b="say \\"hi\\""}'
+
+    def test_empty_registry_exposes_empty_string(self, registry):
+        assert registry.expose_text() == ""
