@@ -5,15 +5,25 @@ checks: vertex sets are plain ints that only :mod:`repro.graph.bitset` may
 bit-twiddle, every RNG must be explicitly seeded (the Steinbrunn workload is
 only reproducible if it is), costs must never be compared with ``==``, and
 every concrete strategy must be registered to appear in the benchmark
-matrix.  This package enforces those contracts with a small AST-based lint
-engine:
+matrix.  This package enforces those contracts with a two-tier AST-based
+lint engine — per-file rules plus whole-program passes over a project-wide
+symbol table and call graph:
 
 * :mod:`repro.analysis.diagnostics` — the :class:`Diagnostic` record and its
   text / JSON renderings;
-* :mod:`repro.analysis.pragmas` — ``# repro: disable=<rule>`` suppression;
-* :mod:`repro.analysis.registry` — the rule registry;
-* :mod:`repro.analysis.engine` — file walker + rule runner;
-* :mod:`repro.analysis.rules` — one module per rule;
+* :mod:`repro.analysis.sarif` — SARIF 2.1.0 rendering for CI upload;
+* :mod:`repro.analysis.pragmas` — ``# repro: disable=<rule>`` suppression
+  plus the ``guarded-by(...)`` / ``unguarded-ok`` concurrency pragmas;
+* :mod:`repro.analysis.registry` — the rule and pass registries;
+* :mod:`repro.analysis.engine` — file walker + rule/pass runner with a
+  process-wide parse cache;
+* :mod:`repro.analysis.symbols` — the :class:`ProgramIndex` (modules,
+  imports, classes, hierarchy units);
+* :mod:`repro.analysis.callgraph` — static project call graph;
+* :mod:`repro.analysis.rules` — one module per per-file rule;
+* :mod:`repro.analysis.passes` — one module per whole-program pass;
+* :mod:`repro.analysis.gitchanged` — changed-file discovery for
+  ``--changed-only``;
 * :mod:`repro.analysis.cli` — the ``python -m repro.analysis`` /
   ``repro-lint`` entry point.
 
@@ -23,17 +33,32 @@ See ``docs/static_analysis.md`` for the rule catalogue and output schema.
 from repro.analysis.diagnostics import Diagnostic
 from repro.analysis.engine import LintResult, ModuleContext, Project, run_analysis
 from repro.analysis.pragmas import PragmaTable
-from repro.analysis.registry import Rule, all_rules, get_rule, register_rule
+from repro.analysis.registry import (
+    Pass,
+    Rule,
+    all_passes,
+    all_rules,
+    get_pass,
+    get_rule,
+    register_pass,
+    register_rule,
+)
+from repro.analysis.symbols import ProgramIndex
 
 __all__ = [
     "Diagnostic",
     "LintResult",
     "ModuleContext",
+    "Pass",
     "PragmaTable",
+    "ProgramIndex",
     "Project",
     "Rule",
+    "all_passes",
     "all_rules",
+    "get_pass",
     "get_rule",
+    "register_pass",
     "register_rule",
     "run_analysis",
 ]

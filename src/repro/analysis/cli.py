@@ -4,7 +4,7 @@ Exit codes are stable so CI can gate on them:
 
 * ``0`` — no diagnostics;
 * ``1`` — at least one diagnostic (including ``syntax-error``);
-* ``2`` — usage error (nonexistent path, unknown rule id).
+* ``2`` — usage error (nonexistent path, unknown rule or pass id).
 """
 
 from __future__ import annotations
@@ -15,8 +15,18 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.analysis.diagnostics import render_json, render_text
-from repro.analysis.engine import run_analysis
-from repro.analysis.registry import Rule, UnknownRuleError, all_rules, get_rule
+from repro.analysis.engine import iter_python_files, run_analysis
+from repro.analysis.gitchanged import DEFAULT_CHANGED_REF, changed_python_files
+from repro.analysis.registry import (
+    Pass,
+    Rule,
+    UnknownRuleError,
+    all_passes,
+    all_rules,
+    get_pass,
+    get_rule,
+)
+from repro.analysis.sarif import render_sarif
 
 __all__ = ["main", "build_parser"]
 
@@ -40,7 +50,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
     )
@@ -57,9 +67,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to skip",
     )
     parser.add_argument(
+        "--passes",
+        metavar="PASSES",
+        default="",
+        help=(
+            "comma-separated whole-program pass ids to run in addition to "
+            "the per-file rules, or 'all' (default: none)"
+        ),
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--list-passes",
+        action="store_true",
+        help="print the whole-program pass catalogue and exit",
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help=(
+            "lint only files changed relative to --changed-ref (falls back "
+            "to a full run when git is unavailable)"
+        ),
+    )
+    parser.add_argument(
+        "--changed-ref",
+        metavar="REF",
+        default=DEFAULT_CHANGED_REF,
+        help=f"base ref for --changed-only (default: {DEFAULT_CHANGED_REF})",
     )
     return parser
 
@@ -71,15 +109,39 @@ def _split_ids(raw: str) -> List[str]:
 def _resolve_rules(select: str, ignore: str) -> List[Rule]:
     selected = _split_ids(select)
     ignored = set(_split_ids(ignore))
-    for rule_id in ignored:
+    for rule_id in sorted(ignored):
         get_rule(rule_id)  # typo check; raises UnknownRuleError
     rules = [get_rule(rule_id) for rule_id in selected] if selected else all_rules()
     return [rule for rule in rules if rule.id not in ignored]
 
 
+def _resolve_passes(raw: str) -> List[Pass]:
+    ids = _split_ids(raw)
+    if ids == ["all"]:
+        return all_passes()
+    return [get_pass(pass_id) for pass_id in ids]
+
+
 def _default_paths() -> List[str]:
     present = [target for target in _DEFAULT_TARGETS if Path(target).exists()]
     return present or ["."]
+
+
+def _restrict_to_changed(paths: List[str], ref: str) -> Optional[List[str]]:
+    """Changed files among ``paths``, or ``None`` to signal a full run."""
+    changed = changed_python_files(ref)
+    if changed is None:
+        print(
+            "repro-lint: --changed-only: git unavailable or ref "
+            f"{ref!r} not found; linting everything",
+            file=sys.stderr,
+        )
+        return None
+    return [
+        str(path)
+        for path in iter_python_files([Path(p) for p in paths])
+        if path.resolve() in changed
+    ]
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -91,8 +153,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{rule.id:20s} {rule.description}")
         return EXIT_CLEAN
 
+    if options.list_passes:
+        for program_pass in all_passes():
+            print(f"{program_pass.id:20s} {program_pass.description}")
+        return EXIT_CLEAN
+
     try:
         rules = _resolve_rules(options.select, options.ignore)
+        passes = _resolve_passes(options.passes)
     except UnknownRuleError as error:
         print(f"repro-lint: {error}", file=sys.stderr)
         return EXIT_USAGE
@@ -106,9 +174,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         return EXIT_USAGE
 
-    result = run_analysis(paths, rules)
-    renderer = render_json if options.format == "json" else render_text
-    print(renderer(result.diagnostics, result.files_checked))
+    if options.changed_only:
+        restricted = _restrict_to_changed(paths, options.changed_ref)
+        if restricted is not None:
+            paths = restricted
+
+    result = run_analysis(paths, rules, passes=passes)
+    if options.format == "sarif":
+        print(render_sarif(result.diagnostics, result.files_checked, [*rules, *passes]))
+    elif options.format == "json":
+        print(render_json(result.diagnostics, result.files_checked))
+    else:
+        print(render_text(result.diagnostics, result.files_checked))
     return EXIT_CLEAN if result.ok else EXIT_VIOLATIONS
 
 

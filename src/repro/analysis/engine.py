@@ -1,25 +1,41 @@
-"""File walker and rule runner.
+"""File walker, rule runner, and whole-program pass driver.
 
 :func:`run_analysis` turns a list of files/directories into a
-:class:`Project` of parsed modules, runs every selected rule, filters
-pragma-suppressed diagnostics and returns a :class:`LintResult`.  Files that
-fail to parse produce a ``syntax-error`` pseudo-diagnostic rather than
-aborting the run, so one broken file cannot hide violations in the rest of
-the tree.
+:class:`Project` of parsed modules, runs every selected rule, then (when
+``passes`` are given) builds a :class:`~repro.analysis.symbols.ProgramIndex`
+over the project and runs each whole-program pass.  Pragma-suppressed
+diagnostics are filtered and the rest come back sorted in a
+:class:`LintResult`.  Files that fail to parse produce a ``syntax-error``
+pseudo-diagnostic rather than aborting the run, so one broken file cannot
+hide violations in the rest of the tree.
+
+Parsing is memoized in a process-wide cache keyed by resolved path and
+validated by ``(st_mtime_ns, st_size)``, so repeated runs in one process
+(the test suite, editor integrations, rule-by-rule CLI invocations) parse
+each unchanged file once.
 """
 
 from __future__ import annotations
 
 import ast
+import dataclasses
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.diagnostics import Diagnostic
 from repro.analysis.pragmas import PragmaTable, parse_pragmas
-from repro.analysis.registry import Rule, all_rules
+from repro.analysis.registry import Pass, Rule, all_rules
 
-__all__ = ["ModuleContext", "Project", "LintResult", "run_analysis"]
+__all__ = [
+    "ModuleContext",
+    "Project",
+    "LintResult",
+    "run_analysis",
+    "iter_python_files",
+    "clear_parse_cache",
+    "parse_cache_stats",
+]
 
 #: Directory names never descended into.
 _SKIPPED_DIRS = {
@@ -85,7 +101,8 @@ class LintResult:
         return not self.diagnostics
 
 
-def _iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
+def iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
+    """Yield ``.py`` files under ``paths``, skipping build/VCS directories."""
     for path in paths:
         if path.is_file():
             if path.suffix == ".py":
@@ -96,18 +113,56 @@ def _iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
                     yield candidate
 
 
+#: resolved path -> ((st_mtime_ns, st_size), parsed module).
+_PARSE_CACHE: Dict[Path, Tuple[Tuple[int, int], ModuleContext]] = {}
+_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def clear_parse_cache() -> None:
+    """Drop every cached parse (tests use this for cold/warm comparisons)."""
+    _PARSE_CACHE.clear()
+    _CACHE_STATS["hits"] = 0
+    _CACHE_STATS["misses"] = 0
+
+
+def parse_cache_stats() -> Dict[str, int]:
+    """A snapshot of hit/miss counters since the last clear."""
+    return dict(_CACHE_STATS)
+
+
 def _load_module(path: Path, display_path: str) -> ModuleContext:
-    source = path.read_text(encoding="utf-8")
+    resolved = path.resolve()
+    try:
+        stat = resolved.stat()
+        stamp: Optional[Tuple[int, int]] = (stat.st_mtime_ns, stat.st_size)
+    except OSError:
+        stamp = None
+    if stamp is not None:
+        cached = _PARSE_CACHE.get(resolved)
+        if cached is not None and cached[0] == stamp:
+            _CACHE_STATS["hits"] += 1
+            module = cached[1]
+            if module.display_path != display_path:
+                # Same file reached under a different spelling (cwd change,
+                # explicit path vs. directory walk): reuse the parse, refresh
+                # the label diagnostics are reported under.
+                module = dataclasses.replace(module, display_path=display_path)
+            return module
+    _CACHE_STATS["misses"] += 1
+    source = resolved.read_text(encoding="utf-8")
     lines = source.splitlines()
-    tree = ast.parse(source, filename=str(path))
-    return ModuleContext(
-        path=path.resolve(),
+    tree = ast.parse(source, filename=str(resolved))
+    module = ModuleContext(
+        path=resolved,
         display_path=display_path,
         source=source,
         lines=lines,
         tree=tree,
         pragmas=parse_pragmas(lines),
     )
+    if stamp is not None:
+        _PARSE_CACHE[resolved] = (stamp, module)
+    return module
 
 
 def _display_path(path: Path, cwd: Path) -> str:
@@ -120,9 +175,13 @@ def _display_path(path: Path, cwd: Path) -> str:
 def run_analysis(
     paths: Sequence[str],
     rules: Optional[Sequence[Rule]] = None,
+    passes: Optional[Sequence[Pass]] = None,
 ) -> LintResult:
     """Lint ``paths`` (files or directories) with ``rules`` (default: all).
 
+    ``passes`` are whole-program passes run over a
+    :class:`~repro.analysis.symbols.ProgramIndex` built from the same
+    project; pass ``passes=[]`` (or omit) to run per-file rules only.
     Diagnostics come back sorted by location with pragma-suppressed entries
     removed; ``syntax-error`` diagnostics are emitted for unparsable files
     and cannot be suppressed.
@@ -134,7 +193,7 @@ def run_analysis(
     diagnostics: List[Diagnostic] = []
     files_checked = 0
     seen = set()
-    for path in _iter_python_files([Path(p) for p in paths]):
+    for path in iter_python_files([Path(p) for p in paths]):
         resolved = path.resolve()
         if resolved in seen:
             continue
@@ -165,6 +224,13 @@ def run_analysis(
         else:
             for module in project.modules:
                 raw.extend(rule.check_module(module))
+
+    if passes:
+        from repro.analysis.symbols import ProgramIndex
+
+        program = ProgramIndex(project)
+        for program_pass in passes:
+            raw.extend(program_pass.check_program(program))
 
     for diagnostic in raw:
         table = pragma_tables.get(diagnostic.path)

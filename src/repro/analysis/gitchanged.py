@@ -1,0 +1,61 @@
+"""Changed-file discovery for ``--changed-only`` incremental lint runs.
+
+Asks git for files that differ from a base ref (default ``origin/main``)
+plus untracked files, and returns them as resolved absolute paths.  Any
+git failure — not a repo, ref missing, git not installed — returns
+``None`` so the caller can fall back to a full run; an incremental lint
+that silently checks nothing would be worse than a slow one.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+from typing import List, Optional, Set
+
+__all__ = ["DEFAULT_CHANGED_REF", "changed_python_files"]
+
+DEFAULT_CHANGED_REF = "origin/main"
+
+
+def _git(args: List[str], cwd: Path) -> Optional[str]:
+    try:
+        completed = subprocess.run(
+            ["git", *args],
+            cwd=str(cwd),
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if completed.returncode != 0:
+        return None
+    return completed.stdout
+
+
+def changed_python_files(
+    ref: str = DEFAULT_CHANGED_REF, cwd: Optional[Path] = None
+) -> Optional[Set[Path]]:
+    """Python files changed since ``ref`` (tracked diffs plus untracked).
+
+    Returns resolved absolute paths, or ``None`` when git is unavailable
+    or the ref does not resolve — callers should then lint everything.
+    """
+    base = (cwd or Path.cwd()).resolve()
+    toplevel_out = _git(["rev-parse", "--show-toplevel"], base)
+    if toplevel_out is None:
+        return None
+    toplevel = Path(toplevel_out.strip())
+    diff_out = _git(["diff", "--name-only", ref, "--"], base)
+    if diff_out is None:
+        return None
+    untracked_out = _git(["ls-files", "--others", "--exclude-standard"], base)
+    if untracked_out is None:
+        return None
+    changed: Set[Path] = set()
+    for line in diff_out.splitlines() + untracked_out.splitlines():
+        name = line.strip()
+        if name.endswith(".py"):
+            changed.add((toplevel / name).resolve())
+    return changed

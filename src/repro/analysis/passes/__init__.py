@@ -1,0 +1,11 @@
+"""One module per whole-program pass; importing registers all of them."""
+
+from repro.analysis.passes import (  # noqa: F401
+    determinism,
+    guarded_by,
+)
+
+__all__ = [
+    "determinism",
+    "guarded_by",
+]

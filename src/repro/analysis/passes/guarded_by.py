@@ -1,0 +1,518 @@
+"""``guarded-by`` — interprocedural lock-discipline inference.
+
+The repo's determinism and soak certifications assume the threaded
+subsystems (service worker pool, telemetry registry, plan cache) follow a
+simple discipline: every attribute that is mutated under a class's lock is
+*always* accessed under that lock.  A per-file rule cannot check this —
+the mutation, the lock, and the offending read are routinely in different
+methods, sometimes different modules (a subclass inheriting a guarded
+attribute).  This pass can:
+
+1. **Lock domains.**  Classes are grouped into hierarchy units (a base
+   class plus every project subclass); a unit that assigns
+   ``self.X = threading.Lock()`` / ``RLock()`` / ``Condition(...)``
+   becomes a lock domain.  ``Condition(self._lock)`` aliases: holding the
+   condition holds the wrapped lock.
+2. **Lock-context propagation.**  Each method is walked once, recording
+   which locks are textually held (``with self._lock:``) at every
+   ``self.<attr>`` access and every ``self.<method>()`` call site.  A
+   fixpoint then computes each method's *entry* context: the intersection
+   of the locks held at all its call sites — so a private helper only ever
+   called under the lock is analyzed as lock-held, while any public method
+   (callable from outside) is assumed to start lock-free.
+3. **Guard inference.**  An attribute is *guarded by* lock ``L`` when a
+   ``# repro: guarded-by(L)`` pragma declares it, or when inference finds
+   at least one guarded write and at least two guarded accesses outside
+   ``__init__`` — construction happens-before publication, so ``__init__``
+   is exempt throughout.
+4. **Flagging.**  Every access to a guarded attribute outside its lock is
+   reported, unless the line carries ``# repro: unguarded-ok`` (the escape
+   hatch for deliberate lock-free reads) or a ``disable=guarded-by``
+   pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import Pass, register_pass
+from repro.analysis.symbols import (
+    ClassInfo,
+    FunctionInfo,
+    ProgramIndex,
+    class_level_assign_lines,
+)
+
+__all__ = ["GuardedBy"]
+
+#: Callables whose result, assigned to ``self.<attr>``, makes a lock attr.
+_LOCK_FACTORIES = {"Lock", "RLock", "Condition"}
+
+#: Receiver methods that mutate the receiver in place.
+_MUTATORS = {
+    "append",
+    "appendleft",
+    "add",
+    "clear",
+    "discard",
+    "extend",
+    "insert",
+    "move_to_end",
+    "pop",
+    "popitem",
+    "popleft",
+    "remove",
+    "setdefault",
+    "sort",
+    "update",
+}
+
+#: Methods exempt from inference and flagging: construction (and teardown)
+#: happen-before (after) concurrent publication.
+_EXEMPT_METHODS = {"__init__", "__new__", "__post_init__", "__del__"}
+
+#: Fixpoint sentinel: entry context not yet known.
+_TOP = None
+
+#: Statement containers that hold nested statements (3.9-compatible: the
+#: ``match`` statement's case arm only exists on 3.10+).
+_ARM_NODES = tuple(
+    node_type
+    for node_type in (
+        getattr(ast, "excepthandler", None),
+        getattr(ast, "match_case", None),
+    )
+    if node_type is not None
+)
+
+
+class _Access:
+    """One ``self.<attr>`` data access inside a method body."""
+
+    __slots__ = ("attr", "is_write", "line", "col", "local_held", "method")
+
+    def __init__(self, attr, is_write, line, col, local_held, method):
+        self.attr = attr
+        self.is_write = is_write
+        self.line = line
+        self.col = col
+        self.local_held = local_held
+        self.method = method
+
+
+class _UnitFacts:
+    """Everything collected from one hierarchy unit's method bodies."""
+
+    def __init__(self):
+        #: lock attr -> every lock attr holding it implies (incl. itself).
+        self.locks: Dict[str, frozenset] = {}
+        #: attr -> (lock name, declaration line, module) from pragmas.
+        self.declared: Dict[str, Tuple[str, int, object]] = {}
+        self.accesses: List[_Access] = []
+        #: callee method name -> [(caller qualname, locks held at site)].
+        self.callsites: Dict[str, List[Tuple[str, frozenset]]] = {}
+        self.methods: List[FunctionInfo] = []
+
+
+def _is_self_attr(node: ast.AST) -> Optional[str]:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _call_last_name(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class _MethodWalker:
+    """Single-method walk recording accesses and call sites per held-set."""
+
+    def __init__(self, facts: _UnitFacts, method: FunctionInfo, unit_methods):
+        self.facts = facts
+        self.method = method
+        self.unit_methods = unit_methods  # name -> FunctionInfo list
+        self.pragmas = method.module.pragmas
+
+    def walk(self) -> None:
+        held = frozenset()
+        for stmt in self.method.node.body:
+            self._stmt(stmt, held)
+
+    # -- statements ----------------------------------------------------
+
+    def _stmt(self, node: ast.stmt, held: frozenset) -> None:
+        if isinstance(node, ast.With) or isinstance(node, ast.AsyncWith):
+            acquired = set(held)
+            for item in node.items:
+                attr = _is_self_attr(item.context_expr)
+                if attr is not None and attr in self.facts.locks:
+                    acquired |= self.facts.locks[attr]
+                else:
+                    self._expr(item.context_expr, held)
+            inner = frozenset(acquired)
+            for child in node.body:
+                self._stmt(child, inner)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            self._assignment(node, held)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A nested function may run long after the enclosing lock is
+            # released; analyze its body lock-free.
+            for child in node.body:
+                self._stmt(child, frozenset())
+        elif isinstance(node, ast.ClassDef):
+            return
+        else:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.stmt):
+                    self._stmt(child, held)
+                elif isinstance(child, ast.expr):
+                    self._expr(child, held)
+                elif isinstance(child, _ARM_NODES):
+                    for sub in ast.iter_child_nodes(child):
+                        if isinstance(sub, ast.stmt):
+                            self._stmt(sub, held)
+                        elif isinstance(sub, ast.expr):
+                            self._expr(sub, held)
+
+    def _assignment(self, node: ast.stmt, held: frozenset) -> None:
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+            value = node.value
+        else:  # AugAssign: read-modify-write
+            targets, value = [node.target], node.value
+            attr = _is_self_attr(node.target)
+            if attr is not None:
+                self._record(attr, False, node.target, held)
+        if value is not None:
+            self._expr(value, held)
+        for target in targets:
+            self._target(target, held, node.lineno)
+
+    def _target(self, node: ast.expr, held: frozenset, line: int) -> None:
+        attr = _is_self_attr(node)
+        if attr is not None:
+            self._declare_from_pragma(attr, line)
+            self._record(attr, True, node, held)
+            return
+        if isinstance(node, ast.Subscript):
+            base_attr = _is_self_attr(node.value)
+            if base_attr is not None:
+                self._record(base_attr, True, node.value, held)
+            else:
+                self._expr(node.value, held)
+            self._expr(node.slice, held)
+            return
+        if isinstance(node, (ast.Tuple, ast.List)):
+            for element in node.elts:
+                self._target(element, held, line)
+            return
+        if isinstance(node, ast.Starred):
+            self._target(node.value, held, line)
+            return
+        self._expr(node, held)
+
+    def _declare_from_pragma(self, attr: str, line: int) -> None:
+        lock = self.pragmas.guard_at(line)
+        if lock is not None and attr not in self.facts.declared:
+            self.facts.declared[attr] = (lock, line, self.method.module)
+
+    # -- expressions ---------------------------------------------------
+
+    def _expr(self, node: ast.expr, held: frozenset) -> None:
+        if isinstance(node, ast.Call):
+            self._call(node, held)
+            return
+        attr = _is_self_attr(node)
+        if attr is not None:
+            self._record(attr, False, node, held)
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._expr(child, held)
+
+    def _call(self, node: ast.Call, held: frozenset) -> None:
+        func = node.func
+        handled_func = False
+        receiver_attr = None
+        if isinstance(func, ast.Attribute):
+            receiver_attr = _is_self_attr(func.value)
+        if receiver_attr is not None:
+            # self.<attr>.<method>(...): a mutator counts as a write to
+            # the attribute, anything else as a read.
+            self._record(
+                receiver_attr, func.attr in _MUTATORS, func.value, held
+            )
+            handled_func = True
+        else:
+            direct = _is_self_attr(func)
+            if direct is not None:
+                if direct in self.unit_methods:
+                    self.facts.callsites.setdefault(direct, []).append(
+                        (self.method.qualname, held)
+                    )
+                else:
+                    self._record(direct, False, func, held)
+                handled_func = True
+        if not handled_func:
+            self._expr(func, held)
+        for arg in node.args:
+            self._expr(arg, held)
+        for keyword in node.keywords:
+            self._expr(keyword.value, held)
+
+    def _record(
+        self, attr: str, is_write: bool, node: ast.AST, held: frozenset
+    ) -> None:
+        if attr in self.facts.locks:
+            return
+        methods = self.unit_methods.get(attr)
+        if methods is not None and not is_write:
+            if any(m.is_property for m in methods):
+                # Property access executes the property body: a call site.
+                self.facts.callsites.setdefault(attr, []).append(
+                    (self.method.qualname, held)
+                )
+                return
+            return  # bound-method reference, not a data access
+        self.facts.accesses.append(
+            _Access(
+                attr,
+                is_write,
+                getattr(node, "lineno", 1),
+                getattr(node, "col_offset", 0) + 1,
+                held,
+                self.method,
+            )
+        )
+
+
+def _collect_locks(facts: _UnitFacts) -> None:
+    """Find ``self.X = threading.Lock()``-style assignments (any method)."""
+    direct: Dict[str, Optional[str]] = {}  # lock attr -> aliased attr
+    for method in facts.methods:
+        for node in ast.walk(method.node):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not isinstance(node.value, ast.Call):
+                continue
+            callee = _call_last_name(node.value.func)
+            if callee not in _LOCK_FACTORIES:
+                continue
+            alias = None
+            if callee == "Condition" and node.value.args:
+                alias = _is_self_attr(node.value.args[0])
+            for target in node.targets:
+                attr = _is_self_attr(target)
+                if attr is not None:
+                    direct[attr] = alias
+    for attr, alias in direct.items():
+        implied = {attr}
+        if alias is not None and alias in direct:
+            implied.add(alias)
+        facts.locks[attr] = frozenset(implied)
+
+
+def _collect_class_level_declarations(
+    unit: List[ClassInfo], facts: _UnitFacts
+) -> None:
+    """Class-body ``X: int  # repro: guarded-by(_lock)`` declarations."""
+    for cls in sorted(unit, key=lambda c: c.qualname):
+        if cls.module.is_test_file:
+            continue
+        lines = class_level_assign_lines(cls)
+        for attr in sorted(lines):
+            lock = cls.module.pragmas.guard_at(lines[attr])
+            if lock is not None and attr not in facts.declared:
+                facts.declared[attr] = (lock, lines[attr], cls.module)
+
+
+def _entry_contexts(facts: _UnitFacts) -> Dict[str, frozenset]:
+    """Fixpoint: locks guaranteed held when each method starts executing."""
+    entries: Dict[str, object] = {m.qualname: _TOP for m in facts.methods}
+    by_name: Dict[str, List[FunctionInfo]] = {}
+    for method in facts.methods:
+        by_name.setdefault(method.name, []).append(method)
+    qual_sites: Dict[str, List[Tuple[str, frozenset]]] = {}
+    for callee_name, sites in facts.callsites.items():
+        for method in by_name.get(callee_name, []):
+            qual_sites.setdefault(method.qualname, []).extend(sites)
+
+    changed = True
+    while changed:
+        changed = False
+        for method in facts.methods:
+            contexts: List[frozenset] = []
+            if method.is_public or method.is_property:
+                contexts.append(frozenset())
+            for caller_qual, local_held in qual_sites.get(method.qualname, ()):
+                caller_entry = entries.get(caller_qual, _TOP)
+                if caller_entry is _TOP:
+                    continue
+                contexts.append(frozenset(caller_entry) | local_held)
+            if not contexts:
+                if not qual_sites.get(method.qualname):
+                    # Private and never called in-unit: assume lock-free.
+                    contexts.append(frozenset())
+                else:
+                    continue  # callers not yet resolved this round
+            new = contexts[0]
+            for context in contexts[1:]:
+                new = new & context
+            if entries[method.qualname] is _TOP or entries[method.qualname] != new:
+                entries[method.qualname] = new
+                changed = True
+    return {
+        qual: (frozenset() if entry is _TOP else entry)
+        for qual, entry in entries.items()
+    }
+
+
+@register_pass
+class GuardedBy(Pass):
+    id = "guarded-by"
+    description = (
+        "attributes mutated under a class's lock must always be accessed "
+        "under it (inferred or declared via `# repro: guarded-by(<lock>)`; "
+        "escape hatch `# repro: unguarded-ok`)"
+    )
+
+    def check_program(self, program: ProgramIndex):
+        for unit in program.hierarchy_units():
+            yield from self._check_unit(program, unit)
+
+    def _check_unit(self, program: ProgramIndex, unit: List[ClassInfo]):
+        facts = _UnitFacts()
+        facts.methods = [
+            method
+            for method in program.unit_methods(unit)
+            if not method.module.is_test_file
+        ]
+        if not facts.methods:
+            return
+        _collect_locks(facts)
+        if not facts.locks:
+            return
+        unit_methods: Dict[str, List[FunctionInfo]] = {}
+        for method in facts.methods:
+            unit_methods.setdefault(method.name, []).append(method)
+        for method in facts.methods:
+            _MethodWalker(facts, method, unit_methods).walk()
+        _collect_class_level_declarations(unit, facts)
+        yield from self._check_declarations(facts)
+        entries = _entry_contexts(facts)
+        inferred = self._infer(facts, entries)
+        yield from self._flag(facts, entries, inferred)
+
+    def _check_declarations(self, facts: _UnitFacts):
+        for attr in sorted(facts.declared):
+            lock, line, module = facts.declared[attr]
+            if lock not in facts.locks:
+                yield Diagnostic(
+                    path=module.display_path,
+                    line=line,
+                    col=1,
+                    rule=self.id,
+                    message=(
+                        f"`# repro: guarded-by({lock})` on attribute "
+                        f"{attr!r} names no lock attribute of this class "
+                        f"(known locks: {sorted(facts.locks) or 'none'})"
+                    ),
+                )
+
+    def _held(self, access: _Access, entries: Dict[str, frozenset]) -> frozenset:
+        return access.local_held | entries.get(
+            access.method.qualname, frozenset()
+        )
+
+    def _infer(
+        self, facts: _UnitFacts, entries: Dict[str, frozenset]
+    ) -> Dict[str, Tuple[str, int, int]]:
+        """attr -> (lock, guarded writes, guarded accesses) by inference."""
+        writes: Dict[Tuple[str, str], int] = {}
+        totals: Dict[Tuple[str, str], int] = {}
+        for access in facts.accesses:
+            if access.method.name in _EXEMPT_METHODS:
+                continue
+            held = self._held(access, entries)
+            for lock in held:
+                if lock not in facts.locks:
+                    continue
+                key = (access.attr, lock)
+                totals[key] = totals.get(key, 0) + 1
+                if access.is_write:
+                    writes[key] = writes.get(key, 0) + 1
+        inferred: Dict[str, Tuple[str, int, int]] = {}
+        attrs = sorted({attr for attr, _ in totals})
+        for attr in attrs:
+            if attr in facts.declared:
+                continue
+            candidates = []
+            for lock in sorted(facts.locks):
+                write_count = writes.get((attr, lock), 0)
+                total_count = totals.get((attr, lock), 0)
+                if write_count >= 1 and total_count >= 2:
+                    candidates.append((total_count, write_count, lock))
+            if candidates:
+                # Deterministic choice: most evidence, ties broken by name.
+                total_count, write_count, lock = max(
+                    candidates, key=lambda c: (c[0], c[1], c[2])
+                )
+                inferred[attr] = (lock, write_count, total_count)
+        return inferred
+
+    def _flag(
+        self,
+        facts: _UnitFacts,
+        entries: Dict[str, frozenset],
+        inferred: Dict[str, Tuple[str, int, int]],
+    ):
+        for access in sorted(
+            facts.accesses,
+            key=lambda a: (a.method.module.display_path, a.line, a.col),
+        ):
+            if access.method.name in _EXEMPT_METHODS:
+                continue
+            declared = facts.declared.get(access.attr)
+            if declared is not None:
+                lock, basis = declared[0], "declared `# repro: guarded-by`"
+                if lock not in facts.locks:
+                    continue  # already reported as a bad declaration
+            elif access.attr in inferred:
+                lock, write_count, total_count = inferred[access.attr]
+                basis = (
+                    f"inferred: {total_count} guarded accesses, "
+                    f"{write_count} guarded writes"
+                )
+            else:
+                continue
+            if lock in self._held(access, entries):
+                continue
+            module = access.method.module
+            if module.pragmas.is_unguarded_ok(access.line):
+                continue
+            action = "written" if access.is_write else "read"
+            yield Diagnostic(
+                path=module.display_path,
+                line=access.line,
+                col=access.col,
+                rule=self.id,
+                message=(
+                    f"attribute {access.attr!r} is guarded by "
+                    f"'self.{lock}' ({basis}) but {action} here without "
+                    f"holding it; wrap in `with self.{lock}:` or mark a "
+                    "deliberate lock-free access with "
+                    "`# repro: unguarded-ok`"
+                ),
+            )

@@ -1,12 +1,25 @@
-"""``# repro: disable=<rule>`` pragma parsing.
+"""``# repro:`` pragma parsing.
 
-Two forms are recognized, mirroring the usual linter conventions:
+Four forms are recognized.  The first two mirror the usual linter
+suppression conventions:
 
 ``# repro: disable=rule-a,rule-b``
     Suppresses the named rules on the physical line carrying the comment.
 
 ``# repro: disable-file=rule-a``
     Anywhere in the file, suppresses the named rules for the whole file.
+
+The other two are *intent annotations* consumed by the whole-program
+``guarded-by`` pass (see ``docs/static_analysis.md``):
+
+``# repro: guarded-by(<lock-attr>)``
+    On a line assigning an attribute, declares that the attribute is
+    protected by ``self.<lock-attr>`` — the pass then enforces the guard
+    even where inference alone would not.
+
+``# repro: unguarded-ok``
+    On a line accessing a guarded attribute, records that the lock-free
+    access is deliberate (e.g. an approximate read in a ``__repr__``).
 
 ``all`` is accepted in place of a rule id and suppresses every rule.
 Pragmas are parsed from raw source lines (not the AST) so they also work on
@@ -27,21 +40,38 @@ _PRAGMA_RE = re.compile(
     r"(?P<rules>[A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)"
 )
 
+#: ``# repro: guarded-by(_lock)`` — declares the lock guarding the
+#: attribute assigned on this line.
+_GUARDED_BY_RE = re.compile(
+    r"#\s*repro:\s*guarded-by\(\s*(?P<lock>[A-Za-z_][A-Za-z0-9_]*)\s*\)"
+)
+
+#: ``# repro: unguarded-ok`` — a deliberate lock-free access.
+_UNGUARDED_OK_RE = re.compile(r"#\s*repro:\s*unguarded-ok")
+
 
 class PragmaTable:
-    """Per-file suppression table built from pragma comments."""
+    """Per-file suppression and annotation table built from pragma comments."""
 
-    __slots__ = ("_by_line", "_file_wide")
+    __slots__ = ("_by_line", "_file_wide", "_guards", "_unguarded_ok")
 
     def __init__(self) -> None:
         self._by_line: Dict[int, Set[str]] = {}
         self._file_wide: Set[str] = set()
+        self._guards: Dict[int, str] = {}
+        self._unguarded_ok: Set[int] = set()
 
     def add_line(self, line: int, rules: Iterable[str]) -> None:
         self._by_line.setdefault(line, set()).update(rules)
 
     def add_file_wide(self, rules: Iterable[str]) -> None:
         self._file_wide.update(rules)
+
+    def add_guard(self, line: int, lock: str) -> None:
+        self._guards[line] = lock
+
+    def add_unguarded_ok(self, line: int) -> None:
+        self._unguarded_ok.add(line)
 
     def is_suppressed(self, rule: str, line: int) -> bool:
         """True when ``rule`` is disabled at ``line`` (1-based)."""
@@ -52,8 +82,22 @@ class PragmaTable:
             return False
         return "all" in at_line or rule in at_line
 
+    def guard_at(self, line: int) -> "str | None":
+        """The lock name declared by ``guarded-by(...)`` on ``line``."""
+        return self._guards.get(line)
+
+    def guard_declarations(self) -> Dict[int, str]:
+        """All ``guarded-by`` declarations, line -> lock attribute name."""
+        return dict(self._guards)
+
+    def is_unguarded_ok(self, line: int) -> bool:
+        """True when ``line`` carries an ``unguarded-ok`` annotation."""
+        return line in self._unguarded_ok
+
     def __bool__(self) -> bool:
-        return bool(self._by_line or self._file_wide)
+        return bool(
+            self._by_line or self._file_wide or self._guards or self._unguarded_ok
+        )
 
 
 def parse_pragmas(source_lines: Iterable[str]) -> PragmaTable:
@@ -62,6 +106,11 @@ def parse_pragmas(source_lines: Iterable[str]) -> PragmaTable:
     for lineno, text in enumerate(source_lines, start=1):
         if "repro:" not in text:
             continue
+        guard = _GUARDED_BY_RE.search(text)
+        if guard is not None:
+            table.add_guard(lineno, guard.group("lock"))
+        if _UNGUARDED_OK_RE.search(text):
+            table.add_unguarded_ok(lineno)
         match = _PRAGMA_RE.search(text)
         if match is None:
             continue

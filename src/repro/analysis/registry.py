@@ -1,10 +1,11 @@
-"""Rule registry.
+"""Rule and pass registries.
 
 Rules self-register at import time via the :func:`register_rule` decorator;
 :mod:`repro.analysis.rules` imports every rule module so that loading the
-package populates the registry.  Mirrors the partitioning/heuristic
-registries elsewhere in the repo: a plain dict plus typo-friendly lookup
-errors.
+package populates the registry.  Whole-program passes do the same through
+:func:`register_pass` / :mod:`repro.analysis.passes`.  Mirrors the
+partitioning/heuristic registries elsewhere in the repo: a plain dict plus
+typo-friendly lookup errors.
 """
 
 from __future__ import annotations
@@ -13,11 +14,22 @@ from typing import Dict, Iterable, List, Type
 
 from repro.errors import ReproError
 
-__all__ = ["Rule", "UnknownRuleError", "register_rule", "all_rules", "get_rule"]
+__all__ = [
+    "Rule",
+    "Pass",
+    "UnknownRuleError",
+    "register_rule",
+    "register_pass",
+    "all_rules",
+    "all_passes",
+    "get_rule",
+    "get_pass",
+]
 
 
 class UnknownRuleError(ReproError):
-    """Raised when a ``--select``/``--ignore`` names a rule that is not registered."""
+    """Raised when a ``--select``/``--ignore``/``--passes`` names an id that
+    is not registered."""
 
 
 class Rule:
@@ -46,16 +58,46 @@ class Rule:
         return ()
 
 
+class Pass(Rule):
+    """Base class for whole-program analysis passes.
+
+    Passes run after the per-file rules, against a
+    :class:`~repro.analysis.symbols.ProgramIndex` — the project-wide symbol
+    table and call graph — so they can reason across modules (lock
+    discipline through helper methods, taint through imported functions).
+    They are selected with ``--passes`` rather than ``--select`` because
+    they cost a whole-program index build, and their ids share the pragma
+    namespace with rules (``# repro: disable=guarded-by`` works).
+    """
+
+    scope = "program"
+
+    def check_program(self, program) -> Iterable:
+        """Yield diagnostics computed over the whole program index."""
+        return ()
+
+
 _RULES: Dict[str, Type[Rule]] = {}
+_PASSES: Dict[str, Type[Pass]] = {}
 
 
 def register_rule(cls: Type[Rule]) -> Type[Rule]:
     """Class decorator adding a rule to the registry (id must be unique)."""
     if not cls.id:
         raise ValueError(f"rule class {cls.__name__} has no id")
-    if cls.id in _RULES:
+    if cls.id in _RULES or cls.id in _PASSES:
         raise ValueError(f"duplicate rule id {cls.id!r}")
     _RULES[cls.id] = cls
+    return cls
+
+
+def register_pass(cls: Type[Pass]) -> Type[Pass]:
+    """Class decorator adding a whole-program pass to the pass registry."""
+    if not cls.id:
+        raise ValueError(f"pass class {cls.__name__} has no id")
+    if cls.id in _PASSES or cls.id in _RULES:
+        raise ValueError(f"duplicate pass id {cls.id!r}")
+    _PASSES[cls.id] = cls
     return cls
 
 
@@ -64,6 +106,13 @@ def all_rules() -> List[Rule]:
     import repro.analysis.rules  # noqa: F401  (registers on import)
 
     return [_RULES[rule_id]() for rule_id in sorted(_RULES)]
+
+
+def all_passes() -> List[Pass]:
+    """Fresh instances of every registered whole-program pass, sorted by id."""
+    import repro.analysis.passes  # noqa: F401  (registers on import)
+
+    return [_PASSES[pass_id]() for pass_id in sorted(_PASSES)]
 
 
 def get_rule(rule_id: str) -> Rule:
@@ -75,4 +124,16 @@ def get_rule(rule_id: str) -> Rule:
     except KeyError:
         raise UnknownRuleError(
             f"unknown lint rule {rule_id!r}; available: {sorted(_RULES)}"
+        ) from None
+
+
+def get_pass(pass_id: str) -> Pass:
+    """Instantiate one whole-program pass by id."""
+    import repro.analysis.passes  # noqa: F401  (registers on import)
+
+    try:
+        return _PASSES[pass_id]()
+    except KeyError:
+        raise UnknownRuleError(
+            f"unknown analysis pass {pass_id!r}; available: {sorted(_PASSES)}"
         ) from None

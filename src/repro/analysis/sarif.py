@@ -1,0 +1,96 @@
+"""SARIF 2.1.0 rendering for CI code-scanning upload.
+
+One run, one driver (``repro-lint``); every rule/pass that *could* have
+fired is listed in the driver's rule catalogue so ``ruleIndex`` is stable
+across runs regardless of which rules actually produced results.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import Rule
+
+__all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "render_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Pseudo-rule for unparsable files; not in the registry but can appear in
+#: results, so it must appear in the catalogue too.
+_SYNTAX_ERROR_ID = "syntax-error"
+_SYNTAX_ERROR_DESCRIPTION = "file does not parse"
+
+
+def render_sarif(
+    diagnostics: Sequence[Diagnostic],
+    files_checked: int,
+    rules: Sequence[Rule],
+) -> str:
+    """Serialize ``diagnostics`` as a SARIF 2.1.0 log (a JSON string)."""
+    catalogue: List[dict] = []
+    index_of = {}
+    for rule in rules:
+        index_of[rule.id] = len(catalogue)
+        catalogue.append(
+            {
+                "id": rule.id,
+                "shortDescription": {"text": rule.description},
+            }
+        )
+    index_of[_SYNTAX_ERROR_ID] = len(catalogue)
+    catalogue.append(
+        {
+            "id": _SYNTAX_ERROR_ID,
+            "shortDescription": {"text": _SYNTAX_ERROR_DESCRIPTION},
+        }
+    )
+
+    results = []
+    for diagnostic in diagnostics:
+        result = {
+            "ruleId": diagnostic.rule,
+            "level": "error",
+            "message": {"text": diagnostic.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": diagnostic.path},
+                        "region": {
+                            "startLine": diagnostic.line,
+                            "startColumn": diagnostic.col,
+                        },
+                    }
+                }
+            ],
+        }
+        if diagnostic.rule in index_of:
+            result["ruleIndex"] = index_of[diagnostic.rule]
+        results.append(result)
+
+    log = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://example.invalid/repro/docs/"
+                            "static_analysis.md"
+                        ),
+                        "rules": catalogue,
+                    }
+                },
+                "properties": {"filesChecked": files_checked},
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)

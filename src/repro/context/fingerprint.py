@@ -147,7 +147,10 @@ def canonical_mapping(query: Query, steps: int = QUANT_STEPS) -> List[int]:
     while remaining:
         best_vertex = -1
         best_key: Tuple = ()
-        for vertex in remaining:
+        # Sorted so equal-key ties break on the lowest vertex id rather
+        # than set iteration order — the canonical numbering must not
+        # depend on hash-table layout.
+        for vertex in sorted(remaining):
             placed_adjacency = tuple(
                 sorted(
                     (position[neighbor], edge_bucket(vertex, neighbor))

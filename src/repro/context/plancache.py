@@ -128,9 +128,14 @@ class PlanCache:
 
     @property
     def hit_rate(self) -> float:
-        """Hits / lookups, 0.0 before the first lookup."""
-        lookups = self.hits + self.misses
-        return self.hits / lookups if lookups else 0.0
+        """Hits / lookups, 0.0 before the first lookup.
+
+        Deliberately lock-free: :meth:`snapshot` reads it while already
+        holding the (non-reentrant) lock, and a momentarily stale ratio is
+        harmless in the reports that consume it.
+        """
+        lookups = self.hits + self.misses  # repro: unguarded-ok
+        return self.hits / lookups if lookups else 0.0  # repro: unguarded-ok
 
     def snapshot(self) -> Dict[str, object]:
         """Counter summary for JSON reports and benchmark artifacts."""
@@ -145,10 +150,12 @@ class PlanCache:
             }
 
     def __repr__(self) -> str:
+        # Diagnostic repr: best-effort lock-free reads so it stays usable
+        # from debuggers and log statements even when the cache is busy.
         return (
-            f"PlanCache(entries={len(self._entries)}/{self._capacity}, "
-            f"hits={self.hits}, misses={self.misses}, "
-            f"evictions={self.evictions})"
+            f"PlanCache(entries={len(self._entries)}/{self._capacity}, "  # repro: unguarded-ok
+            f"hits={self.hits}, misses={self.misses}, "  # repro: unguarded-ok
+            f"evictions={self.evictions})"  # repro: unguarded-ok
         )
 
 

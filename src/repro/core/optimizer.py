@@ -309,7 +309,9 @@ class Optimizer:
         except PlanValidationError:
             return result
         canonical = result.plan.relabel(fp.mapping)
-        cache.put(key, CachedPlan(canonical, fp.payload))
+        # The taint on `result` is its wall-clock `elapsed` field; only the
+        # relabeled plan tree (deterministic) is cached, never the timing.
+        cache.put(key, CachedPlan(canonical, fp.payload))  # repro: disable=determinism
         return result
 
     # -- simple strategies (none / acb / pcb / apcb) -----------------------

@@ -238,10 +238,11 @@ class CircuitBreaker:
             }
 
     def __repr__(self) -> str:
-        return (
-            f"CircuitBreaker({self.component!r}, state={self.state}, "
-            f"trips={self.trips})"
-        )
+        with self._lock:  # RLock: nesting under self.state is fine
+            return (
+                f"CircuitBreaker({self.component!r}, state={self.state}, "
+                f"trips={self.trips})"
+            )
 
 
 class BreakerBoard:

@@ -63,7 +63,8 @@ class AdmissionQueue(Generic[T]):
 
     @property
     def closed(self) -> bool:
-        return self._closed
+        with self._lock:
+            return self._closed
 
     def __len__(self) -> int:
         with self._lock:
@@ -140,8 +141,9 @@ class AdmissionQueue(Generic[T]):
             }
 
     def __repr__(self) -> str:
-        state = "closed" if self._closed else "open"
-        return (
-            f"AdmissionQueue(depth={len(self)}/{self._capacity}, "
-            f"high_water={self.high_water}, {state})"
-        )
+        with self._lock:
+            state = "closed" if self._closed else "open"
+            return (
+                f"AdmissionQueue(depth={len(self._heap)}/{self._capacity}, "
+                f"high_water={self.high_water}, {state})"
+            )

@@ -801,7 +801,11 @@ class OptimizationService:
         return True
 
     def __repr__(self) -> str:
+        with self._lock:
+            state = self._state
+        # The queue repr takes the queue's own lock; format it outside
+        # ours so the two locks are never nested.
         return (
             f"OptimizationService(workers={self._n_workers}, "
-            f"queue={self._queue!r}, state={self._state})"
+            f"queue={self._queue!r}, state={state})"
         )

@@ -163,9 +163,11 @@ class ChaosPlant:
         return ChaosAttempt(injector, kind)
 
     def __repr__(self) -> str:
+        with self._scheduled_lock:
+            scheduled = dict(self.scheduled)
         return (
             f"ChaosPlant(seed={self.seed}, rate={self.rate}, "
-            f"kinds={self.kinds}, scheduled={self.scheduled})"
+            f"kinds={self.kinds}, scheduled={scheduled})"
         )
 
 

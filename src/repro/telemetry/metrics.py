@@ -455,10 +455,12 @@ class MetricRegistry:
         """Prometheus text exposition (HELP/TYPE once per metric name)."""
         lines: List[str] = []
         seen_header: set = set()
+        with self._lock:
+            help_texts = dict(self._help)
         for metric in self.metrics():
             if metric.name not in seen_header:
                 seen_header.add(metric.name)
-                help_text = self._help.get(metric.name, "")
+                help_text = help_texts.get(metric.name, "")
                 if help_text:
                     lines.append(f"# HELP {metric.name} {help_text}")
                 lines.append(f"# TYPE {metric.name} {metric.kind}")

@@ -208,7 +208,8 @@ class TraceSink:
         return False
 
     def __repr__(self) -> str:
-        return f"TraceSink({self.path!r}, {self.written} traces)"
+        with self._lock:
+            return f"TraceSink({self.path!r}, {self.written} traces)"
 
 
 class Tracer:
@@ -304,4 +305,5 @@ class Tracer:
             self.dropped_roots = 0
 
     def __repr__(self) -> str:
-        return f"Tracer({len(self.roots)} roots, sink={self.sink!r})"
+        with self._roots_lock:
+            return f"Tracer({len(self.roots)} roots, sink={self.sink!r})"

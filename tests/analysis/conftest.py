@@ -5,7 +5,7 @@ from pathlib import Path
 import pytest
 
 from repro.analysis import run_analysis
-from repro.analysis.registry import get_rule
+from repro.analysis.registry import get_pass, get_rule
 
 #: Repository root (the directory holding src/, benchmarks/, tests/).
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -29,6 +29,28 @@ def lint(tmp_path):
         target.parent.mkdir(parents=True, exist_ok=True)
         target.write_text(code, encoding="utf-8")
         result = run_analysis([str(tmp_path)], [get_rule(rule_id)])
+        return result.diagnostics
+
+    return _lint
+
+
+@pytest.fixture
+def lint_program(tmp_path):
+    """Write snippets and run one whole-program pass over all of them.
+
+    ``files`` maps relative filenames (directories allowed) to source;
+    snippets must not be named ``test_*.py`` — passes skip test files.
+    Returns the list of diagnostics.
+    """
+
+    def _lint(files, pass_id):
+        for relpath, content in files.items():
+            target = tmp_path / relpath
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(content, encoding="utf-8")
+        result = run_analysis(
+            [str(tmp_path)], rules=[], passes=[get_pass(pass_id)]
+        )
         return result.diagnostics
 
     return _lint

@@ -1,12 +1,16 @@
-"""CLI behavior: output formats, exit codes, rule selection."""
+"""CLI behavior: output formats, exit codes, rule and pass selection."""
 
 import json
+import shutil
+import subprocess
+import textwrap
 
 import pytest
 
 from repro.analysis.cli import EXIT_CLEAN, EXIT_USAGE, EXIT_VIOLATIONS, main
 from repro.analysis.diagnostics import JSON_SCHEMA_VERSION
 from repro.analysis.registry import all_rules
+from repro.analysis.sarif import SARIF_SCHEMA_URI, SARIF_VERSION
 
 EXPECTED_RULES = {
     "all-exports",
@@ -103,3 +107,154 @@ class TestJsonOutput:
 
     def test_counts_match_diagnostics(self, payload):
         assert sum(payload["counts"].values()) == len(payload["diagnostics"])
+
+
+UNGUARDED = textwrap.dedent(
+    """
+    import threading
+
+
+    class Counter:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.count = 0
+
+        def bump(self):
+            with self._lock:
+                self.count += 1
+
+        def reset(self):
+            with self._lock:
+                self.count = 0
+
+        def peek(self):
+            return self.count
+    """
+).lstrip()
+
+
+class TestPassSelection:
+    def test_list_passes(self, capsys):
+        assert main(["--list-passes"]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        for pass_id in ("guarded-by", "determinism"):
+            assert pass_id in out
+
+    def test_unknown_pass_exits_two(self, tmp_path, capsys):
+        path = _write(tmp_path, "clean.py", "x = 1\n")
+        assert main([str(path), "--passes", "not-a-pass"]) == EXIT_USAGE
+        assert "not-a-pass" in capsys.readouterr().err
+
+    def test_passes_off_by_default(self, tmp_path):
+        path = _write(tmp_path, "counter.py", UNGUARDED)
+        assert main([str(path)]) == EXIT_CLEAN
+
+    def test_passes_flag_runs_whole_program_analysis(self, tmp_path, capsys):
+        path = _write(tmp_path, "counter.py", UNGUARDED)
+        assert main([str(path), "--passes", "guarded-by"]) == EXIT_VIOLATIONS
+        assert "guarded-by" in capsys.readouterr().out
+
+    def test_passes_all_keyword(self, tmp_path):
+        path = _write(tmp_path, "counter.py", UNGUARDED)
+        assert main([str(path), "--passes", "all"]) == EXIT_VIOLATIONS
+
+
+class TestSarifOutput:
+    @pytest.fixture
+    def log(self, tmp_path, capsys):
+        path = _write(tmp_path, "counter.py", UNGUARDED)
+        exit_code = main(
+            [str(path), "--passes", "guarded-by", "--format", "sarif"]
+        )
+        assert exit_code == EXIT_VIOLATIONS
+        return json.loads(capsys.readouterr().out)
+
+    def test_envelope(self, log):
+        assert log["version"] == SARIF_VERSION
+        assert log["$schema"] == SARIF_SCHEMA_URI
+        assert len(log["runs"]) == 1
+        assert log["runs"][0]["tool"]["driver"]["name"] == "repro-lint"
+
+    def test_rule_catalogue_covers_rules_passes_and_syntax_error(self, log):
+        ids = {rule["id"] for rule in log["runs"][0]["tool"]["driver"]["rules"]}
+        expected = {rule.id for rule in all_rules()}
+        expected.add("guarded-by")
+        expected.add("syntax-error")
+        assert ids == expected
+
+    def test_results_reference_the_catalogue(self, log):
+        run = log["runs"][0]
+        catalogue = run["tool"]["driver"]["rules"]
+        assert run["results"], "expected at least one result"
+        for result in run["results"]:
+            assert catalogue[result["ruleIndex"]]["id"] == result["ruleId"]
+            location = result["locations"][0]["physicalLocation"]
+            assert location["artifactLocation"]["uri"].endswith("counter.py")
+            assert location["region"]["startLine"] >= 1
+            assert location["region"]["startColumn"] >= 1
+            assert result["level"] == "error"
+            assert result["message"]["text"]
+
+    def test_clean_run_has_empty_results(self, tmp_path, capsys):
+        path = _write(tmp_path, "clean.py", "x = 1\n")
+        assert main([str(path), "--format", "sarif"]) == EXIT_CLEAN
+        log = json.loads(capsys.readouterr().out)
+        assert log["runs"][0]["results"] == []
+
+
+class TestChangedOnly:
+    def _git(self, tmp_path, *args):
+        return subprocess.run(
+            [
+                "git",
+                "-c",
+                "user.email=lint@example.invalid",
+                "-c",
+                "user.name=lint",
+                *args,
+            ],
+            cwd=str(tmp_path),
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+
+    def test_lints_only_changed_files(self, tmp_path, monkeypatch, capsys):
+        if shutil.which("git") is None:
+            pytest.skip("git not installed")
+        self._git(tmp_path, "init", "-q")
+        # Both files violate no-bare-except; only one changes after the
+        # baseline commit, so only that one may be reported.
+        bad = "try:\n    pass\nexcept:\n    pass\n"
+        _write(tmp_path, "old.py", bad)
+        self._git(tmp_path, "add", ".")
+        self._git(tmp_path, "commit", "-q", "-m", "seed")
+        _write(tmp_path, "new.py", bad)
+        monkeypatch.chdir(tmp_path)
+        exit_code = main([".", "--changed-only", "--changed-ref", "HEAD"])
+        out = capsys.readouterr().out
+        assert exit_code == EXIT_VIOLATIONS
+        assert "new.py" in out
+        assert "old.py" not in out
+
+    def test_no_changes_exits_clean(self, tmp_path, monkeypatch, capsys):
+        if shutil.which("git") is None:
+            pytest.skip("git not installed")
+        self._git(tmp_path, "init", "-q")
+        _write(tmp_path, "old.py", "try:\n    pass\nexcept:\n    pass\n")
+        self._git(tmp_path, "add", ".")
+        self._git(tmp_path, "commit", "-q", "-m", "seed")
+        monkeypatch.chdir(tmp_path)
+        assert main([".", "--changed-only", "--changed-ref", "HEAD"]) == EXIT_CLEAN
+        assert "0 files checked" in capsys.readouterr().out
+
+    def test_falls_back_to_full_run_without_git(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        _write(tmp_path, "bad.py", "try:\n    pass\nexcept:\n    pass\n")
+        monkeypatch.chdir(tmp_path)
+        exit_code = main([".", "--changed-only"])
+        captured = capsys.readouterr()
+        assert exit_code == EXIT_VIOLATIONS
+        assert "linting everything" in captured.err
+        assert "bad.py" in captured.out

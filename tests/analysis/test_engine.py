@@ -1,0 +1,104 @@
+"""Engine internals: the parse cache and changed-file discovery."""
+
+import shutil
+import subprocess
+
+import pytest
+
+from repro.analysis import run_analysis
+from repro.analysis.engine import clear_parse_cache, parse_cache_stats
+from repro.analysis.gitchanged import changed_python_files
+from repro.analysis.registry import get_rule
+
+BAD = "try:\n    pass\nexcept:\n    pass\n"
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_parse_cache()
+    yield
+    clear_parse_cache()
+
+
+class TestParseCache:
+    def test_warm_run_hits_cache_and_reports_identical_diagnostics(
+        self, tmp_path
+    ):
+        (tmp_path / "bad.py").write_text(BAD, encoding="utf-8")
+        (tmp_path / "clean.py").write_text("x = 1\n", encoding="utf-8")
+        rules = [get_rule("no-bare-except")]
+
+        cold = run_analysis([str(tmp_path)], rules)
+        stats = parse_cache_stats()
+        assert stats["misses"] == 2
+        assert stats["hits"] == 0
+
+        warm = run_analysis([str(tmp_path)], rules)
+        stats = parse_cache_stats()
+        assert stats["misses"] == 2
+        assert stats["hits"] == 2
+        assert warm.diagnostics == cold.diagnostics
+        assert warm.files_checked == cold.files_checked
+
+    def test_modified_file_is_reparsed(self, tmp_path):
+        target = tmp_path / "mutable.py"
+        target.write_text("x = 1\n", encoding="utf-8")
+        rules = [get_rule("no-bare-except")]
+
+        assert run_analysis([str(tmp_path)], rules).ok
+        target.write_text(BAD, encoding="utf-8")
+        result = run_analysis([str(tmp_path)], rules)
+        assert [d.rule for d in result.diagnostics] == ["no-bare-except"]
+
+    def test_clear_resets_counters(self, tmp_path):
+        (tmp_path / "clean.py").write_text("x = 1\n", encoding="utf-8")
+        run_analysis([str(tmp_path)], [get_rule("no-bare-except")])
+        assert parse_cache_stats()["misses"] == 1
+        clear_parse_cache()
+        assert parse_cache_stats() == {"hits": 0, "misses": 0}
+
+
+def _git(tmp_path, *args):
+    return subprocess.run(
+        [
+            "git",
+            "-c",
+            "user.email=lint@example.invalid",
+            "-c",
+            "user.name=lint",
+            *args,
+        ],
+        cwd=str(tmp_path),
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+
+
+class TestChangedFiles:
+    def test_outside_a_repo_returns_none(self, tmp_path):
+        assert changed_python_files("HEAD", cwd=tmp_path) is None
+
+    def test_reports_tracked_diffs_and_untracked_files(self, tmp_path):
+        if shutil.which("git") is None:
+            pytest.skip("git not installed")
+        _git(tmp_path, "init", "-q")
+        (tmp_path / "stable.py").write_text("x = 1\n", encoding="utf-8")
+        (tmp_path / "edited.py").write_text("y = 1\n", encoding="utf-8")
+        _git(tmp_path, "add", ".")
+        _git(tmp_path, "commit", "-q", "-m", "seed")
+
+        (tmp_path / "edited.py").write_text("y = 2\n", encoding="utf-8")
+        (tmp_path / "fresh.py").write_text("z = 1\n", encoding="utf-8")
+        (tmp_path / "notes.txt").write_text("not python\n", encoding="utf-8")
+
+        changed = changed_python_files("HEAD", cwd=tmp_path)
+        assert changed is not None
+        names = {path.name for path in changed}
+        assert names == {"edited.py", "fresh.py"}
+
+    def test_missing_ref_returns_none(self, tmp_path):
+        if shutil.which("git") is None:
+            pytest.skip("git not installed")
+        _git(tmp_path, "init", "-q")
+        assert changed_python_files("no-such-ref", cwd=tmp_path) is None

@@ -1,0 +1,509 @@
+"""Whole-program passes: guarded-by inference and determinism taint.
+
+Each positive case here is one the per-file rules structurally cannot
+catch: the evidence (a lock acquisition, a nondeterminism source) and the
+violation (an unguarded read, a tainted cache store) live in different
+methods — and in the cross-module cases, different files.
+"""
+
+import textwrap
+
+from repro.analysis.registry import all_passes
+
+EXPECTED_PASSES = {"determinism", "guarded-by"}
+
+
+def _src(code):
+    return textwrap.dedent(code).lstrip()
+
+
+COUNTER = _src(
+    """
+    import threading
+
+
+    class Counter:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.count = 0
+
+        def bump(self):
+            with self._lock:
+                self.count += 1
+
+        def reset(self):
+            with self._lock:
+                self.count = 0
+
+        def peek(self):
+            return self.count
+    """
+)
+
+
+class TestPassCatalogue:
+    def test_the_expected_passes_are_registered(self):
+        assert {p.id for p in all_passes()} == EXPECTED_PASSES
+
+
+class TestGuardedByInference:
+    def test_unguarded_read_is_flagged(self, lint_program):
+        diagnostics = lint_program({"counter.py": COUNTER}, "guarded-by")
+        assert len(diagnostics) == 1
+        diagnostic = diagnostics[0]
+        assert diagnostic.rule == "guarded-by"
+        assert "'count'" in diagnostic.message
+        assert "self._lock" in diagnostic.message
+        assert diagnostic.line == COUNTER.splitlines().index("        return self.count") + 1
+
+    def test_fully_guarded_class_is_clean(self, lint_program):
+        code = COUNTER.replace(
+            "    def peek(self):\n        return self.count",
+            "    def peek(self):\n        with self._lock:\n            return self.count",
+        )
+        assert lint_program({"counter.py": code}, "guarded-by") == []
+
+    def test_init_writes_are_exempt(self, lint_program):
+        # `config` is only ever written in __init__ and read elsewhere:
+        # construction happens-before publication, so nothing is inferred.
+        code = _src(
+            """
+            import threading
+
+
+            class Holder:
+                def __init__(self, config):
+                    self._lock = threading.Lock()
+                    self.config = config
+
+                def describe(self):
+                    return str(self.config)
+            """
+        )
+        assert lint_program({"holder.py": code}, "guarded-by") == []
+
+    def test_single_guarded_access_is_below_threshold(self, lint_program):
+        code = _src(
+            """
+            import threading
+
+
+            class Once:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.value = 0
+
+                def set(self, value):
+                    with self._lock:
+                        self.value = value
+
+                def get(self):
+                    return self.value
+            """
+        )
+        assert lint_program({"once.py": code}, "guarded-by") == []
+
+    def test_unguarded_ok_pragma_suppresses(self, lint_program):
+        code = COUNTER.replace(
+            "        return self.count",
+            "        return self.count  # repro: unguarded-ok",
+        )
+        assert lint_program({"counter.py": code}, "guarded-by") == []
+
+    def test_disable_pragma_suppresses(self, lint_program):
+        code = COUNTER.replace(
+            "        return self.count",
+            "        return self.count  # repro: disable=guarded-by",
+        )
+        assert lint_program({"counter.py": code}, "guarded-by") == []
+
+
+class TestGuardedByHelpers:
+    def test_helper_called_under_lock_is_clean(self, lint_program):
+        code = _src(
+            """
+            import threading
+
+
+            class Pool:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.jobs = []
+
+                def submit(self, job):
+                    with self._lock:
+                        self._enqueue(job)
+
+                def drain(self):
+                    with self._lock:
+                        self.jobs.clear()
+
+                def _enqueue(self, job):
+                    self.jobs.append(job)
+            """
+        )
+        assert lint_program({"pool.py": code}, "guarded-by") == []
+
+    def test_helper_called_without_lock_is_flagged(self, lint_program):
+        code = _src(
+            """
+            import threading
+
+
+            class Pool:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.jobs = []
+
+                def submit(self, job):
+                    with self._lock:
+                        self.jobs.append(job)
+
+                def drain(self):
+                    with self._lock:
+                        self.jobs.clear()
+
+                def sneak(self, job):
+                    self._enqueue(job)
+
+                def _enqueue(self, job):
+                    self.jobs.append(job)
+            """
+        )
+        diagnostics = lint_program({"pool.py": code}, "guarded-by")
+        assert len(diagnostics) == 1
+        assert "'jobs'" in diagnostics[0].message
+        # The flag lands on the helper's access, reached via the call graph.
+        assert diagnostics[0].line == code.splitlines().index(
+            "        self.jobs.append(job)", 15
+        ) + 1
+
+
+class TestGuardedByCrossModule:
+    BASE = _src(
+        """
+        import threading
+
+
+        class Store:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.entries = {}
+
+            def put(self, key, value):
+                with self._lock:
+                    self.entries[key] = value
+
+            def size(self):
+                with self._lock:
+                    return len(self.entries)
+        """
+    )
+
+    def test_subclass_in_another_module_is_flagged(self, lint_program):
+        sub = _src(
+            """
+            from base import Store
+
+
+            class FastStore(Store):
+                def peek_all(self):
+                    return dict(self.entries)
+            """
+        )
+        diagnostics = lint_program(
+            {"base.py": self.BASE, "fast.py": sub}, "guarded-by"
+        )
+        assert len(diagnostics) == 1
+        assert diagnostics[0].path.endswith("fast.py")
+        assert "'entries'" in diagnostics[0].message
+
+    def test_well_behaved_subclass_is_clean(self, lint_program):
+        sub = _src(
+            """
+            from base import Store
+
+
+            class SafeStore(Store):
+                def peek_all(self):
+                    with self._lock:
+                        return dict(self.entries)
+            """
+        )
+        assert (
+            lint_program({"base.py": self.BASE, "safe.py": sub}, "guarded-by")
+            == []
+        )
+
+
+class TestGuardedByDeclarations:
+    def test_declared_guard_flags_even_one_unguarded_access(self, lint_program):
+        # Inference needs two guarded accesses; a declaration does not.
+        code = _src(
+            """
+            import threading
+
+
+            class Flag:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def raise_it(self):
+                    self.state = "up"  # repro: guarded-by(_lock)
+            """
+        )
+        diagnostics = lint_program({"flag.py": code}, "guarded-by")
+        assert len(diagnostics) == 1
+        assert "'state'" in diagnostics[0].message
+        assert "declared" in diagnostics[0].message
+
+    def test_declaration_naming_unknown_lock_is_flagged(self, lint_program):
+        code = _src(
+            """
+            import threading
+
+
+            class Flag:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def raise_it(self):
+                    with self._lock:
+                        self.state = "up"  # repro: guarded-by(_mutex)
+            """
+        )
+        diagnostics = lint_program({"flag.py": code}, "guarded-by")
+        assert len(diagnostics) == 1
+        assert "_mutex" in diagnostics[0].message
+        assert "names no lock" in diagnostics[0].message
+
+    def test_condition_aliases_its_wrapped_lock(self, lint_program):
+        code = _src(
+            """
+            import threading
+
+
+            class Queue:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._ready = threading.Condition(self._lock)
+                    self.items = []
+
+                def put(self, item):
+                    with self._ready:
+                        self.items.append(item)
+
+                def drain(self):
+                    with self._lock:
+                        self.items.clear()
+            """
+        )
+        # Holding the condition holds the wrapped lock: both methods agree.
+        assert lint_program({"queue.py": code}, "guarded-by") == []
+
+
+class TestDeterminismSources:
+    def test_wall_clock_into_memo_is_flagged(self, lint_program):
+        code = _src(
+            """
+            import time
+
+            _memo = {}
+
+
+            def remember(query):
+                _memo[query] = time.time()
+            """
+        )
+        diagnostics = lint_program({"remember.py": code}, "determinism")
+        assert len(diagnostics) == 1
+        assert "time.time" in diagnostics[0].message
+        assert "_memo" in diagnostics[0].message
+
+    def test_injectable_clock_is_clean(self, lint_program):
+        code = _src(
+            """
+            import time
+
+            _memo = {}
+
+
+            class Timed:
+                def __init__(self, clock=time.monotonic):
+                    self._clock = clock
+
+                def remember(self, query):
+                    _memo[query] = self._clock()
+            """
+        )
+        assert lint_program({"timed.py": code}, "determinism") == []
+
+    def test_hash_into_key_is_flagged(self, lint_program):
+        code = _src(
+            """
+            def lookup(table, query):
+                key = hash(query)
+                return table[key]
+            """
+        )
+        diagnostics = lint_program({"lookup.py": code}, "determinism")
+        assert len(diagnostics) == 1
+        assert "hash()" in diagnostics[0].message
+
+    def test_os_urandom_is_flagged_outright(self, lint_program):
+        code = _src(
+            """
+            import os
+
+
+            def token():
+                return os.urandom(8)
+            """
+        )
+        diagnostics = lint_program({"token.py": code}, "determinism")
+        assert len(diagnostics) == 1
+        assert "os.urandom" in diagnostics[0].message
+
+    def test_set_iteration_is_flagged(self, lint_program):
+        code = _src(
+            """
+            def spread(values):
+                out = []
+                for value in set(values):
+                    out.append(value)
+                return out
+            """
+        )
+        diagnostics = lint_program({"spread.py": code}, "determinism")
+        assert len(diagnostics) == 1
+        assert "set" in diagnostics[0].message
+
+    def test_sorted_set_iteration_is_clean(self, lint_program):
+        code = _src(
+            """
+            def spread(values):
+                out = []
+                for value in sorted(set(values)):
+                    out.append(value)
+                return out
+            """
+        )
+        assert lint_program({"spread.py": code}, "determinism") == []
+
+    def test_seeding_rng_from_clock_is_flagged(self, lint_program):
+        code = _src(
+            """
+            import random
+            import time
+
+
+            def make_rng():
+                rng = random.Random(42)
+                rng.seed(time.time_ns())
+                return rng
+            """
+        )
+        diagnostics = lint_program({"rng.py": code}, "determinism")
+        assert len(diagnostics) == 1
+        assert "seeded" in diagnostics[0].message
+
+    def test_clock_compared_against_cost_is_flagged(self, lint_program):
+        code = _src(
+            """
+            import time
+
+
+            def racy_prune(plan):
+                return time.perf_counter() > plan.cost
+            """
+        )
+        diagnostics = lint_program({"prune.py": code}, "determinism")
+        assert len(diagnostics) == 1
+        assert "cost" in diagnostics[0].message
+
+    def test_disable_pragma_suppresses(self, lint_program):
+        code = _src(
+            """
+            import time
+
+            _memo = {}
+
+
+            def remember(query):
+                _memo[query] = time.time()  # repro: disable=determinism
+            """
+        )
+        assert lint_program({"remember.py": code}, "determinism") == []
+
+    def test_elapsed_timing_stats_are_clean(self, lint_program):
+        # Clock reads are only taint, not violations: timing how long
+        # optimization took is fine as long as it stays out of plan state.
+        code = _src(
+            """
+            import time
+
+
+            def timed(fn):
+                started = time.perf_counter()
+                result = fn()
+                elapsed = time.perf_counter() - started
+                return result, elapsed
+            """
+        )
+        assert lint_program({"stats.py": code}, "determinism") == []
+
+
+class TestDeterminismCrossModule:
+    def test_nondet_helper_in_other_module_taints_cache_key(self, lint_program):
+        clock = _src(
+            """
+            import time
+
+
+            def now():
+                return time.time()
+            """
+        )
+        cache = _src(
+            """
+            from clockmod import now
+
+            _cache = {}
+
+
+            def stash(value):
+                _cache[now()] = value
+            """
+        )
+        diagnostics = lint_program(
+            {"clockmod.py": clock, "cachemod.py": cache}, "determinism"
+        )
+        assert [d for d in diagnostics if d.path.endswith("cachemod.py")]
+        flagged = [d for d in diagnostics if d.path.endswith("cachemod.py")][0]
+        assert "now()" in flagged.message
+        assert "_cache" in flagged.message
+
+    def test_deterministic_helper_is_clean(self, lint_program):
+        helper = _src(
+            """
+            def canonical(value):
+                return tuple(sorted(value))
+            """
+        )
+        cache = _src(
+            """
+            from helper import canonical
+
+            _cache = {}
+
+
+            def stash(value):
+                _cache[canonical(value)] = value
+            """
+        )
+        assert (
+            lint_program(
+                {"helper.py": helper, "cachemod.py": cache}, "determinism"
+            )
+            == []
+        )

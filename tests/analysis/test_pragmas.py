@@ -36,6 +36,31 @@ class TestParsing:
         assert not parse_pragmas([])
 
 
+class TestConcurrencyPragmas:
+    def test_guarded_by_declaration(self):
+        table = parse_pragmas(["self.state = 0  # repro: guarded-by(_lock)"])
+        assert table.guard_at(1) == "_lock"
+        assert table.guard_at(2) is None
+        assert table.guard_declarations() == {1: "_lock"}
+
+    def test_guarded_by_allows_inner_whitespace(self):
+        table = parse_pragmas(["x  # repro: guarded-by( _mu )"])
+        assert table.guard_at(1) == "_mu"
+
+    def test_unguarded_ok(self):
+        table = parse_pragmas(["return self.hits  # repro: unguarded-ok"])
+        assert table.is_unguarded_ok(1)
+        assert not table.is_unguarded_ok(2)
+
+    def test_unguarded_ok_with_trailing_prose(self):
+        table = parse_pragmas(["x  # repro: unguarded-ok repr is best-effort"])
+        assert table.is_unguarded_ok(1)
+
+    def test_concurrency_pragmas_make_table_truthy(self):
+        assert parse_pragmas(["x  # repro: unguarded-ok"])
+        assert parse_pragmas(["x  # repro: guarded-by(_lock)"])
+
+
 class TestSuppression:
     def test_pragma_suppresses_diagnostic(self, lint):
         code = "def f(v):\n    return 1 << v  # repro: disable=bitset-discipline\n"

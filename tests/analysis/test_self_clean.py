@@ -35,6 +35,13 @@ class TestRepositoryIsClean:
     def test_default_targets_match_explicit_ones(self):
         assert _run_linter().returncode == 0
 
+    def test_whole_program_passes_are_clean_over_src(self):
+        result = _run_linter(
+            "--passes", "guarded-by,determinism", "src", "benchmarks"
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "no problems found" in result.stdout
+
 
 class TestDeliberateViolation:
     def test_violation_fails_with_location_diagnostic(self, tmp_path):
