@@ -105,6 +105,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "circuit breakers) and report the serving metadata",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --via-service: serve through a sharded deployment of "
+        "N supervised shard processes (consistent-hash routing, crash "
+        "fail-over) instead of a single in-process service",
+    )
+    parser.add_argument(
         "--verify",
         action="store_true",
         help="cross-check the optimal cost against DPccp",
@@ -160,24 +169,40 @@ def main(argv=None) -> int:
             )
         if args.via_service:
             # Serving path: the same stack the service's workers run, plus
-            # admission/retry/breaker metadata in the output.
-            from repro.service import OptimizationService
+            # admission/retry/breaker metadata in the output.  --shards N
+            # swaps in the multi-process sharded deployment.
+            deadline_seconds = (
+                args.deadline_ms / 1000.0
+                if args.deadline_ms is not None
+                else None
+            )
+            if args.shards > 0:
+                from repro.service.sharded import ShardedService
 
-            with OptimizationService(
-                enumerator=args.enumerator,
-                pruning=args.pruning,
-                heuristic=args.heuristic,
-                workers=1,
-                telemetry=telemetry,
-            ) as service:
-                response = service.optimize(
-                    query,
-                    deadline_seconds=(
-                        args.deadline_ms / 1000.0
-                        if args.deadline_ms is not None
-                        else None
-                    ),
-                )
+                with ShardedService(
+                    shards=args.shards,
+                    enumerator=args.enumerator,
+                    pruning=args.pruning,
+                    heuristic=args.heuristic,
+                    workers_per_shard=1,
+                    telemetry=telemetry,
+                ) as service:
+                    response = service.optimize(
+                        query, deadline_seconds=deadline_seconds
+                    )
+            else:
+                from repro.service import OptimizationService
+
+                with OptimizationService(
+                    enumerator=args.enumerator,
+                    pruning=args.pruning,
+                    heuristic=args.heuristic,
+                    workers=1,
+                    telemetry=telemetry,
+                ) as service:
+                    response = service.optimize(
+                        query, deadline_seconds=deadline_seconds
+                    )
             if not response.ok:
                 print(
                     f"error: service returned {response.status}: "
@@ -192,6 +217,8 @@ def main(argv=None) -> int:
                 "queue_wait_seconds": response.queue_wait_seconds,
                 "service_seconds": response.service_seconds,
             }
+            if args.shards > 0:
+                service_meta["shard"] = response.shard
             resilient = response.result
             report = resilient.report
             label = algorithm_label(args.enumerator, args.pruning)

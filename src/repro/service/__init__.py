@@ -22,7 +22,13 @@ operational machinery a long-running deployment needs:
   degradation-rung histogram); shutdown drains gracefully;
 * **chaos soak** — ``python -m repro.service.soak`` runs the service
   under seeded fault injection and asserts every accepted request
-  returned a validated plan bit-identical to a fault-free replay.
+  returned a validated plan bit-identical to a fault-free replay;
+* **sharding** — :class:`~repro.service.sharded.ShardedService` runs N
+  supervised copies of this service as child processes behind a
+  consistent-hash router (warm-cache affinity on the WL fingerprint),
+  with crash fail-over, seeded-backoff respawn, graceful drains, and a
+  ``--kill-shards`` chaos mode (``python -m repro.service.soak
+  --shards N --kill-shards``).
 
 See ``docs/service.md`` for the architecture and tuning guide.
 """
@@ -44,6 +50,12 @@ from repro.service.server import (
     OptimizeRequest,
     OptimizeResponse,
 )
+from repro.service.sharded import (
+    ClusterHealth,
+    ConsistentHashRouter,
+    ShardConfig,
+    ShardedService,
+)
 
 __all__ = [
     "AdmissionQueue",
@@ -51,6 +63,8 @@ __all__ = [
     "BreakerBoard",
     "CLOSED",
     "CircuitBreaker",
+    "ClusterHealth",
+    "ConsistentHashRouter",
     "DEFAULT_QUEUE_CAPACITY",
     "HALF_OPEN",
     "ManualClock",
@@ -60,5 +74,7 @@ __all__ = [
     "OptimizeResponse",
     "RetryPolicy",
     "ServiceHealth",
+    "ShardConfig",
+    "ShardedService",
     "TRANSIENT_ERRORS",
 ]

@@ -20,6 +20,10 @@ __all__ = ["ServiceHealth"]
 class ServiceHealth:
     """One observation of the service's state."""
 
+    #: ``"ok"`` — running, every breaker closed; ``"degraded"`` — running
+    #: and serving, but at least one breaker is open/half-open (requests
+    #: ride retries and the fail-open backstop); ``"draining"`` /
+    #: ``"stopped"`` — lifecycle states.
     status: str  # "ok" | "degraded" | "draining" | "stopped"
     queue: Dict[str, object] = field(default_factory=dict)
     workers_alive: int = 0
@@ -86,14 +90,20 @@ class ServiceHealth:
 
     def describe(self) -> str:
         """Terse one-per-line rendering for CLI output."""
+        if self.healthy:
+            verdict = "healthy"
+        elif self.status == "degraded":
+            verdict = "serving degraded"
+        else:
+            verdict = "unhealthy"
         lines = [
-            f"status     : {self.status} "
-            f"({'healthy' if self.healthy else 'unhealthy'})",
+            f"status     : {self.status} ({verdict})",
             f"queue      : {self.queue.get('depth', 0)}/"
             f"{self.queue.get('capacity', 0)} "
             f"(high water {self.queue.get('high_water', 0)}, "
             f"rejected {self.rejected})",
-            f"workers    : {self.workers_alive}/{self.workers_total} alive",
+            f"workers    : {self.workers_alive}/{self.workers_total} alive, "
+            f"{self.unhandled_worker_errors} unhandled error(s)",
             f"requests   : {self.completed} completed, {self.failed} failed, "
             f"{self.timeouts} timeouts, {self.cancelled} cancelled, "
             f"{self.retries} retries",

@@ -22,7 +22,8 @@ from __future__ import annotations
 
 import heapq
 import threading
-from typing import Generic, List, Optional, Tuple, TypeVar
+import time
+from typing import Callable, Generic, List, Optional, Tuple, TypeVar
 
 from repro.errors import ServiceOverloadError, ServiceShutdownError
 
@@ -43,12 +44,20 @@ class AdmissionQueue(Generic[T]):
     capacity:
         Maximum number of queued items; ``put`` beyond it sheds load by
         raising :class:`ServiceOverloadError`.  Must be positive.
+    clock:
+        Monotonic clock used for :meth:`get` timeout accounting
+        (injectable for tests).
     """
 
-    def __init__(self, capacity: int = DEFAULT_QUEUE_CAPACITY):
+    def __init__(
+        self,
+        capacity: int = DEFAULT_QUEUE_CAPACITY,
+        clock: Callable[[], float] = time.monotonic,
+    ):
         if capacity <= 0:
             raise ValueError(f"capacity must be > 0, got {capacity}")
         self._capacity = capacity
+        self._clock = clock
         self._heap: List[Tuple[int, int, T]] = []
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
@@ -104,13 +113,22 @@ class AdmissionQueue(Generic[T]):
 
         Returns ``None`` when the queue is closed and drained (the worker
         shutdown signal) or when ``timeout`` elapses with nothing queued.
+        The timeout is one monotonic deadline for the whole call: spurious
+        condition wakeups (or losing a race for a just-added item) re-wait
+        only the *remaining* time, never the full timeout again.
         """
+        deadline = None if timeout is None else self._clock() + timeout
         with self._not_empty:
             while not self._heap:
                 if self._closed:
                     return None
-                if not self._not_empty.wait(timeout=timeout):
+                if deadline is None:
+                    self._not_empty.wait()
+                    continue
+                remaining = deadline - self._clock()
+                if remaining <= 0:
                     return None
+                self._not_empty.wait(timeout=remaining)
             return heapq.heappop(self._heap)[2]
 
     # ------------------------------------------------------------------

@@ -148,6 +148,9 @@ class OptimizeResponse:
     injected: Dict[str, int] = field(default_factory=dict)
     error: Optional[str] = None
     result: Optional[ResilientResult] = None
+    #: Shard that served the request (sharded deployments only); ``None``
+    #: for single-process service responses and front-end fallbacks.
+    shard: Optional[int] = None
 
     @property
     def ok(self) -> bool:
@@ -167,6 +170,7 @@ class OptimizeResponse:
             "service_seconds": self.service_seconds,
             "injected": dict(self.injected),
             "error": self.error,
+            "shard": self.shard,
         }
 
 
@@ -434,11 +438,29 @@ class OptimizationService:
     # -- health --------------------------------------------------------
 
     def healthz(self) -> ServiceHealth:
-        """A point-in-time health snapshot (see :class:`ServiceHealth`)."""
+        """A point-in-time health snapshot (see :class:`ServiceHealth`).
+
+        A running service reports ``"ok"``, or ``"degraded"`` when it is
+        still serving but with at least one breaker not closed (requests
+        proceed under retries and, past ``breaker_wait_limit``, the
+        fail-open backstop) — an open breaker is load-shedding, not an
+        outage, and operators need to tell the two apart.
+        """
+        breaker_snapshot = self._breakers.snapshot()
+        serving_degraded = any(
+            entry.get("state") != "closed"
+            for entry in breaker_snapshot.values()
+        )
         with self._lock:
             state = self._state
+            if state != "running":
+                status = state
+            elif serving_degraded:
+                status = "degraded"
+            else:
+                status = "ok"
             health = ServiceHealth(
-                status="ok" if state == "running" else state,
+                status=status,
                 queue=self._queue.snapshot(),
                 workers_alive=sum(
                     1 for thread in self._threads if thread.is_alive()
@@ -454,7 +476,7 @@ class OptimizationService:
                 breaker_trips=self._breakers.total_trips,
                 unhandled_worker_errors=self.unhandled_worker_errors,
                 rung_histogram=dict(self.rung_histogram),
-                breakers=self._breakers.snapshot(),
+                breakers=breaker_snapshot,
                 plan_cache=(
                     self._plan_cache.snapshot()
                     if self._plan_cache is not None

@@ -1,0 +1,159 @@
+"""Cluster-level health: per-shard liveness folded into one envelope.
+
+:class:`ClusterHealth` is the sharded tier's answer to the single
+service's :class:`~repro.service.ServiceHealth`: one JSON-ready snapshot
+aggregating shard liveness (state machine position, pid, heartbeat
+recency), supervision counters (respawns, fail-overs, drains, wire
+errors), front-end request accounting, and each shard's last reported
+*local* ``healthz()`` payload — the supervisor caches the snapshot every
+heartbeat carries, so building a cluster view costs no synchronous
+round-trips to the shards.
+
+``status`` summarizes the cluster the way an operator triages it:
+
+* ``"ok"`` — every configured shard is up;
+* ``"degraded"`` — at least one shard is down/respawning/draining but at
+  least one is up (requests fail over; warm-cache affinity is partially
+  lost);
+* ``"down"`` — no shard is up: the front-end serves every request
+  through its in-process degradation-ladder fallback;
+* ``"draining"`` / ``"stopped"`` — cluster lifecycle states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["ClusterHealth", "ShardStatus"]
+
+
+@dataclass
+class ShardStatus:
+    """One shard's supervision view (parent-side knowledge only)."""
+
+    shard_id: int
+    state: str  # "spawning" | "up" | "draining" | "backoff" | "dead" | "stopped"
+    pid: Optional[int] = None
+    alive: bool = False
+    respawns: int = 0
+    consecutive_failures: int = 0
+    outstanding: int = 0
+    dispatched: int = 0
+    completed: int = 0
+    failed_over: int = 0
+    sheds: int = 0
+    heartbeats: int = 0
+    #: Seconds since the last heartbeat (parent clock); ``None`` before
+    #: the first one.
+    heartbeat_age_seconds: Optional[float] = None
+    #: The shard's own ``ServiceHealth.as_dict()`` from its last
+    #: heartbeat (may lag by one heartbeat interval).
+    local_health: Optional[Dict[str, object]] = None
+    breaker_trace: List[str] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "shard_id": self.shard_id,
+            "state": self.state,
+            "pid": self.pid,
+            "alive": self.alive,
+            "respawns": self.respawns,
+            "consecutive_failures": self.consecutive_failures,
+            "outstanding": self.outstanding,
+            "dispatched": self.dispatched,
+            "completed": self.completed,
+            "failed_over": self.failed_over,
+            "sheds": self.sheds,
+            "heartbeats": self.heartbeats,
+            "heartbeat_age_seconds": self.heartbeat_age_seconds,
+            "local_health": (
+                dict(self.local_health) if self.local_health else None
+            ),
+            "breaker_trace": list(self.breaker_trace),
+        }
+
+
+@dataclass
+class ClusterHealth:
+    """One observation of the whole sharded deployment."""
+
+    status: str  # "ok" | "degraded" | "down" | "draining" | "stopped"
+    shards: List[ShardStatus] = field(default_factory=list)
+    shards_total: int = 0
+    shards_up: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    failed: int = 0
+    #: Requests re-routed off a dead or shedding shard.
+    failovers: int = 0
+    #: Shard processes respawned after a crash or missed heartbeats.
+    respawns: int = 0
+    #: Graceful drains completed (rolling restarts).
+    drains: int = 0
+    #: Requests served by the front-end's in-process degradation-ladder
+    #: fallback because no shard was alive.
+    fallback_served: int = 0
+    #: Messages that failed to decode off a shard pipe (e.g. a write cut
+    #: mid-pickle by SIGKILL).
+    wire_errors: int = 0
+    #: Telemetry registry snapshot when the front-end runs with a
+    #: :class:`~repro.telemetry.Telemetry` bundle attached.
+    metrics: Optional[Dict[str, object]] = None
+
+    @property
+    def healthy(self) -> bool:
+        """Fully staffed: every configured shard up, none failing."""
+        return self.status == "ok" and self.shards_up == self.shards_total
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "status": self.status,
+            "healthy": self.healthy,
+            "shards_total": self.shards_total,
+            "shards_up": self.shards_up,
+            "requests": {
+                "accepted": self.accepted,
+                "rejected": self.rejected,
+                "completed": self.completed,
+                "failed": self.failed,
+            },
+            "failovers": self.failovers,
+            "respawns": self.respawns,
+            "drains": self.drains,
+            "fallback_served": self.fallback_served,
+            "wire_errors": self.wire_errors,
+            "shards": [shard.as_dict() for shard in self.shards],
+            "metrics": dict(self.metrics) if self.metrics else None,
+        }
+
+    def describe(self) -> str:
+        """Terse one-per-line rendering for CLI output (runbook format)."""
+        if self.healthy:
+            verdict = "healthy"
+        elif self.status in ("degraded", "down"):
+            verdict = "serving via fail-over" if self.shards_up else "fallback only"
+        else:
+            verdict = "not serving"
+        lines = [
+            f"cluster    : {self.status} ({verdict}), "
+            f"{self.shards_up}/{self.shards_total} shards up",
+            f"requests   : {self.accepted} accepted, {self.rejected} "
+            f"rejected, {self.completed} completed, {self.failed} failed",
+            f"resilience : {self.failovers} fail-overs, {self.respawns} "
+            f"respawns, {self.drains} drains, {self.fallback_served} "
+            f"fallback-served, {self.wire_errors} wire errors",
+        ]
+        for shard in self.shards:
+            age = (
+                "no heartbeat yet"
+                if shard.heartbeat_age_seconds is None
+                else f"beat {shard.heartbeat_age_seconds * 1000:.0f} ms ago"
+            )
+            lines.append(
+                f"  shard {shard.shard_id}: {shard.state} "
+                f"(pid {shard.pid}, {age}, {shard.outstanding} outstanding, "
+                f"{shard.respawns} respawns, {shard.failed_over} failed over)"
+            )
+        return "\n".join(lines)

@@ -20,6 +20,18 @@ The chaos schedule is a pure function of ``(service seed, request id,
 attempt)``, so a given seed poisons the same attempts the same way on
 every run regardless of thread interleaving.  Exit status is 0 iff every
 assertion holds, which is what the CI ``soak-smoke`` job keys on.
+
+``--shards N`` moves the same soak onto a
+:class:`~repro.service.sharded.ShardedService` (N supervised shard
+processes), and ``--kill-shards K`` arms **process-kill chaos**: K times
+over the run a seeded schedule SIGKILLs a random live shard mid-flight.
+The contract hardens accordingly: every accepted request must *still*
+resolve — failed over to a surviving shard, or served by the front-end
+fallback ladder — to a validated plan bit-identical to the
+single-process disarmed replay, and the respawns/fail-overs must be
+visible in the cluster ``healthz()``.  A future that never resolves is
+counted as *lost* and fails the run.  That is what the CI
+``shard-chaos-smoke`` job keys on.
 """
 
 from __future__ import annotations
@@ -31,6 +43,7 @@ import sys
 import threading
 import time
 from collections import deque
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -54,8 +67,10 @@ __all__ = [
     "ChaosAttempt",
     "SoakRecord",
     "SoakReport",
+    "ShardedSoakReport",
     "build_query_pool",
     "run_soak",
+    "run_sharded_soak",
     "main",
 ]
 
@@ -525,6 +540,374 @@ def run_soak(
 # ---------------------------------------------------------------------------
 
 
+@dataclass
+class ShardedSoakReport:
+    """Everything one sharded (``--shards``) soak run observed."""
+
+    seconds: float
+    seed: int
+    rate: float
+    shards: int
+    workers_per_shard: int
+    kills_requested: int = 0
+    #: One entry per SIGKILL actually delivered: elapsed seconds, shard
+    #: id, pid at kill time.
+    kills: List[Dict[str, object]] = field(default_factory=list)
+    submitted: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    failed: int = 0
+    timeouts: int = 0
+    #: Accepted requests whose future never resolved (the hard loss the
+    #: kill-shards contract forbids).
+    lost: int = 0
+    invalid_plans: int = 0
+    replay_checked: int = 0
+    replay_mismatches: int = 0
+    degraded_responses: int = 0
+    injected_faults: int = 0
+    failovers: int = 0
+    respawns: int = 0
+    fallback_served: int = 0
+    wire_errors: int = 0
+    rung_histogram: Dict[str, int] = field(default_factory=dict)
+    #: Responses per serving shard (``None`` key = front-end fallback).
+    shard_histogram: Dict[str, int] = field(default_factory=dict)
+    cluster: Optional[Dict[str, object]] = None
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "passed": self.passed,
+            "config": {
+                "seconds": self.seconds,
+                "seed": self.seed,
+                "rate": self.rate,
+                "shards": self.shards,
+                "workers_per_shard": self.workers_per_shard,
+                "kills_requested": self.kills_requested,
+            },
+            "kills": list(self.kills),
+            "requests": {
+                "submitted": self.submitted,
+                "accepted": self.accepted,
+                "rejected": self.rejected,
+                "completed": self.completed,
+                "failed": self.failed,
+                "timeouts": self.timeouts,
+                "lost": self.lost,
+            },
+            "validation": {
+                "invalid_plans": self.invalid_plans,
+                "replay_checked": self.replay_checked,
+                "replay_mismatches": self.replay_mismatches,
+                "degraded_responses": self.degraded_responses,
+            },
+            "chaos": {"injected_faults": self.injected_faults},
+            "resilience": {
+                "failovers": self.failovers,
+                "respawns": self.respawns,
+                "fallback_served": self.fallback_served,
+                "wire_errors": self.wire_errors,
+            },
+            "rung_histogram": dict(self.rung_histogram),
+            "shard_histogram": dict(self.shard_histogram),
+            "cluster": self.cluster,
+            "violations": list(self.violations),
+        }
+
+    def describe(self) -> str:
+        lines = [
+            f"sharded soak {'PASSED' if self.passed else 'FAILED'}: "
+            f"{self.seconds:.0f}s, seed={self.seed}, rate={self.rate}, "
+            f"{self.shards} shards x {self.workers_per_shard} workers, "
+            f"{len(self.kills)}/{self.kills_requested} kills delivered",
+            f"requests   : {self.submitted} submitted, {self.accepted} "
+            f"accepted, {self.rejected} shed, {self.completed} completed, "
+            f"{self.failed} failed, {self.timeouts} timeouts, "
+            f"{self.lost} lost",
+            f"resilience : {self.failovers} fail-overs, {self.respawns} "
+            f"respawns, {self.fallback_served} fallback-served, "
+            f"{self.wire_errors} wire errors",
+            f"validation : {self.invalid_plans} invalid plans, "
+            f"{self.replay_mismatches}/{self.replay_checked} replay "
+            f"mismatches, {self.degraded_responses} degraded",
+            f"rungs      : {self.rung_histogram}",
+            f"shards     : {self.shard_histogram}",
+        ]
+        for kill in self.kills:
+            lines.append(
+                f"  kill @{kill['elapsed']:.1f}s: shard {kill['shard']} "
+                f"(pid {kill['pid']})"
+            )
+        if self.violations:
+            lines.append("violations:")
+            lines.extend(f"  {violation}" for violation in self.violations)
+        return "\n".join(lines)
+
+
+def run_sharded_soak(
+    seconds: float = 30.0,
+    seed: int = 7,
+    rate: float = 0.3,
+    shards: int = 3,
+    workers_per_shard: int = 2,
+    queue_capacity: int = 64,
+    pool_size: int = 12,
+    families: Sequence[str] = ("chain", "star", "clique"),
+    min_relations: int = 5,
+    max_relations: int = 9,
+    kill_shards: int = 0,
+    replay: bool = True,
+    max_requests: Optional[int] = None,
+    resolve_timeout: float = 120.0,
+    progress: Optional[Callable[[str], None]] = None,
+    telemetry: Optional[Telemetry] = None,
+) -> ShardedSoakReport:
+    """Run the chaos soak against a :class:`ShardedService`.
+
+    ``kill_shards`` schedules that many SIGKILLs of random live shards,
+    evenly spaced over the run (seeded choice of victim).  The loss
+    contract is absolute: every accepted request's future must resolve
+    within ``resolve_timeout`` — to a validated plan or an honest typed
+    failure — no matter how many shards died under it; anything else is
+    recorded as *lost* and fails the run.
+    """
+    from repro.service.sharded import ShardedService
+
+    pool = build_query_pool(
+        seed,
+        pool_size=pool_size,
+        families=families,
+        min_relations=min_relations,
+        max_relations=max_relations,
+    )
+    report = ShardedSoakReport(
+        seconds=seconds,
+        seed=seed,
+        rate=rate,
+        shards=shards,
+        workers_per_shard=workers_per_shard,
+        kills_requested=kill_shards,
+    )
+    service = ShardedService(
+        shards=shards,
+        workers_per_shard=workers_per_shard,
+        shard_queue_capacity=queue_capacity,
+        seed=seed,
+        chaos_rate=rate,
+        telemetry=telemetry,
+    )
+    records: List[SoakRecord] = []
+    shard_counts: Dict[str, int] = {}
+    pending: "deque[Tuple[SoakRecord, object]]" = deque()
+
+    def drain(block: bool) -> None:
+        while pending:
+            record, future = pending[0]
+            if not block and not future.done():
+                return
+            pending.popleft()
+            try:
+                response = future.result(timeout=resolve_timeout)
+            except FuturesTimeoutError:
+                # The hard failure mode kill-shards exists to catch: an
+                # accepted request nobody will ever answer.
+                report.lost += 1
+                record.status = "lost"
+                record.error = (
+                    f"future unresolved after {resolve_timeout:.0f}s"
+                )
+                records.append(record)
+                continue
+            except Exception as error:
+                # Honest typed failure (e.g. shutdown strands): resolved,
+                # not lost — but still counted against the run.
+                record.status = "failed"
+                record.error = f"{type(error).__name__}: {error}"
+                records.append(record)
+                continue
+            query = next(q for k, q in pool if k == record.pool_key)
+            _validate_response(record, response, query)
+            shard_key = (
+                "fallback" if response.shard is None else str(response.shard)
+            )
+            shard_counts[shard_key] = shard_counts.get(shard_key, 0) + 1
+            records.append(record)
+
+    # Evenly spaced kill times; the victim draw is seeded, so a given
+    # seed produces one fixed kill schedule (modulo which shards are
+    # alive when each timer fires).
+    kill_rng = random.Random(seed * 9_176 + 4_242)
+    kill_times = [
+        (index + 1) * seconds / (kill_shards + 1)
+        for index in range(kill_shards)
+    ]
+
+    started = time.perf_counter()
+    index = 0
+    with service:
+        while time.perf_counter() - started < seconds:
+            if max_requests is not None and index >= max_requests:
+                break
+            elapsed = time.perf_counter() - started
+            while kill_times and elapsed >= kill_times[0]:
+                kill_times.pop(0)
+                victims = [
+                    status.shard_id
+                    for status in service.healthz().shards
+                    if status.alive
+                ]
+                if not victims:
+                    continue  # everything already dead; nothing to kill
+                victim = victims[kill_rng.randrange(len(victims))]
+                pid = service.kill_shard(victim)
+                report.kills.append(
+                    {"elapsed": elapsed, "shard": victim, "pid": pid}
+                )
+                if progress is not None:
+                    progress(
+                        f"{elapsed:.1f}s: SIGKILL shard {victim} (pid {pid})"
+                    )
+            key, query = pool[index % len(pool)]
+            report.submitted += 1
+            try:
+                future = service.submit(query, priority=index % 3)
+            except ServiceOverloadError:
+                report.rejected += 1
+                drain(block=False)
+                time.sleep(0.001)
+            else:
+                report.accepted += 1
+                pending.append(
+                    (
+                        SoakRecord(request_id=index, pool_key=key, status=""),
+                        future,
+                    )
+                )
+            index += 1
+            if len(pending) >= queue_capacity:
+                drain(block=False)
+            if progress is not None and index % 200 == 0:
+                progress(
+                    f"{time.perf_counter() - started:.0f}s: {index} "
+                    f"submitted, {len(records)} completed"
+                )
+        # Deliver any kills the submission loop didn't reach (short
+        # --max-requests runs), so smoke runs still exercise the crash
+        # path the number of times they asked for.
+        for _ in list(kill_times):
+            kill_times.pop(0)
+            victims = [
+                status.shard_id
+                for status in service.healthz().shards
+                if status.alive
+            ]
+            if not victims:
+                continue
+            victim = victims[kill_rng.randrange(len(victims))]
+            pid = service.kill_shard(victim)
+            report.kills.append(
+                {
+                    "elapsed": time.perf_counter() - started,
+                    "shard": victim,
+                    "pid": pid,
+                }
+            )
+        drain(block=True)
+        health = service.healthz()
+
+    # -- aggregate ------------------------------------------------------
+    report.completed = sum(1 for r in records if r.status == "ok")
+    report.failed = sum(1 for r in records if r.status == "failed")
+    report.timeouts = sum(1 for r in records if r.status == "timeout")
+    report.invalid_plans = sum(
+        1 for r in records if r.status == "ok" and not r.valid
+    )
+    report.degraded_responses = sum(1 for r in records if r.degraded)
+    report.injected_faults = sum(r.injected for r in records)
+    report.failovers = health.failovers
+    report.respawns = health.respawns
+    report.fallback_served = health.fallback_served
+    report.wire_errors = health.wire_errors
+    for record in records:
+        if record.rung:
+            report.rung_histogram[record.rung] = (
+                report.rung_histogram.get(record.rung, 0) + 1
+            )
+    report.shard_histogram = dict(sorted(shard_counts.items()))
+    report.cluster = health.as_dict()
+
+    # -- replay: single-process, chaos disarmed, bit-identical ----------
+    if replay:
+        clean: Dict[str, Tuple[str, str]] = {}
+        for key, query in pool:
+            result = ResilientOptimizer().optimize(query)
+            clean[key] = (result.plan.sexpr(), repr(result.cost))
+        for record in records:
+            if record.status != "ok" or record.degraded or not record.valid:
+                continue
+            report.replay_checked += 1
+            want_sexpr, want_cost = clean[record.pool_key]
+            # Bit-exact on purpose (see run_soak): any epsilon would hide
+            # a routing- or fail-over-dependent determinism regression.
+            if (
+                record.plan_sexpr != want_sexpr
+                or record.cost_repr != want_cost  # repro: disable=no-float-cost-eq
+            ):
+                report.replay_mismatches += 1
+                if len(report.violations) < 20:
+                    report.violations.append(
+                        f"replay mismatch for request#{record.request_id} "
+                        f"({record.pool_key}): got {record.plan_sexpr} "
+                        f"@ {record.cost_repr}, want {want_sexpr} "
+                        f"@ {want_cost}"
+                    )
+
+    # -- verdicts -------------------------------------------------------
+    if report.lost:
+        report.violations.append(
+            f"{report.lost} accepted request(s) never resolved (lost)"
+        )
+    if report.failed:
+        report.violations.append(
+            f"{report.failed} accepted request(s) failed without a plan"
+        )
+        for record in records:
+            if record.status == "failed" and len(report.violations) < 20:
+                report.violations.append(
+                    f"  request#{record.request_id} ({record.pool_key}): "
+                    f"{record.error}"
+                )
+    if report.timeouts:
+        report.violations.append(
+            f"{report.timeouts} accepted request(s) timed out"
+        )
+    if report.invalid_plans:
+        report.violations.append(
+            f"{report.invalid_plans} returned plan(s) failed validation"
+        )
+    if len(report.kills) < kill_shards:
+        report.violations.append(
+            f"only {len(report.kills)}/{kill_shards} scheduled shard kills "
+            "were delivered"
+        )
+    if report.kills and report.respawns == 0 and report.fallback_served == 0:
+        report.violations.append(
+            "shards were killed but neither a respawn nor a fallback serve "
+            "is visible in cluster healthz"
+        )
+    return report
+
+
+# ---------------------------------------------------------------------------
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.service.soak",
@@ -541,6 +924,28 @@ def _build_parser() -> argparse.ArgumentParser:
         help="probability an optimization attempt is poisoned",
     )
     parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run against a ShardedService with N shard processes "
+        "(0 = single-process service)",
+    )
+    parser.add_argument(
+        "--workers-per-shard",
+        type=int,
+        default=2,
+        help="worker threads inside each shard (sharded mode only)",
+    )
+    parser.add_argument(
+        "--kill-shards",
+        type=int,
+        default=0,
+        metavar="K",
+        help="SIGKILL K random live shards, evenly spaced over the run "
+        "(requires --shards)",
+    )
     parser.add_argument("--queue", type=int, default=64, metavar="CAPACITY")
     parser.add_argument("--pool", type=int, default=12, metavar="QUERIES")
     parser.add_argument(
@@ -579,6 +984,41 @@ def main(argv=None) -> int:
     if args.trace is not None:
         sink = TraceSink(args.trace)
         telemetry = Telemetry(tracer=Tracer(sink=sink))
+    if args.kill_shards and not args.shards:
+        print("--kill-shards requires --shards N", file=sys.stderr)
+        return 2
+    if args.shards:
+        from repro.telemetry import MetricRegistry
+
+        # Sharded mode always carries a registry so the report's cluster
+        # snapshot includes the repro_shard_* series.
+        if telemetry is None:
+            telemetry = Telemetry(registry=MetricRegistry(enabled=True))
+        sharded_report = run_sharded_soak(
+            seconds=args.seconds,
+            seed=args.seed,
+            rate=args.rate,
+            shards=args.shards,
+            workers_per_shard=args.workers_per_shard,
+            queue_capacity=args.queue,
+            pool_size=args.pool,
+            families=tuple(args.families.split(",")),
+            min_relations=args.min_relations,
+            max_relations=args.max_relations,
+            kill_shards=args.kill_shards,
+            replay=not args.no_replay,
+            max_requests=args.max_requests,
+            progress=progress,
+            telemetry=telemetry,
+        )
+        if sink is not None:
+            sink.close()
+        if args.json is not None:
+            args.json.write_text(
+                json.dumps(sharded_report.as_dict(), indent=2)
+            )
+        print(sharded_report.describe())
+        return 0 if sharded_report.passed else 1
     report = run_soak(
         seconds=args.seconds,
         seed=args.seed,

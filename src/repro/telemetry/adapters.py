@@ -30,6 +30,7 @@ from repro.telemetry.metrics import MetricRegistry
 __all__ = [
     "publish_optimization_stats",
     "publish_service_health",
+    "publish_cluster_health",
     "publish_failure_counts",
     "publish_enumeration_profile",
 ]
@@ -61,8 +62,12 @@ def publish_service_health(registry: MetricRegistry, health) -> None:
     """
     registry.gauge(
         "repro_service_up",
-        "1 while the service reports status ok, else 0.",
-    ).set(1.0 if health.status == "ok" else 0.0)
+        "1 while the service is serving (status ok or degraded), else 0.",
+    ).set(1.0 if health.status in ("ok", "degraded") else 0.0)
+    registry.gauge(
+        "repro_service_degraded",
+        "1 while the service serves with at least one open breaker.",
+    ).set(1.0 if health.status == "degraded" else 0.0)
     registry.gauge(
         "repro_service_healthy",
         "1 while the service is fully staffed with no open breakers.",
@@ -122,6 +127,71 @@ def publish_service_health(registry: MetricRegistry, health) -> None:
                     f"repro_service_plan_cache_{key}",
                     f"Plan cache {key} reported by healthz.",
                 ).set(health.plan_cache[key])
+
+
+def publish_cluster_health(registry: MetricRegistry, health) -> None:
+    """Mirror a sharded :class:`ClusterHealth` snapshot into ``registry``.
+
+    Like :func:`publish_service_health`, every value in the envelope is a
+    lifetime total maintained by the front-end, so gauges are *set* —
+    publishing two snapshots back-to-back is idempotent.  (The front-end
+    additionally increments ``repro_shard_*_total`` counters at event
+    time; those are the rate-able series, these gauges are the state.)
+    """
+    registry.gauge(
+        "repro_shard_cluster_up",
+        "1 while at least one shard is up, else 0.",
+    ).set(1.0 if health.shards_up > 0 else 0.0)
+    registry.gauge(
+        "repro_shard_cluster_healthy",
+        "1 while every configured shard is up.",
+    ).set(1.0 if health.healthy else 0.0)
+    registry.gauge(
+        "repro_shard_cluster_shards_up", "Shard processes currently up."
+    ).set(health.shards_up)
+    registry.gauge(
+        "repro_shard_cluster_shards_total", "Shard processes configured."
+    ).set(health.shards_total)
+    for field_name in ("accepted", "rejected", "completed", "failed"):
+        registry.gauge(
+            f"repro_shard_cluster_requests_{field_name}",
+            f"Lifetime {field_name} requests reported by cluster healthz.",
+        ).set(getattr(health, field_name))
+    for field_name in (
+        "failovers",
+        "respawns",
+        "drains",
+        "fallback_served",
+        "wire_errors",
+    ):
+        registry.gauge(
+            f"repro_shard_cluster_{field_name}",
+            f"Lifetime {field_name.replace('_', ' ')} reported by "
+            "cluster healthz.",
+        ).set(getattr(health, field_name))
+    for shard in health.shards:
+        labels = {"shard": shard.shard_id}
+        registry.gauge(
+            "repro_shard_up",
+            "1 while the labelled shard process is up.",
+            labels=labels,
+        ).set(1.0 if shard.state == "up" else 0.0)
+        registry.gauge(
+            "repro_shard_state_outstanding",
+            "Requests currently assigned to the labelled shard.",
+            labels=labels,
+        ).set(shard.outstanding)
+        registry.gauge(
+            "repro_shard_state_respawns",
+            "Lifetime respawns of the labelled shard slot.",
+            labels=labels,
+        ).set(shard.respawns)
+        if shard.heartbeat_age_seconds is not None:
+            registry.gauge(
+                "repro_shard_heartbeat_age_seconds",
+                "Seconds since the labelled shard's last heartbeat.",
+                labels=labels,
+            ).set(shard.heartbeat_age_seconds)
 
 
 def publish_failure_counts(

@@ -121,6 +121,49 @@ class TestShutdown:
         assert queue.drain_pending() == ["high", "low"]
         assert len(queue) == 0
 
+    def test_get_timeout_is_a_single_monotonic_deadline(self):
+        # Regression: spurious condition wakeups must not extend the wait
+        # past the requested timeout.  The stub condition wakes spuriously
+        # (returns without an item) while an injectable clock advances;
+        # the old code re-armed the *full* timeout after every wakeup, so
+        # the requested timeouts would never shrink and the call could
+        # wait arbitrarily long.
+        now = [0.0]
+        queue = AdmissionQueue(capacity=4, clock=lambda: now[0])
+
+        class SpuriousCondition:
+            def __init__(self):
+                self.requested = []
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def wait(self, timeout=None):
+                self.requested.append(timeout)
+                now[0] += 0.4  # time passes; still no item: spurious wake
+                return True
+
+            def notify(self):
+                pass
+
+            def notify_all(self):
+                pass
+
+        condition = SpuriousCondition()
+        queue._not_empty = condition
+        assert queue.get(timeout=1.0) is None
+        # Three wakeups at t=0.4, 0.8, 1.2 exhaust the 1.0s deadline; the
+        # remaining time shrinks monotonically instead of resetting.
+        assert condition.requested == pytest.approx([1.0, 0.6, 0.2])
+        assert now[0] == pytest.approx(1.2)
+
+    def test_get_with_injected_clock_already_past_deadline(self):
+        queue = AdmissionQueue(capacity=4, clock=lambda: 100.0)
+        assert queue.get(timeout=0.0) is None
+
     def test_snapshot_reports_state(self):
         queue = AdmissionQueue(capacity=3)
         queue.put("a")

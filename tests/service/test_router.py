@@ -1,0 +1,97 @@
+"""Consistent-hash router: determinism, affinity, minimal movement."""
+
+import pytest
+
+from repro.context.fingerprint import fingerprint
+from repro.service.sharded.router import ConsistentHashRouter
+from repro.workload.generator import QueryGenerator
+
+
+def keys(count: int, seed: int = 3) -> list:
+    generator = QueryGenerator(seed=seed)
+    out = []
+    for index in range(count):
+        family = ("chain", "star", "clique")[index % 3]
+        out.append(
+            fingerprint(generator.generate(family, 4 + index % 4)).key
+        )
+    return out
+
+
+class TestRingConstruction:
+    def test_rejects_empty_and_duplicate_ids(self):
+        with pytest.raises(ValueError, match="at least one shard"):
+            ConsistentHashRouter([])
+        with pytest.raises(ValueError, match="duplicate"):
+            ConsistentHashRouter([0, 1, 1])
+        with pytest.raises(ValueError, match="virtual_nodes"):
+            ConsistentHashRouter([0], virtual_nodes=0)
+
+    def test_two_instances_route_identically(self):
+        a = ConsistentHashRouter(range(4))
+        b = ConsistentHashRouter(range(4))
+        for key in keys(30):
+            assert a.route(key, alive=range(4)) == b.route(key, alive=range(4))
+
+    def test_preference_is_a_permutation_of_all_shards(self):
+        router = ConsistentHashRouter(range(5))
+        for key in keys(20):
+            order = router.preference(key)
+            assert sorted(order) == [0, 1, 2, 3, 4]
+
+
+class TestAffinity:
+    def test_isomorphic_queries_share_a_shard(self):
+        # Same generator seed -> same query -> same fingerprint key: the
+        # warm-cache property the router exists for.
+        router = ConsistentHashRouter(range(3))
+        q1 = QueryGenerator(seed=5).generate("star", 6)
+        q2 = QueryGenerator(seed=5).generate("star", 6)
+        assert router.key_for(q1) == router.key_for(q2)
+        assert router.route_query(q1, alive=range(3)) == router.route_query(
+            q2, alive=range(3)
+        )
+
+    def test_load_spreads_across_shards(self):
+        router = ConsistentHashRouter(range(4))
+        hits = {shard: 0 for shard in range(4)}
+        for key in keys(60):
+            hits[router.route(key, alive=range(4))] += 1
+        # Virtual nodes keep every shard in play for a mixed pool.
+        assert all(count > 0 for count in hits.values()), hits
+
+
+class TestMovement:
+    def test_only_dead_shards_keys_move(self):
+        router = ConsistentHashRouter(range(4))
+        pool = keys(60)
+        before = {key: router.route(key, alive=range(4)) for key in pool}
+        after = {key: router.route(key, alive=[0, 1, 3]) for key in pool}
+        for key in pool:
+            if before[key] != 2:
+                assert after[key] == before[key], (
+                    "a key not owned by the dead shard moved"
+                )
+            else:
+                assert after[key] in (0, 1, 3)
+
+    def test_keys_come_home_after_respawn(self):
+        router = ConsistentHashRouter(range(3))
+        pool = keys(30)
+        home = {key: router.route(key, alive=range(3)) for key in pool}
+        # Kill shard 1, then bring it back: routing is memoryless, so
+        # the original assignment is restored exactly.
+        for key in pool:
+            router.route(key, alive=[0, 2])
+        assert {
+            key: router.route(key, alive=range(3)) for key in pool
+        } == home
+
+    def test_exclude_skips_but_alive_governs(self):
+        router = ConsistentHashRouter(range(3))
+        key = keys(1)[0]
+        first = router.route(key, alive=range(3))
+        second = router.route(key, alive=range(3), exclude={first})
+        assert second is not None and second != first
+        assert router.route(key, alive=[first], exclude={first}) is None
+        assert router.route(key, alive=[]) is None

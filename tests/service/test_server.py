@@ -467,6 +467,33 @@ class TestHealth:
         assert stopped.status == "stopped"
         assert not stopped.healthy
 
+    def test_healthz_reports_degraded_while_serving_with_open_breakers(
+        self, query
+    ):
+        clock = ManualClock()
+        board = BreakerBoard(
+            failure_threshold=1, cooldown_seconds=60.0, clock=clock
+        )
+        board.breaker("cost_model").record_failure()
+        assert board.breaker("cost_model").state == OPEN
+        with make_service(workers=1, breakers=board, clock=clock) as service:
+            health = service.healthz()
+            # Serving with an open breaker is degraded, not unhealthy-dead:
+            # requests still complete via retries and the fail-open backstop.
+            assert health.status == "degraded"
+            assert not health.healthy
+            assert "serving degraded" in health.describe()
+        assert service.healthz().status == "stopped"
+
+    def test_describe_renders_unhandled_worker_errors(self, query):
+        def exploding_chaos(request, attempt):
+            raise RuntimeError("chaos hook bug")
+
+        with make_service(workers=1, chaos=exploding_chaos) as service:
+            service.optimize(query)
+            described = service.healthz().describe()
+        assert "1 unhandled error(s)" in described
+
     def test_healthz_serializes(self, query):
         import json
 

@@ -10,6 +10,7 @@ from repro.service.soak import (
     SoakReport,
     build_query_pool,
     main,
+    run_sharded_soak,
     run_soak,
 )
 from repro.service.server import OptimizeRequest
@@ -228,3 +229,59 @@ class TestMain:
         assert "soak PASSED" in capsys.readouterr().out
         payload = json.loads(out.read_text())
         assert payload["passed"] is True
+
+    def test_kill_shards_without_shards_is_an_error(self, capsys):
+        assert main(["--kill-shards", "2"]) == 2
+        assert "requires --shards" in capsys.readouterr().err
+
+
+class TestRunShardedSoak:
+    def sharded(self, **overrides):
+        settings = dict(
+            seconds=60.0,
+            seed=7,
+            rate=0.2,
+            shards=2,
+            workers_per_shard=2,
+            pool_size=4,
+            min_relations=4,
+            max_relations=5,
+            max_requests=24,
+        )
+        settings.update(overrides)
+        return run_sharded_soak(**settings)
+
+    def test_short_sharded_soak_passes(self):
+        report = self.sharded()
+        assert report.passed, report.violations
+        assert report.completed == report.accepted
+        assert report.lost == 0
+        assert report.replay_checked > 0
+        assert report.replay_mismatches == 0
+        assert report.cluster is not None
+        # Work actually spread over real shard processes.
+        served_by_shards = {
+            key: count
+            for key, count in report.shard_histogram.items()
+            if key != "fallback"
+        }
+        assert sum(served_by_shards.values()) > 0
+
+    def test_kill_shards_mode_meets_the_loss_contract(self):
+        report = self.sharded(kill_shards=2, max_requests=36)
+        assert report.passed, report.violations
+        assert len(report.kills) == 2
+        assert report.lost == 0
+        assert report.failed == 0
+        assert report.replay_mismatches == 0
+        # The deaths must be visible in supervision telemetry.
+        assert report.respawns >= 1 or report.fallback_served >= 1
+        assert report.cluster["respawns"] == report.respawns
+
+    def test_sharded_report_serializes_to_json(self):
+        report = self.sharded(max_requests=6, replay=False)
+        payload = json.loads(json.dumps(report.as_dict()))
+        assert payload["passed"] is True
+        assert payload["config"]["shards"] == 2
+        assert "resilience" in payload and "kills" in payload
+        assert "sharded soak PASSED" in report.describe()

@@ -7,6 +7,7 @@ from repro.bench.profiling import EnumerationProfile
 from repro.stats.counters import OptimizationStats
 from repro.telemetry import MetricRegistry
 from repro.telemetry.adapters import (
+    publish_cluster_health,
     publish_enumeration_profile,
     publish_failure_counts,
     publish_optimization_stats,
@@ -81,14 +82,99 @@ class TestServiceHealthAdapter:
         publish_service_health(registry, _fake_health())
         assert registry.snapshot()["repro_service_requests_accepted"] == 10
 
-    def test_degraded_health_flips_up_gauge(self):
+    def test_degraded_health_stays_up_but_flags_degraded(self):
+        # Degraded means "serving with open breakers": still up, not
+        # healthy, and the dedicated degraded gauge raises the flag.
         registry = MetricRegistry()
         publish_service_health(
             registry, _fake_health(status="degraded", healthy=False)
         )
         snapshot = registry.snapshot()
-        assert snapshot["repro_service_up"] == 0
+        assert snapshot["repro_service_up"] == 1
+        assert snapshot["repro_service_degraded"] == 1
         assert snapshot["repro_service_healthy"] == 0
+
+    def test_stopped_health_flips_up_gauge(self):
+        registry = MetricRegistry()
+        publish_service_health(
+            registry, _fake_health(status="stopped", healthy=False)
+        )
+        snapshot = registry.snapshot()
+        assert snapshot["repro_service_up"] == 0
+        assert snapshot["repro_service_degraded"] == 0
+
+
+def _fake_cluster_health(**overrides):
+    """A ClusterHealth stand-in (duck-typed like the other silos)."""
+    shard_up = SimpleNamespace(
+        shard_id=0,
+        state="up",
+        outstanding=2,
+        respawns=1,
+        heartbeat_age_seconds=0.04,
+    )
+    shard_down = SimpleNamespace(
+        shard_id=1,
+        state="backoff",
+        outstanding=0,
+        respawns=3,
+        heartbeat_age_seconds=None,
+    )
+    health = SimpleNamespace(
+        status="degraded",
+        healthy=False,
+        shards_total=2,
+        shards_up=1,
+        accepted=40,
+        rejected=2,
+        completed=38,
+        failed=0,
+        failovers=5,
+        respawns=4,
+        drains=1,
+        fallback_served=3,
+        wire_errors=1,
+        shards=[shard_up, shard_down],
+    )
+    for key, value in overrides.items():
+        setattr(health, key, value)
+    return health
+
+
+class TestClusterHealthAdapter:
+    def test_snapshot_publishes_cluster_and_per_shard_gauges(self):
+        registry = MetricRegistry()
+        publish_cluster_health(registry, _fake_cluster_health())
+        snapshot = registry.snapshot()
+        assert snapshot["repro_shard_cluster_up"] == 1.0
+        assert snapshot["repro_shard_cluster_healthy"] == 0.0
+        assert snapshot["repro_shard_cluster_shards_up"] == 1
+        assert snapshot["repro_shard_cluster_shards_total"] == 2
+        assert snapshot["repro_shard_cluster_requests_accepted"] == 40
+        assert snapshot["repro_shard_cluster_failovers"] == 5
+        assert snapshot["repro_shard_cluster_respawns"] == 4
+        assert snapshot["repro_shard_cluster_fallback_served"] == 3
+        assert snapshot["repro_shard_cluster_wire_errors"] == 1
+        assert snapshot['repro_shard_up{shard="0"}'] == 1.0
+        assert snapshot['repro_shard_up{shard="1"}'] == 0.0
+        assert snapshot['repro_shard_state_outstanding{shard="0"}'] == 2
+        assert snapshot['repro_shard_state_respawns{shard="1"}'] == 3
+        # No heartbeat yet -> no age series for that shard.
+        assert 'repro_shard_heartbeat_age_seconds{shard="1"}' not in snapshot
+
+    def test_no_shard_up_flips_cluster_up(self):
+        registry = MetricRegistry()
+        publish_cluster_health(
+            registry,
+            _fake_cluster_health(status="down", shards_up=0, shards=[]),
+        )
+        assert registry.snapshot()["repro_shard_cluster_up"] == 0.0
+
+    def test_republishing_is_idempotent(self):
+        registry = MetricRegistry()
+        publish_cluster_health(registry, _fake_cluster_health())
+        publish_cluster_health(registry, _fake_cluster_health())
+        assert registry.snapshot()["repro_shard_cluster_failovers"] == 5
 
 
 class TestFailureCountsAdapter:

@@ -118,3 +118,13 @@ class TestViaService:
             ]
         ) == 0
         assert "[via service]" in capsys.readouterr().out
+
+    def test_sharded_service_matches_direct_run(self, capsys):
+        argv = ["--family", "star", "--relations", "5", "--seed", "4", "--json"]
+        assert main(argv) == 0
+        direct = json.loads(capsys.readouterr().out)
+        assert main(argv + ["--via-service", "--shards", "2"]) == 0
+        served = json.loads(capsys.readouterr().out)
+        assert served["plan"] == direct["plan"]
+        assert repr(served["cost"]) == repr(direct["cost"])
+        assert served["service"]["shard"] in (0, 1)
