@@ -24,6 +24,7 @@ from repro.core import (
     Optimizer,
     algorithm_label,
     optimize,
+    optimize_topk,
     run_dpccp,
     run_goo,
 )
@@ -52,6 +53,7 @@ from repro.plans import (
     LeafNode,
     PlanValidationError,
     check_finite,
+    plan_fingerprint,
     validate_plan,
 )
 from repro.query import Query
@@ -114,6 +116,7 @@ __all__ = [
     "statistics_for",
     # optimizers
     "optimize",
+    "optimize_topk",
     "Optimizer",
     "OptimizationResult",
     "AdvancementConfig",
@@ -134,6 +137,7 @@ __all__ = [
     "LeafNode",
     "validate_plan",
     "check_finite",
+    "plan_fingerprint",
     "PlanValidationError",
     # resilience (anytime optimization and graceful degradation)
     "Budget",

@@ -9,6 +9,13 @@ builder whose counters nobody reads).  Library code must go through
 ``OptimizationContext.for_query`` or
 :func:`~repro.context.statistics_for`; only ``repro/context/`` itself, the
 defining modules, and tests may call the constructors.
+
+:class:`~repro.plans.memo.MemoTable` joined the guarded set with the top-k
+refactor: a memo constructed outside the plan generators cannot see the
+context's ``topk`` knob, so it would silently run single-best while the
+caller believes it is ranked.  Construction is reserved to ``repro/plans/``
+(the defining package), ``repro/core/`` and ``repro/baselines/`` (the
+generators, which thread ``k=context.topk`` through).
 """
 
 from __future__ import annotations
@@ -21,19 +28,30 @@ from repro.analysis.registry import Rule, register_rule
 
 __all__ = ["ContextDiscipline"]
 
-#: Class names whose direct construction is reserved to repro/context/.
-_GUARDED = ("StatisticsProvider", "PlanBuilder")
+#: Guarded class name -> (path fragments where construction is legitimate,
+#: remediation hint).
+_GUARDED = {
+    "StatisticsProvider": (
+        ("repro/context/", "repro/cost/statistics.py"),
+        "use OptimizationContext.for_query() or "
+        "repro.context.statistics_for() instead",
+    ),
+    "PlanBuilder": (
+        ("repro/context/", "repro/plans/builder.py"),
+        "use OptimizationContext.for_query() or "
+        "repro.context.statistics_for() instead",
+    ),
+    "MemoTable": (
+        ("repro/plans/", "repro/core/", "repro/baselines/"),
+        "let a plan generator build it with k=context.topk "
+        "(a bare memo ignores the context's ranked depth)",
+    ),
+}
 
-#: Path fragments where construction is legitimate: the context package
-#: itself and the modules that define the guarded classes.
-_ALLOWED_FRAGMENTS = (
-    "repro/context/",
-    "repro/cost/statistics.py",
-    "repro/plans/builder.py",
-)
 
-
-def _findings(tree: ast.Module) -> Iterable[Tuple[ast.AST, str]]:
+def _findings(
+    tree: ast.Module, posix: str
+) -> Iterable[Tuple[ast.AST, str]]:
     for node in ast.walk(tree):
         if not isinstance(node, ast.Call):
             continue
@@ -43,12 +61,15 @@ def _findings(tree: ast.Module) -> Iterable[Tuple[ast.AST, str]]:
             name = func.id
         elif isinstance(func, ast.Attribute):
             name = func.attr
-        if name in _GUARDED:
-            yield node, (
-                f"direct {name}(...) construction outside repro/context/; "
-                "use OptimizationContext.for_query() or "
-                "repro.context.statistics_for() instead"
-            )
+        if name not in _GUARDED:
+            continue
+        allowed, hint = _GUARDED[name]
+        if any(fragment in posix for fragment in allowed):
+            continue
+        yield node, (
+            f"direct {name}(...) construction outside "
+            f"{', '.join(allowed)}; {hint}"
+        )
 
 
 @register_rule
@@ -56,14 +77,12 @@ class ContextDiscipline(Rule):
     id = "context-discipline"
     description = (
         "StatisticsProvider/PlanBuilder may only be constructed inside "
-        "repro/context/ (everything else goes through OptimizationContext "
-        "or statistics_for)"
+        "repro/context/, and MemoTable only inside repro/plans|core|"
+        "baselines (everything else goes through OptimizationContext)"
     )
 
     def check_module(self, module):
         if module.is_test_file:
             return
-        if any(fragment in module.posix for fragment in _ALLOWED_FRAGMENTS):
-            return
-        for node, message in _findings(module.tree):
+        for node, message in _findings(module.tree, module.posix):
             yield diagnostic_at(module, node, self.id, message)

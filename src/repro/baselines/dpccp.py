@@ -113,7 +113,7 @@ class DPccp:
         self._graph = context.query.graph
         self._provider = context.provider
         self._builder = context.builder
-        self._memo = MemoTable()
+        self._memo = MemoTable(k=context.topk)
         self._budget = budget if budget is not None else context.budget
 
     @property
@@ -123,6 +123,10 @@ class DPccp:
     @property
     def stats(self) -> OptimizationStats:
         return self._builder.stats
+
+    def ranked_plans(self) -> List[JoinTree]:
+        """Retained root plans, cheapest first (valid after :meth:`run`)."""
+        return self._memo.best_k(self._graph.all_vertices)
 
     def run(self) -> JoinTree:
         """Build and return the optimal join tree for the whole query."""
@@ -154,7 +158,7 @@ class DPccp:
                         "DPccp visited a ccp before its components were "
                         "planned — enumeration bug"
                     )
-                self._builder.build_tree(self._memo, left_tree, right_tree)
+                self._builder.build_ccp(self._memo, left_tree, right_tree)
 
         plan = self._memo.best(self._graph.all_vertices)
         if plan is None:

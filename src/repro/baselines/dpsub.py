@@ -51,7 +51,7 @@ class DPsub:
         self._query = context.query
         self._graph = context.query.graph
         self._builder = context.builder
-        self._memo = MemoTable()
+        self._memo = MemoTable(k=context.topk)
 
     @property
     def memo(self) -> MemoTable:
@@ -60,6 +60,10 @@ class DPsub:
     @property
     def stats(self) -> OptimizationStats:
         return self._builder.stats
+
+    def ranked_plans(self):
+        """Retained root plans, cheapest first (valid after :meth:`run`)."""
+        return self._memo.best_k(self._graph.all_vertices)
 
     def run(self) -> JoinTree:
         query = self._query
@@ -90,7 +94,7 @@ class DPsub:
                 if not graph.are_connected(anchor_side, other):
                     continue
                 self.stats.ccps_considered += 1
-                self._builder.build_tree(
+                self._builder.build_ccp(
                     self._memo,
                     self._memo.best(anchor_side),
                     self._memo.best(other),

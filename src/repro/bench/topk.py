@@ -1,0 +1,263 @@
+"""Top-k rank-stability benchmark (ISSUE tentpole).
+
+For each workload shape, optimize a seeded query with ``topk=k``, then
+re-price the retained top-k plans under *jittered* selectivities (every
+edge selectivity multiplied by a seeded factor in ``[1-j, 1+j]``) and
+measure how stable the rank order is: the Kendall-tau correlation between
+the unperturbed order and the re-priced order, averaged over several
+jitter draws.  A tau of 1.0 means the ranking is insensitive to estimate
+noise of that magnitude; low or negative tau flags shapes whose "best"
+plan is a knife-edge choice — exactly the anytime/robustness story the
+ranked memo exists to support.  Emits ``BENCH_topk.json``::
+
+    python -m repro.bench.topk --out BENCH_topk.json
+
+The process exits non-zero when k=1 parity fails (``optimize_topk``'s
+rank 1 must be bit-identical to ``optimize``), when a ranked stream
+violates its invariants (sorted, distinct), or when any tau falls outside
+[-1, 1] — which is what the CI topk-smoke job asserts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from typing import Dict, List, Sequence, Tuple
+
+from repro.catalog.catalog import Catalog
+from repro.context.context import OptimizationContext
+from repro.context.plancache import replay_plan
+from repro.core.optimizer import Optimizer
+from repro.plans.join_tree import JoinTree, plan_fingerprint
+from repro.query import Query
+from repro.workload.generator import QueryGenerator
+
+__all__ = ["kendall_tau", "run_topk_benchmark", "main"]
+
+#: (family, size) pairs: large enough that the top-k lists are rich,
+#: small enough for CI-smoke wall time with the k-widened memo.
+DEFAULT_WORKLOAD = (
+    ("chain", 10),
+    ("chain", 12),
+    ("cycle", 9),
+    ("cycle", 10),
+    ("star", 8),
+    ("star", 9),
+    ("clique", 6),
+    ("clique", 7),
+)
+
+SEED = 20120403
+
+DEFAULT_K = 5
+
+#: Relative jitter applied to every edge selectivity, and how many seeded
+#: draws are averaged per query.
+DEFAULT_JITTER = 0.2
+DEFAULT_DRAWS = 5
+
+
+def kendall_tau(baseline: Sequence[int], perturbed: Sequence[int]) -> float:
+    """Kendall tau-a between two rankings of the same items.
+
+    Both arguments list item ids in rank order (rank 1 first).  Returns
+    (concordant - discordant) / total pairs, in [-1, 1]; 1.0 for a single
+    item or identical orders.
+    """
+    if sorted(baseline) != sorted(perturbed):
+        raise ValueError("rankings must order the same items")
+    n = len(baseline)
+    if n < 2:
+        return 1.0
+    position = {item: rank for rank, item in enumerate(perturbed)}
+    concordant = 0
+    discordant = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            if position[baseline[i]] < position[baseline[j]]:
+                concordant += 1
+            else:
+                discordant += 1
+    return (concordant - discordant) / (n * (n - 1) / 2)
+
+
+def _jittered_query(query: Query, jitter: float, rng: random.Random) -> Query:
+    """The same graph with every selectivity scaled by a seeded factor."""
+    catalog = query.catalog
+    relations = [catalog.relation(i) for i in range(catalog.n_relations)]
+    selectivities = {
+        edge: min(1.0, max(1e-12, s * rng.uniform(1.0 - jitter, 1.0 + jitter)))
+        for edge, s in catalog.selectivities.items()
+    }
+    return Query(
+        graph=query.graph,
+        catalog=Catalog(relations, selectivities),
+        family=query.family,
+        seed=query.seed,
+    )
+
+
+def _reprice(plans: Sequence[JoinTree], query: Query) -> List[JoinTree]:
+    """Rebuild each plan shape against ``query``'s (jittered) statistics."""
+    context = OptimizationContext.for_query(query)
+    identity = list(range(query.n_relations))
+    return [replay_plan(plan, identity, context) for plan in plans]
+
+
+def _check_ranked(plans: Sequence[JoinTree], label: str) -> List[str]:
+    """Ranked-stream invariants: nondecreasing cost, distinct shapes."""
+    failures = []
+    costs = [plan.cost for plan in plans]
+    # Exact order check, not a tolerance test: the memo's contract is a
+    # deterministic total order, and sorted() preserves equal elements.
+    if costs != sorted(costs):  # repro: disable=no-float-cost-eq
+        failures.append(f"{label}: ranked costs not nondecreasing: {costs}")
+    fingerprints = [plan_fingerprint(plan) for plan in plans]
+    if len(set(fingerprints)) != len(fingerprints):
+        failures.append(f"{label}: ranked stream contains duplicate plans")
+    return failures
+
+
+def run_topk_benchmark(
+    enumerator: str = "mincut_conservative",
+    pruning: str = "apcbi",
+    k: int = DEFAULT_K,
+    seed: int = SEED,
+    jitter: float = DEFAULT_JITTER,
+    draws: int = DEFAULT_DRAWS,
+    workload=DEFAULT_WORKLOAD,
+) -> Dict[str, object]:
+    """Per-shape rank stability under jittered selectivities."""
+    generator = QueryGenerator(seed=seed)
+    single = Optimizer(enumerator=enumerator, pruning=pruning)
+    ranked_optimizer = Optimizer(enumerator=enumerator, pruning=pruning, topk=k)
+
+    started = time.perf_counter()
+    per_query: List[Dict[str, object]] = []
+    failures: List[str] = []
+    taus_by_family: Dict[str, List[float]] = {}
+
+    for family, size in workload:
+        query = generator.generate(family, size)
+        label = f"{family}(n={size})"
+
+        baseline = single.optimize(query)
+        ranked = ranked_optimizer.optimize_topk(query, k=k)
+        plans = list(ranked.ranked)
+
+        # k=1 parity: rank 1 must be bit-identical to the single-best run
+        # (hex strings compare, so this is exact by construction).
+        if (
+            ranked.plan.cost.hex() != baseline.cost.hex()  # repro: disable=no-float-cost-eq
+            or ranked.plan.sexpr() != baseline.plan.sexpr()
+        ):
+            failures.append(
+                f"{label}: rank 1 differs from optimize() "
+                f"({ranked.plan.cost.hex()} vs {baseline.cost.hex()})"
+            )
+        failures.extend(_check_ranked(plans, label))
+
+        # Jittered re-pricing: does the unperturbed rank order survive?
+        taus: List[float] = []
+        rng = random.Random(seed * 86028121 + size * 9973 + len(per_query))
+        baseline_order = list(range(len(plans)))
+        for _ in range(draws):
+            jittered = _jittered_query(query, jitter, rng)
+            repriced = _reprice(plans, jittered)
+            # Deterministic perturbed order: (new cost, fingerprint).
+            order = sorted(
+                baseline_order,
+                key=lambda i: (repriced[i].cost, plan_fingerprint(repriced[i])),
+            )
+            tau = kendall_tau(baseline_order, order)
+            if not -1.0 <= tau <= 1.0:
+                failures.append(f"{label}: tau {tau} outside [-1, 1]")
+            taus.append(tau)
+        mean_tau = sum(taus) / len(taus) if taus else 1.0
+        taus_by_family.setdefault(family, []).extend(taus)
+        per_query.append(
+            {
+                "query": label,
+                "family": family,
+                "size": size,
+                "k_retained": len(plans),
+                "rank1_cost": ranked.plan.cost.hex(),
+                "ranked_costs": [plan.cost.hex() for plan in plans],
+                "taus": taus,
+                "mean_tau": mean_tau,
+            }
+        )
+
+    elapsed = time.perf_counter() - started
+    return {
+        "benchmark": "topk",
+        "enumerator": enumerator,
+        "pruning": pruning,
+        "k": k,
+        "seed": seed,
+        "jitter": jitter,
+        "draws": draws,
+        "workload": [list(pair) for pair in workload],
+        "elapsed_seconds": elapsed,
+        "queries": per_query,
+        "mean_tau_by_family": {
+            family: sum(taus) / len(taus)
+            for family, taus in taus_by_family.items()
+        },
+        "failures": failures,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench-topk", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_topk.json",
+        help="output JSON path (default: BENCH_topk.json)",
+    )
+    parser.add_argument(
+        "--enumerator", default="mincut_conservative", help="partitioning name"
+    )
+    parser.add_argument("--pruning", default="apcbi", help="pruning name")
+    parser.add_argument("--k", type=int, default=DEFAULT_K, help="ranked depth")
+    parser.add_argument(
+        "--jitter", type=float, default=DEFAULT_JITTER,
+        help="relative selectivity jitter (default 0.2)",
+    )
+    parser.add_argument(
+        "--draws", type=int, default=DEFAULT_DRAWS,
+        help="seeded jitter draws per query (default 5)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_topk_benchmark(
+        enumerator=args.enumerator,
+        pruning=args.pruning,
+        k=args.k,
+        jitter=args.jitter,
+        draws=args.draws,
+    )
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    for family, tau in sorted(report["mean_tau_by_family"].items()):
+        print(f"topk rank stability: {family:7s} mean tau {tau:+.3f}")
+    print(
+        f"topk: k={report['k']}, jitter={report['jitter']}, "
+        f"{len(report['queries'])} queries in "
+        f"{report['elapsed_seconds']:.2f}s"
+    )
+
+    for failure in report["failures"]:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if report["failures"] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

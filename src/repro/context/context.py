@@ -82,6 +82,7 @@ class OptimizationContext:
         "_builder",
         "_budget",
         "_telemetry",
+        "_topk",
     )
 
     def __init__(
@@ -92,13 +93,17 @@ class OptimizationContext:
         builder: PlanBuilder,
         budget: Optional["Budget"] = None,
         telemetry: Optional["Telemetry"] = None,
+        topk: int = 1,
     ):
+        if topk < 1:
+            raise ValueError(f"topk must be >= 1, got {topk}")
         self._query = query
         self._provider = provider
         self._cost_model = cost_model
         self._builder = builder
         self._budget = budget
         self._telemetry = telemetry
+        self._topk = topk
 
     @classmethod
     def for_query(
@@ -109,6 +114,7 @@ class OptimizationContext:
         budget: Optional["Budget"] = None,
         page_size: int = DEFAULT_PAGE_SIZE,
         telemetry: Optional["Telemetry"] = None,
+        topk: int = 1,
     ) -> "OptimizationContext":
         """Build a fresh context for ``query``.
 
@@ -122,6 +128,10 @@ class OptimizationContext:
         along read-only; components reach it via :attr:`telemetry` to
         record spans and metrics.  ``None`` — the default — means fully
         disarmed instrumentation.
+
+        ``topk`` is the ranked-retention width every memotable built for
+        this context uses (see :class:`~repro.plans.memo.MemoTable`);
+        ``1`` — the default — is the paper's single-best behavior.
         """
         provider = StatisticsProvider(query, page_size)
         if cost_model is None:
@@ -134,7 +144,7 @@ class OptimizationContext:
         builder = PlanBuilder(
             provider, model, stats if stats is not None else OptimizationStats()
         )
-        return cls(query, provider, model, builder, budget, telemetry)
+        return cls(query, provider, model, builder, budget, telemetry, topk)
 
     # -- components --------------------------------------------------------
 
@@ -169,6 +179,11 @@ class OptimizationContext:
         """The observability bundle, or ``None`` when disarmed."""
         return self._telemetry
 
+    @property
+    def topk(self) -> int:
+        """Ranked plans retained per plan class (1 = single-best)."""
+        return self._topk
+
     # -- derived contexts ---------------------------------------------------
 
     def relabeled(self, mapping) -> "OptimizationContext":
@@ -185,7 +200,13 @@ class OptimizationContext:
         model = self._cost_model.bind(provider)
         builder = PlanBuilder(provider, model, self._builder.stats)
         return OptimizationContext(
-            query, provider, model, builder, self._budget, self._telemetry
+            query,
+            provider,
+            model,
+            builder,
+            self._budget,
+            self._telemetry,
+            self._topk,
         )
 
     def fork(
@@ -213,6 +234,7 @@ class OptimizationContext:
             builder,
             budget if budget is not None else self._budget,
             self._telemetry,
+            self._topk,
         )
 
     def __repr__(self) -> str:

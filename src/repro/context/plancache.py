@@ -42,13 +42,21 @@ DEFAULT_CACHE_CAPACITY = 512
 class CachedPlan:
     """One cache entry: a canonical-numbered optimal tree plus provenance."""
 
-    __slots__ = ("canonical_plan", "canonical_cost", "payload")
+    __slots__ = ("canonical_plan", "canonical_cost", "payload", "canonical_ranked")
 
-    def __init__(self, canonical_plan: JoinTree, payload: str):
+    def __init__(
+        self,
+        canonical_plan: JoinTree,
+        payload: str,
+        canonical_ranked: Sequence[JoinTree] = (),
+    ):
         self.canonical_plan = canonical_plan
         self.canonical_cost = canonical_plan.cost
         #: The fingerprint payload that keyed this entry (diagnostics).
         self.payload = payload
+        #: Canonical-numbered top-k list (rank 1 first) for ranked entries;
+        #: empty for single-best entries.  Replayed plan by plan on a hit.
+        self.canonical_ranked = tuple(canonical_ranked)
 
     def __repr__(self) -> str:
         return (

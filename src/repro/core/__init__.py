@@ -12,6 +12,7 @@ from repro.core.optimizer import (
     Optimizer,
     algorithm_label,
     optimize,
+    optimize_topk,
     run_dpccp,
 )
 from repro.core.pcb import PcbPlanGenerator
@@ -32,6 +33,7 @@ __all__ = [
     "Optimizer",
     "OptimizationResult",
     "optimize",
+    "optimize_topk",
     "run_dpccp",
     "algorithm_label",
     "costs_close",

@@ -53,8 +53,10 @@ class AcbPlanGenerator(PlanGeneratorBase):
             # Lines 3-4: subtract the operator cost (computable from the
             # two input sets alone) from the tightest known bound.
             operator_cost = self._builder.operator_cost(left, right)
+            # Bounding against the k-th retained cost (== best cost at
+            # k=1) keeps every tree that could still enter the top-k.
             remaining = (
-                min(budget, self._memo.best_cost(vertex_set)) - operator_cost
+                min(budget, self._memo.kth_cost(vertex_set)) - operator_cost
             )
             left_tree = self._tdpg(left, remaining)
             if left_tree is None:
@@ -65,7 +67,7 @@ class AcbPlanGenerator(PlanGeneratorBase):
             if right_tree is None:
                 continue
             # Line 10: register the cheaper order if within the budget.
-            self._builder.build_tree(self._memo, left_tree, right_tree, budget)
+            self._builder.build_ccp(self._memo, left_tree, right_tree, budget)
 
         # Lines 11-12: a completed pass without a tree proves lB[S] = b.
         if self._memo.best(vertex_set) is None:

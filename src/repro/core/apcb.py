@@ -53,7 +53,7 @@ class ApcbPlanGenerator(PlanGeneratorBase):
             # Line 3.1: predicted-cost gate against the tighter of budget
             # and incumbent cost.
             self.stats.lbe_evaluations += 1
-            bound = min(budget, self._memo.best_cost(vertex_set))
+            bound = min(budget, self._memo.kth_cost(vertex_set))
             if self._lbe.estimate(left, right) > bound:
                 self.stats.pcb_prunes += 1
                 continue
@@ -67,7 +67,7 @@ class ApcbPlanGenerator(PlanGeneratorBase):
             right_tree = self._tdpg(right, remaining)
             if right_tree is None:
                 continue
-            self._builder.build_tree(self._memo, left_tree, right_tree, budget)
+            self._builder.build_ccp(self._memo, left_tree, right_tree, budget)
 
         if self._memo.best(vertex_set) is None:
             self._bounds.raise_lower(vertex_set, budget)

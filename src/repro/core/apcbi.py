@@ -158,7 +158,7 @@ class ApcbiPlanGenerator(PlanGeneratorBase):
         for left, right in self._partitions(vertex_set):
             stats.lbe_evaluations += 1
             estimate = self._lbe.estimate(left, right)
-            bound = min(budget, memo.best_cost(vertex_set))
+            bound = min(budget, memo.kth_cost(vertex_set))
             if estimate > bound:
                 # Lines 14-16: PCB rejection; remember the estimate for the
                 # improved lower bound.
@@ -168,7 +168,7 @@ class ApcbiPlanGenerator(PlanGeneratorBase):
             stats.ccps_considered += 1
             # Lines 17-22.
             operator_cost = self._builder.operator_cost(left, right)
-            remaining = min(budget, memo.best_cost(vertex_set)) - operator_cost
+            remaining = min(budget, memo.kth_cost(vertex_set)) - operator_cost
             if config.tighter_left_budget:
                 # Lines 19-21: charge the right side's known or proven cost
                 # against the left request's budget (advancement 5).
@@ -200,7 +200,7 @@ class ApcbiPlanGenerator(PlanGeneratorBase):
                 )
                 continue
             # Lines 29-31.
-            self._builder.build_tree(memo, left_tree, right_tree, budget)
+            self._builder.build_ccp(memo, left_tree, right_tree, budget)
             new_lower_bound = min(
                 new_lower_bound,
                 left_tree.cost + right_tree.cost + operator_cost,

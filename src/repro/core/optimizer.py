@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, Optional, Type
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple, Type
 
 from repro.baselines.dpccp import DPccp
 from repro.context.context import OptimizationContext
@@ -43,7 +43,11 @@ from repro.graph.renumber import invert_mapping, remap_bitset, renumber_mapping
 from repro.heuristics.registry import get_heuristic
 from repro.partitioning.registry import get_partitioning
 from repro.plans.join_tree import JoinTree
-from repro.plans.validation import PlanValidationError, check_finite
+from repro.plans.validation import (
+    PlanValidationError,
+    check_finite,
+    validate_plan,
+)
 from repro.query import Query
 from repro.stats.counters import OptimizationStats
 
@@ -55,6 +59,7 @@ __all__ = [
     "OptimizationResult",
     "Optimizer",
     "optimize",
+    "optimize_topk",
     "run_dpccp",
     "PRUNING_STRATEGIES",
     "PRUNING_SUFFIXES",
@@ -105,6 +110,14 @@ class OptimizationResult:
     pruning: str
     memo_entries: int
     query: Query
+    #: Retained root plans in nondecreasing (cost, fingerprint) order when
+    #: the run kept ranks beyond the first (``topk > 1``); empty otherwise.
+    ranked_plans: Tuple[JoinTree, ...] = ()
+
+    @property
+    def ranked(self) -> Tuple[JoinTree, ...]:
+        """The ranked plan stream; ``(plan,)`` for single-best runs."""
+        return self.ranked_plans if self.ranked_plans else (self.plan,)
 
     @property
     def label(self) -> str:
@@ -159,7 +172,10 @@ class Optimizer:
         heuristic: str = "goo",
         plan_cache: Optional[PlanCache] = None,
         telemetry: Optional["Telemetry"] = None,
+        topk: int = 1,
     ):
+        if topk < 1:
+            raise ValueError(f"topk must be >= 1, got {topk}")
         self.enumerator = enumerator
         self.pruning = pruning
         self._cost_model_factory = cost_model_factory
@@ -167,6 +183,7 @@ class Optimizer:
         self.heuristic = heuristic
         self.plan_cache = plan_cache
         self.telemetry = telemetry
+        self.topk = topk
         self._signature: Optional[str] = None
         # Fail fast on typos.
         get_partitioning(enumerator)
@@ -188,6 +205,7 @@ class Optimizer:
             cost_model=self._cost_model_factory,
             budget=budget,
             telemetry=self.telemetry,
+            topk=self.topk,
         )
 
     def _config_signature(self) -> str:
@@ -213,6 +231,17 @@ class Optimizer:
                 )
             )
         return self._signature
+
+    def _cache_key(self, fp_key: str, topk: int) -> str:
+        """Cache key for one (configuration, fingerprint, k) combination.
+
+        ``k=1`` keys keep the pre-top-k format, so existing persisted or
+        shared entries stay addressable; ranked runs get their own keys
+        because their entries carry the whole top-k list.
+        """
+        if topk > 1:
+            return f"{self._config_signature()}|k{topk}|{fp_key}"
+        return f"{self._config_signature()}|{fp_key}"
 
     def optimize(
         self,
@@ -249,6 +278,47 @@ class Optimizer:
             return self._optimize_cached(query, budget, context)
         return self._dispatch(query, budget, context)
 
+    def optimize_topk(
+        self,
+        query: Query,
+        k: Optional[int] = None,
+        budget: Optional["Budget"] = None,
+    ) -> OptimizationResult:
+        """Ranked optimization: retain the ``k`` cheapest plans per class.
+
+        Returns an :class:`OptimizationResult` whose ``ranked`` stream
+        holds up to ``k`` distinct complete plans in nondecreasing
+        (cost, fingerprint) order, rank 1 first.  Rank 1 is bit-for-bit
+        the plan :meth:`optimize` returns — the k-bounded memo degenerates
+        to the single-best store at ``k=1`` and only *loosens* pruning
+        bounds beyond it (prefix property).  Every returned plan is
+        validated (finite numbers, structural soundness) before the result
+        is handed back.
+        """
+        if k is None:
+            k = self.topk
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        run_context = OptimizationContext.for_query(
+            query,
+            cost_model=self._cost_model_factory,
+            budget=budget,
+            telemetry=self.telemetry,
+            topk=k,
+        )
+        result = self.optimize(query, budget=budget, context=run_context)
+        previous = None
+        for rank, plan in enumerate(result.ranked, start=1):
+            check_finite(plan)
+            validate_plan(plan, query)
+            if previous is not None and plan.cost < previous:
+                raise PlanValidationError(
+                    f"ranked stream out of order at rank {rank}: "
+                    f"{plan.cost!r} < {previous!r}"
+                )
+            previous = plan.cost
+        return result
+
     def _dispatch(
         self,
         query: Query,
@@ -278,13 +348,20 @@ class Optimizer:
         """
         cache = self.plan_cache
         fp = fingerprint(query)
-        key = f"{self._config_signature()}|{fp.key}"
+        topk = context.topk if context is not None else self.topk
+        key = self._cache_key(fp.key, topk)
         entry = cache.get(key)
         if entry is not None:
             started = time.perf_counter()
             if context is None:
                 context = self._context_for(query, budget)
             plan = replay_plan(entry.canonical_plan, fp.mapping, context)
+            ranked: Tuple[JoinTree, ...] = ()
+            if topk > 1 and entry.canonical_ranked:
+                ranked = tuple(
+                    replay_plan(canonical, fp.mapping, context)
+                    for canonical in entry.canonical_ranked
+                )
             context.stats.plan_cache_hits += 1
             if self.telemetry is not None:
                 self.telemetry.event("plan_cache_hit", key=key)
@@ -298,6 +375,7 @@ class Optimizer:
                 pruning=self.pruning,
                 memo_entries=0,
                 query=query,
+                ranked_plans=ranked,
             )
         result = self._dispatch(query, budget, context)
         result.stats.plan_cache_misses += 1
@@ -306,12 +384,17 @@ class Optimizer:
         # cache and serve its garbage tree shape to healthy queries later.
         try:
             check_finite(result.plan)
+            for ranked_plan in result.ranked_plans:
+                check_finite(ranked_plan)
         except PlanValidationError:
             return result
         canonical = result.plan.relabel(fp.mapping)
+        canonical_ranked = tuple(
+            ranked_plan.relabel(fp.mapping) for ranked_plan in result.ranked_plans
+        )
         # The taint on `result` is its wall-clock `elapsed` field; only the
-        # relabeled plan tree (deterministic) is cached, never the timing.
-        cache.put(key, CachedPlan(canonical, fp.payload))  # repro: disable=determinism
+        # relabeled plan trees (deterministic) are cached, never the timing.
+        cache.put(key, CachedPlan(canonical, fp.payload, canonical_ranked))  # repro: disable=determinism
         return result
 
     # -- simple strategies (none / acb / pcb / apcb) -----------------------
@@ -334,9 +417,15 @@ class Optimizer:
             plan = generator.run()
         except BudgetExceeded as error:
             error.partial_plan = generator.memo.best(query.graph.all_vertices)
+            error.partial_ranked = tuple(
+                generator.memo.best_k(query.graph.all_vertices)
+            )
             error.memo_entries = len(generator.memo)
             raise
         elapsed = time.perf_counter() - started
+        ranked: Tuple[JoinTree, ...] = ()
+        if context.topk > 1:
+            ranked = tuple(generator.memo.best_k(query.graph.all_vertices))
         return OptimizationResult(
             plan=plan,
             cost=plan.cost,
@@ -346,6 +435,7 @@ class Optimizer:
             pruning=self.pruning,
             memo_entries=len(generator.memo),
             query=query,
+            ranked_plans=ranked,
         )
 
     # -- APCBI / APCBI_Opt -------------------------------------------------
@@ -423,17 +513,33 @@ class Optimizer:
             plan = generator.run()
         except BudgetExceeded as error:
             partial = generator.memo.best(run_query.graph.all_vertices)
-            if partial is not None and mapping is not None:
-                partial = partial.relabel(invert_mapping(mapping))
+            partial_ranked = tuple(
+                generator.memo.best_k(run_query.graph.all_vertices)
+            )
+            if mapping is not None:
+                inverse = invert_mapping(mapping)
+                if partial is not None:
+                    partial = partial.relabel(inverse)
+                partial_ranked = tuple(
+                    tree.relabel(inverse) for tree in partial_ranked
+                )
             if partial is None:
                 # Advancement 2/6 built a complete heuristic tree before
                 # enumeration started — the legitimate best-so-far plan.
                 partial = heuristic_tree or generator.heuristic_tree
+                if partial is not None:
+                    partial_ranked = (partial,)
             error.partial_plan = partial
+            error.partial_ranked = partial_ranked
             error.memo_entries = len(generator.memo)
             raise
+        ranked: Tuple[JoinTree, ...] = ()
+        if run_context.topk > 1:
+            ranked = tuple(generator.memo.best_k(run_query.graph.all_vertices))
         if mapping is not None:
-            plan = plan.relabel(invert_mapping(mapping))
+            inverse = invert_mapping(mapping)
+            plan = plan.relabel(inverse)
+            ranked = tuple(tree.relabel(inverse) for tree in ranked)
         elapsed = time.perf_counter() - started
         return OptimizationResult(
             plan=plan,
@@ -444,6 +550,7 @@ class Optimizer:
             pruning=self.pruning,
             memo_entries=len(generator.memo),
             query=query,
+            ranked_plans=ranked,
         )
 
 
@@ -470,11 +577,42 @@ def optimize(
     ).optimize(query, budget=budget)
 
 
+def optimize_topk(
+    query: Query,
+    k: int,
+    enumerator: str = "mincut_conservative",
+    pruning: str = "apcbi",
+    cost_model_factory: Callable[[], CostModel] = HaasCostModel,
+    config: Optional[AdvancementConfig] = None,
+    heuristic: str = "goo",
+    budget: Optional["Budget"] = None,
+    plan_cache: Optional[PlanCache] = None,
+    telemetry: Optional["Telemetry"] = None,
+) -> OptimizationResult:
+    """One-shot ranked optimization: the ``k`` cheapest plans, rank 1 first.
+
+    ``result.ranked`` holds up to ``k`` distinct validated plans in
+    nondecreasing (cost, fingerprint) order; ``result.plan`` is rank 1 and
+    identical to what :func:`optimize` returns for the same configuration.
+    """
+    return Optimizer(
+        enumerator=enumerator,
+        pruning=pruning,
+        cost_model_factory=cost_model_factory,
+        config=config,
+        heuristic=heuristic,
+        plan_cache=plan_cache,
+        telemetry=telemetry,
+        topk=k,
+    ).optimize_topk(query, k=k, budget=budget)
+
+
 def run_dpccp(
     query: Query,
     cost_model_factory: Callable[[], CostModel] = HaasCostModel,
     budget: Optional["Budget"] = None,
     telemetry: Optional["Telemetry"] = None,
+    topk: int = 1,
 ) -> OptimizationResult:
     """Run the bottom-up baseline with the same result envelope."""
     started = time.perf_counter()
@@ -485,6 +623,7 @@ def run_dpccp(
         cost_model=cost_model_factory,
         budget=budget,
         telemetry=telemetry,
+        topk=topk,
     )
     algorithm = DPccp(context=context, budget=budget)
     if telemetry is not None:
@@ -499,6 +638,9 @@ def run_dpccp(
     else:
         plan = algorithm.run()
     elapsed = time.perf_counter() - started
+    ranked: Tuple[JoinTree, ...] = ()
+    if topk > 1:
+        ranked = tuple(algorithm.ranked_plans())
     return OptimizationResult(
         plan=plan,
         cost=plan.cost,
@@ -508,4 +650,5 @@ def run_dpccp(
         pruning="dpccp",
         memo_entries=len(algorithm.memo),
         query=query,
+        ranked_plans=ranked,
     )

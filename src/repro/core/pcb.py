@@ -40,11 +40,11 @@ class PcbPlanGenerator(PlanGeneratorBase):
             # Line 3: skip the ccp when even an optimistic tree through it
             # cannot beat the incumbent.
             self.stats.lbe_evaluations += 1
-            if self._lbe.estimate(left, right) > self._memo.best_cost(vertex_set):
+            if self._lbe.estimate(left, right) > self._memo.kth_cost(vertex_set):
                 self.stats.pcb_prunes += 1
                 continue
             self.stats.ccps_considered += 1
-            self._builder.build_tree(
+            self._builder.build_ccp(
                 self._memo, self._tdpg(left), self._tdpg(right), INFINITY
             )
         return self._memo.best(vertex_set)

@@ -9,7 +9,7 @@ unpruned instantiation: a straight memoization recursion over
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterator, Optional, Tuple
+from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
 
 from repro.context.context import OptimizationContext
 from repro.cost.model import CostModel
@@ -80,7 +80,7 @@ class PlanGeneratorBase:
         self._provider = context.provider
         self._cost_model = context.cost_model
         self._builder = context.builder
-        self._memo = MemoTable()
+        self._memo = MemoTable(k=context.topk)
         self._budget = budget if budget is not None else context.budget
         self._telemetry = context.telemetry
         for index in range(self._query.n_relations):
@@ -173,6 +173,14 @@ class PlanGeneratorBase:
         self.stats.plan_classes_built = self._memo.n_plan_classes()
         return plan
 
+    def ranked_plans(self) -> List[JoinTree]:
+        """The retained root plans, cheapest first (valid after a run).
+
+        ``[best]`` at ``k=1``; up to ``k`` distinct trees in the
+        memotable's deterministic (cost, fingerprint) order otherwise.
+        """
+        return self._memo.best_k(self._graph.all_vertices)
+
     def run(self) -> JoinTree:
         """Produce an optimal join tree for the whole query.
 
@@ -222,7 +230,7 @@ class TopDownPlanGenerator(PlanGeneratorBase):
             return tree
         for left, right in self._partitions(vertex_set):
             self.stats.ccps_considered += 1
-            self._builder.build_tree(
+            self._builder.build_ccp(
                 self._memo,
                 self._tdpgsub(left),
                 self._tdpgsub(right),

@@ -69,6 +69,10 @@ class BudgetExceeded(OptimizationError):
         self.detail = detail
         #: Best complete plan for the root at interruption time, if any.
         self.partial_plan = None
+        #: All retained complete root plans at interruption time, cheapest
+        #: first — the ranked best-so-far stream (``(partial_plan,)`` at
+        #: ``k=1``, empty when nothing was registered).
+        self.partial_ranked = ()
         #: Memotable entries at interruption time.
         self.memo_entries = 0
 

@@ -1,7 +1,7 @@
 """Plan infrastructure: join trees, the memotable, BUILDTREE/CREATETREE."""
 
 from repro.plans.builder import PlanBuilder
-from repro.plans.join_tree import JoinNode, JoinTree, LeafNode
+from repro.plans.join_tree import JoinNode, JoinTree, LeafNode, plan_fingerprint
 from repro.plans.memo import MemoTable
 from repro.plans.validation import (
     PlanValidationError,
@@ -14,6 +14,7 @@ __all__ = [
     "JoinTree",
     "LeafNode",
     "JoinNode",
+    "plan_fingerprint",
     "MemoTable",
     "PlanBuilder",
     "validate_plan",

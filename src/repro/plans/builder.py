@@ -95,6 +95,37 @@ class PlanBuilder:
                 registered = candidate
         return registered
 
+    def build_ccp(
+        self,
+        memo: MemoTable,
+        tree_1: JoinTree,
+        tree_2: JoinTree,
+        budget: float = INFINITY,
+    ) -> Optional[JoinTree]:
+        """BUILDTREE over the ccp's *ranked* sub-plan combinations.
+
+        At ``k=1`` this is exactly :meth:`build_tree` on the two trees the
+        caller recursed into.  At ``k>1`` the i-th best plan of a class
+        may join the j-th best plan of the complement (Tziavelis et al.,
+        ranked enumeration), so every retained combination of the two
+        classes is priced — in both orders — and offered to the
+        memotable, which keeps the k cheapest under its deterministic
+        total order.  Returns the last tree that improved the memotable
+        (``None`` when nothing registered), mirroring
+        :meth:`build_tree`'s contract.
+        """
+        if memo.k == 1:
+            return self.build_tree(memo, tree_1, tree_2, budget)
+        lefts = memo.best_k(tree_1.vertex_set) or [tree_1]
+        rights = memo.best_k(tree_2.vertex_set) or [tree_2]
+        registered: Optional[JoinTree] = None
+        for left in lefts:
+            for right in rights:
+                result = self.build_tree(memo, left, right, budget)
+                if result is not None:
+                    registered = result
+        return registered
+
     def operator_cost(self, left_set: int, right_set: int) -> float:
         """``c_join``: the minimal operator cost for joining the two sets.
 

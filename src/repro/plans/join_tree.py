@@ -15,7 +15,32 @@ from typing import Iterator, List, Sequence
 
 from repro.graph import bitset
 
-__all__ = ["JoinTree", "LeafNode", "JoinNode"]
+__all__ = ["JoinTree", "LeafNode", "JoinNode", "plan_fingerprint"]
+
+
+def plan_fingerprint(tree: "JoinTree") -> str:
+    """Canonical structural identity of a join tree.
+
+    Built from relation indices and parenthesis structure only —
+    ``"(0.(1.2))"`` — so it is independent of relation names, costs,
+    cardinalities and any floating-point state, and identical across
+    processes for structurally identical plans.  The memotable uses it as
+    the second component of its (cost, fingerprint) total order, making
+    exact-cost tie-breaks deterministic regardless of insertion order.
+    """
+    if isinstance(tree, LeafNode):
+        return str(tree.relation)
+    parts = []
+    stack = [tree]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, str):
+            parts.append(node)
+        elif isinstance(node, LeafNode):
+            parts.append(str(node.relation))
+        else:
+            stack.extend((")", node.right, ".", node.left, "("))
+    return "".join(parts)
 
 
 class JoinTree:

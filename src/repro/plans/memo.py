@@ -1,29 +1,61 @@
-"""The memotable (§II-B).
+"""The memotable (§II-B), generalized to k-best ranked retention.
 
 ``BestTree[S]`` maps a vertex set (bitset) to the best join tree known for
 it.  Top-down enumeration fills it on demand; DPccp fills it bottom-up.
 The table also serves as the Table III *s* counter: the number of
 non-singleton entries at the end of a run is the number of plan classes for
-which a plan was successfully built.
+which a plan was successfully built — a count of *classes*, never of
+retained plans, whatever ``k`` is.
+
+Since the top-k refactor the table is a *k-bounded per-class store*
+(Tziavelis et al., ranked enumeration): each plan class retains up to
+``k`` distinct trees in a deterministic total order
+
+    (cost, canonical plan fingerprint)
+
+where the fingerprint (:func:`~repro.plans.join_tree.plan_fingerprint`)
+breaks exact cost ties by structure, so the retained set — and therefore
+every armed/disarmed or sharded replay — never depends on insertion
+order.  ``k=1`` (the default) preserves the original single-best behavior
+and memory layout exactly: the ranked side table is not even allocated,
+and :meth:`best` / :meth:`best_cost` / :meth:`register` keep their
+signatures and semantics.  Pruning code bounds candidates against
+:meth:`kth_cost` — the cost a candidate must beat to enter the top-k —
+which degenerates to :meth:`best_cost` at ``k=1``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.graph import bitset
-from repro.plans.join_tree import JoinTree
+from repro.plans.join_tree import JoinTree, plan_fingerprint
 
 __all__ = ["MemoTable"]
 
+_INFINITY = float("inf")
+
 
 class MemoTable:
-    """Best-known join tree per plan class."""
+    """The k best known join trees per plan class (default ``k=1``)."""
 
-    __slots__ = ("_table",)
+    __slots__ = ("_table", "_ranked", "_k")
 
-    def __init__(self) -> None:
+    def __init__(self, k: int = 1) -> None:
+        if k < 1:
+            raise ValueError(f"memotable k must be >= 1, got {k}")
+        self._k = k
         self._table: Dict[int, JoinTree] = {}
+        # (cost, fingerprint, tree) triples per class, sorted ascending;
+        # allocated only when ranks beyond the first are retained.
+        self._ranked: Optional[Dict[int, List[Tuple[float, str, JoinTree]]]] = (
+            None if k == 1 else {}
+        )
+
+    @property
+    def k(self) -> int:
+        """How many ranked trees each plan class retains."""
+        return self._k
 
     def best(self, vertex_set: int) -> Optional[JoinTree]:
         """``BestTree[S]``, or ``None`` when no tree is registered."""
@@ -32,19 +64,78 @@ class MemoTable:
     def best_cost(self, vertex_set: int) -> float:
         """Cost of ``BestTree[S]``; infinity when no tree is registered."""
         tree = self._table.get(vertex_set)
-        return tree.cost if tree is not None else float("inf")
+        return tree.cost if tree is not None else _INFINITY
+
+    def best_k(self, vertex_set: int) -> List[JoinTree]:
+        """The retained trees for ``S``, cheapest first (possibly empty)."""
+        if self._ranked is None:
+            tree = self._table.get(vertex_set)
+            return [] if tree is None else [tree]
+        entries = self._ranked.get(vertex_set)
+        if entries is None:
+            return []
+        return [tree for _, _, tree in entries]
+
+    def kth_cost(self, vertex_set: int) -> float:
+        """The cost a candidate must beat to enter the top-k for ``S``.
+
+        With a full list this is the cost of the currently k-th best tree;
+        while fewer than ``k`` trees are retained it is infinity (anything
+        may still enter).  At ``k=1`` it equals :meth:`best_cost`, so the
+        pruning code that bounds against it is bit-identical to the
+        original single-best behavior.
+        """
+        if self._ranked is None:
+            return self.best_cost(vertex_set)
+        entries = self._ranked.get(vertex_set)
+        if entries is None or len(entries) < self._k:
+            return _INFINITY
+        return entries[-1][0]
 
     def register(self, tree: JoinTree) -> bool:
-        """Install ``tree`` if it beats the registered one.
+        """Install ``tree`` if it enters the retained top-k for its class.
 
-        Returns ``True`` when the table changed (first registration or an
-        improvement), ``False`` otherwise.
+        Returns ``True`` when the table changed (first registration, an
+        improvement of rank 1, or — at ``k>1`` — entry anywhere in the
+        ranked list), ``False`` otherwise.  Ordering is the deterministic
+        (cost, fingerprint) total order: on an exact cost tie the
+        lexicographically smaller canonical fingerprint wins, and a tree
+        structurally identical to a retained one never occupies a second
+        slot.
         """
-        incumbent = self._table.get(tree.vertex_set)
-        if incumbent is None or tree.cost < incumbent.cost:
-            self._table[tree.vertex_set] = tree
-            return True
-        return False
+        if self._ranked is None:
+            incumbent = self._table.get(tree.vertex_set)
+            if incumbent is None or tree.cost < incumbent.cost:
+                self._table[tree.vertex_set] = tree
+                return True
+            if tree.cost == incumbent.cost:  # repro: disable=no-float-cost-eq
+                # Exact tie: the (cost, fingerprint) order decides, not
+                # insertion order.  Fingerprints are only computed here —
+                # ties are rare — so the hot path stays two comparisons.
+                if plan_fingerprint(tree) < plan_fingerprint(incumbent):
+                    self._table[tree.vertex_set] = tree
+                    return True
+            return False
+        return self._register_ranked(tree)
+
+    def _register_ranked(self, tree: JoinTree) -> bool:
+        entries = self._ranked.setdefault(tree.vertex_set, [])
+        if len(entries) == self._k and tree.cost > entries[-1][0]:
+            return False  # cannot enter; skip the fingerprint entirely
+        key = (tree.cost, plan_fingerprint(tree))
+        position = len(entries)
+        for index, (cost, fp, _) in enumerate(entries):
+            if key == (cost, fp):  # repro: disable=no-float-cost-eq
+                return False  # structurally identical plan already retained
+            if key < (cost, fp):
+                position = index
+                break
+        if position >= self._k:
+            return False
+        entries.insert(position, (key[0], key[1], tree))
+        del entries[self._k:]
+        self._table[tree.vertex_set] = entries[0][2]
+        return True
 
     def __contains__(self, vertex_set: int) -> bool:
         return vertex_set in self._table
@@ -53,7 +144,12 @@ class MemoTable:
         return len(self._table)
 
     def n_plan_classes(self) -> int:
-        """Entries with at least two relations (Table III numerator)."""
+        """Entries with at least two relations (Table III numerator).
+
+        Counts plan *classes* — distinct vertex sets — so the value is
+        invariant in ``k``: retaining more ranked trees per class never
+        inflates the paper's *s* counter.
+        """
         return sum(1 for key in self._table if key & (key - 1))
 
     def entries(self) -> Iterator[Tuple[int, JoinTree]]:
@@ -61,4 +157,4 @@ class MemoTable:
         return iter(self._table.items())
 
     def __repr__(self) -> str:
-        return f"MemoTable(entries={len(self._table)})"
+        return f"MemoTable(entries={len(self._table)}, k={self._k})"

@@ -134,6 +134,14 @@ class ResilientResult:
     #: The one :class:`~repro.context.OptimizationContext` every rung of
     #: the descent ran on (shared statistics provider and budget).
     context: Optional[OptimizationContext] = None
+    #: Validated ranked plans (rank 1 first) when the run retained more
+    #: than the single best (``topk > 1``); empty otherwise.
+    ranked_plans: Tuple[JoinTree, ...] = ()
+
+    @property
+    def ranked(self) -> Tuple[JoinTree, ...]:
+        """The ranked plan stream; ``(plan,)`` for single-best runs."""
+        return self.ranked_plans if self.ranked_plans else (self.plan,)
 
     @property
     def degraded(self) -> bool:
@@ -188,7 +196,10 @@ class ResilientOptimizer:
         budget_factory: Optional[Callable[[], Budget]] = None,
         plan_cache=None,
         telemetry: Optional[Telemetry] = None,
+        topk: int = 1,
     ):
+        if topk < 1:
+            raise ValueError(f"topk must be >= 1, got {topk}")
         self._optimizer = Optimizer(
             enumerator=enumerator,
             pruning=pruning,
@@ -197,7 +208,9 @@ class ResilientOptimizer:
             heuristic=heuristic,
             plan_cache=plan_cache,
             telemetry=telemetry,
+            topk=topk,
         )
+        self._topk = topk
         self._cost_model_factory = cost_model_factory
         self._heuristic_ladder = tuple(heuristic_ladder)
         for name in self._heuristic_ladder:
@@ -260,6 +273,7 @@ class ResilientOptimizer:
                     cost_model=self._cost_model_factory,
                     budget=budget,
                     telemetry=self._telemetry,
+                    topk=self._topk,
                 )
         except _RECOVERABLE as error:
             report.rung = "none"
@@ -287,7 +301,7 @@ class ResilientOptimizer:
                 f"{query.describe()}:\n{report.describe()}",
                 report=report,
             )
-        plan, stats, exact = outcome
+        plan, stats, exact, ranked = outcome
         elapsed = time.perf_counter() - started
         return ResilientResult(
             plan=plan,
@@ -298,6 +312,7 @@ class ResilientOptimizer:
             query=query,
             exact=exact,
             context=context,
+            ranked_plans=ranked,
         )
 
     # ------------------------------------------------------------------
@@ -308,9 +323,16 @@ class ResilientOptimizer:
         budget: Optional[Budget],
         report: DegradationReport,
         context: OptimizationContext,
-    ) -> Optional[Tuple[JoinTree, OptimizationStats, Optional[OptimizationResult]]]:
+    ) -> Optional[
+        Tuple[
+            JoinTree,
+            OptimizationStats,
+            Optional[OptimizationResult],
+            Tuple[JoinTree, ...],
+        ]
+    ]:
         """Descend the ladder; fills ``report`` as it goes."""
-        partial: Optional[JoinTree] = None
+        partial_ranked: Tuple[JoinTree, ...] = ()
 
         # Rung 1: exact (budgeted) enumeration.
         try:
@@ -322,7 +344,11 @@ class ResilientOptimizer:
         except BudgetExceeded as error:
             report.budget_exceeded = error.reason
             report.attempts.append(RungAttempt("exact", "failed", str(error)))
-            partial = error.partial_plan
+            # The ranked best-so-far stream (rank 1 first); degenerates to
+            # the scalar partial_plan at k=1.
+            partial_ranked = tuple(error.partial_ranked)
+            if not partial_ranked and error.partial_plan is not None:
+                partial_ranked = (error.partial_plan,)
             self._event("budget_exhausted", reason=error.reason)
         except _RECOVERABLE as error:
             report.attempts.append(
@@ -338,26 +364,42 @@ class ResilientOptimizer:
                 )
                 if fallback is not None:
                     report.fallback_cost = fallback.cost
-            return result.plan, result.stats, result
+            return result.plan, result.stats, result, result.ranked_plans
 
-        # Rung 2: best-so-far plan salvaged from the interrupted run.
-        if partial is not None:
-            try:
-                with self._span("ladder_rung", rung="best_so_far"):
-                    self._validate(partial, query)
-            except _RECOVERABLE as error:
-                report.attempts.append(
-                    RungAttempt(
-                        "best_so_far",
-                        "failed",
-                        f"{type(error).__name__}: {error}",
-                    )
-                )
-            else:
+        # Rung 2: best-so-far plans salvaged from the interrupted run,
+        # tried in rank order — a poisoned rank-1 tree (e.g. non-finite
+        # numbers from a faulting cost model) no longer sinks the rung
+        # when a clean rank-2 plan was also retained.
+        if partial_ranked:
+            salvaged: List[JoinTree] = []
+            first_error: Optional[str] = None
+            with self._span("ladder_rung", rung="best_so_far"):
+                for rank, candidate in enumerate(partial_ranked, start=1):
+                    try:
+                        self._validate(candidate, query)
+                    except _RECOVERABLE as error:
+                        if first_error is None:
+                            first_error = (
+                                f"rank {rank}: {type(error).__name__}: {error}"
+                            )
+                    else:
+                        salvaged.append(candidate)
+            if salvaged:
+                winner = salvaged[0]
+                rank = partial_ranked.index(winner) + 1
+                detail = "" if rank == 1 else f"salvaged rank {rank}"
                 report.rung = "best_so_far"
-                report.attempts.append(RungAttempt("best_so_far", "ok"))
-                report.chosen_cost = partial.cost
-                return partial, OptimizationStats(), None
+                report.attempts.append(RungAttempt("best_so_far", "ok", detail))
+                report.chosen_cost = winner.cost
+                ranked = tuple(salvaged) if len(partial_ranked) > 1 else ()
+                return winner, OptimizationStats(), None, ranked
+            report.attempts.append(
+                RungAttempt(
+                    "best_so_far",
+                    "failed",
+                    first_error or "no complete plan salvaged",
+                )
+            )
         else:
             report.attempts.append(
                 RungAttempt("best_so_far", "failed", "no complete plan salvaged")
@@ -375,7 +417,7 @@ class ResilientOptimizer:
                 report.chosen_cost = plan.cost
                 if report.fallback_cost is None:
                     report.fallback_cost = plan.cost
-                return plan, rung_context.stats, None
+                return plan, rung_context.stats, None, ()
 
         # Final rung: structure without costs.
         if self._structural_fallback:
@@ -392,7 +434,7 @@ class ResilientOptimizer:
             else:
                 report.rung = "structural"
                 report.attempts.append(RungAttempt("structural", "ok"))
-                return plan, OptimizationStats(), None
+                return plan, OptimizationStats(), None, ()
         return None
 
     def _try_heuristic(

@@ -113,7 +113,9 @@ class OptimizeRequest:
     also bounds each optimization attempt's budget.  ``seed`` drives every
     per-request random decision (retry jitter, chaos schedule); the
     service derives it deterministically from its own seed and the
-    request id when the caller leaves it unset.
+    request id when the caller leaves it unset.  ``topk > 1`` asks the
+    optimizer to retain that many ranked plans, enabling the
+    breaker-suspect rank-2 fallback (see :meth:`OptimizationService.submit`).
     """
 
     query: Query
@@ -121,6 +123,7 @@ class OptimizeRequest:
     priority: int = 0
     deadline_seconds: Optional[float] = None
     seed: int = 0
+    topk: int = 1
 
     def describe(self) -> str:
         return (
@@ -151,6 +154,12 @@ class OptimizeResponse:
     #: Shard that served the request (sharded deployments only); ``None``
     #: for single-process service responses and front-end fallbacks.
     shard: Optional[int] = None
+    #: Rank of the served plan within the request's top-k stream (1-based).
+    #: Always 1 unless the breaker-suspect fallback re-served rank 2.
+    rank: int = 1
+    #: Costs of every retained ranked plan (rank 1 first); empty for
+    #: single-best requests.
+    ranked_costs: tuple = ()
 
     @property
     def ok(self) -> bool:
@@ -171,6 +180,8 @@ class OptimizeResponse:
             "injected": dict(self.injected),
             "error": self.error,
             "shard": self.shard,
+            "rank": self.rank,
+            "ranked_costs": list(self.ranked_costs),
         }
 
 
@@ -388,13 +399,25 @@ class OptimizationService:
         priority: int = 0,
         deadline_seconds: Optional[float] = None,
         seed: Optional[int] = None,
+        topk: int = 1,
     ) -> "Future[OptimizeResponse]":
         """Admit a request; returns a future, or raises on shed/shutdown.
+
+        ``topk > 1`` retains that many ranked plans per request and opts
+        in to the breaker-suspect fallback: when the cost-model breaker is
+        not closed at response time, the service re-serves rank 2 (the
+        structurally different runner-up) instead of rank 1, on the theory
+        that a suspect cost model's top pick is the plan most finely tuned
+        to its possibly-poisoned numbers.  This is a deliberate, explicit
+        deviation from the plan = f(query, seed) determinism contract —
+        single-best requests (the default) are unaffected.
 
         Raises :class:`~repro.errors.ServiceOverloadError` (queue full,
         deterministic load shedding) or :class:`ServiceShutdownError`
         (service not running).
         """
+        if topk < 1:
+            raise ValueError(f"topk must be >= 1, got {topk}")
         with self._lock:
             if self._state != "running":
                 raise ServiceShutdownError(
@@ -408,6 +431,7 @@ class OptimizationService:
             priority=priority,
             deadline_seconds=deadline_seconds,
             seed=seed if seed is not None else self._derive_seed(request_id),
+            topk=topk,
         )
         ticket = _Ticket(request, admitted_at=self._clock())
         try:
@@ -426,6 +450,7 @@ class OptimizationService:
         priority: int = 0,
         deadline_seconds: Optional[float] = None,
         seed: Optional[int] = None,
+        topk: int = 1,
     ) -> OptimizeResponse:
         """Synchronous convenience: submit and wait for the response."""
         return self.submit(
@@ -433,6 +458,7 @@ class OptimizationService:
             priority=priority,
             deadline_seconds=deadline_seconds,
             seed=seed,
+            topk=topk,
         ).result()
 
     # -- health --------------------------------------------------------
@@ -539,6 +565,7 @@ class OptimizationService:
                         rung=response.rung,
                         attempts=response.attempts,
                         retries=response.retries,
+                        rank=response.rank,
                     )
             except Exception as error:  # the worker must never die
                 with self._lock:
@@ -708,6 +735,7 @@ class OptimizationService:
             optimizer = ResilientOptimizer(
                 cost_model_factory=factory,
                 plan_cache=cache,
+                topk=request.topk,
                 **self._optimizer_kwargs,
             )
             budget = self._attempt_budget(deadline_at)
@@ -765,10 +793,10 @@ class OptimizationService:
             # retrying would just re-run the same budget into the ground).
             attempt_span.set(outcome="ok", rung=result.rung)
             self._record_outcome(injected)
-            return self._fill_ok(response, result)
+            return self._fill_ok(response, result, request)
 
         if best_degraded is not None:
-            return self._fill_ok(response, best_degraded)
+            return self._fill_ok(response, best_degraded, request)
         if deadline_at is not None and self._clock() >= deadline_at:
             response.status = "timeout"
             response.error = (
@@ -787,9 +815,11 @@ class OptimizationService:
         for point, count in injected.items():
             response.injected[point] = response.injected.get(point, 0) + count
 
-    @staticmethod
     def _fill_ok(
-        response: OptimizeResponse, result: ResilientResult
+        self,
+        response: OptimizeResponse,
+        result: ResilientResult,
+        request: OptimizeRequest,
     ) -> OptimizeResponse:
         response.status = "ok"
         response.plan = result.plan
@@ -798,6 +828,38 @@ class OptimizationService:
         response.degraded = result.degraded
         response.result = result
         response.error = None
+        if request.topk > 1:
+            ranked = result.ranked
+            response.ranked_costs = tuple(plan.cost for plan in ranked)
+            if self._telemetry is not None:
+                self._telemetry.registry.counter(
+                    "repro_topk_requests_total",
+                    "Requests served with topk > 1, by retained depth.",
+                    labels={"served": str(len(ranked))},
+                ).inc()
+            # Breaker-suspect fallback: with the cost-model breaker not
+            # closed, rank 1 — the plan most finely tuned to the suspect
+            # model's numbers — is re-served as the structurally different
+            # runner-up, when one was retained.  Opt-in via topk > 1 only;
+            # a deliberate, documented deviation from plan = f(query, seed).
+            suspect = (
+                self._breakers.breaker("cost_model").state != "closed"
+            )
+            if suspect and len(ranked) > 1:
+                response.plan = ranked[1]
+                response.cost = ranked[1].cost
+                response.rank = 2
+                if self._telemetry is not None:
+                    self._telemetry.registry.counter(
+                        "repro_topk_fallback_total",
+                        "Rank-2 plans served because the cost-model "
+                        "breaker was open at response time.",
+                    ).inc()
+                    self._telemetry.event(
+                        "topk_breaker_fallback",
+                        request_id=request.request_id,
+                        rank=2,
+                    )
         return response
 
     def _backoff(

@@ -99,6 +99,7 @@ class _ClusterTicket:
         "priority",
         "deadline_seconds",
         "seed",
+        "topk",
         "key",
         "future",
         "created_at",
@@ -116,12 +117,14 @@ class _ClusterTicket:
         seed: int,
         key: str,
         created_at: float,
+        topk: int = 1,
     ):
         self.request_id = request_id
         self.query = query
         self.priority = priority
         self.deadline_seconds = deadline_seconds
         self.seed = seed
+        self.topk = topk
         self.key = key
         self.future: "Future[OptimizeResponse]" = Future()
         self.created_at = created_at
@@ -383,8 +386,11 @@ class ShardedService:
         priority: int = 0,
         deadline_seconds: Optional[float] = None,
         seed: Optional[int] = None,
+        topk: int = 1,
     ) -> "Future[OptimizeResponse]":
         """Admit a request; returns a future, or raises on shed/shutdown."""
+        if topk < 1:
+            raise ValueError(f"topk must be >= 1, got {topk}")
         key = self._router.key_for(query)
         with self._lock:
             if self._state != "running":
@@ -406,6 +412,7 @@ class ShardedService:
                 seed=seed if seed is not None else self._derive_seed(request_id),
                 key=key,
                 created_at=self._clock(),
+                topk=topk,
             )
             # Claim RUNNING immediately: a cluster ticket may hop shards,
             # and a caller cancelling mid-hop would race set_result.
@@ -421,6 +428,7 @@ class ShardedService:
         priority: int = 0,
         deadline_seconds: Optional[float] = None,
         seed: Optional[int] = None,
+        topk: int = 1,
     ) -> OptimizeResponse:
         """Synchronous convenience: submit and wait."""
         return self.submit(
@@ -428,6 +436,7 @@ class ShardedService:
             priority=priority,
             deadline_seconds=deadline_seconds,
             seed=seed,
+            topk=topk,
         ).result()
 
     def _alive_shard_ids(self) -> List[int]:
@@ -486,6 +495,7 @@ class ShardedService:
                 priority=ticket.priority,
                 deadline_seconds=self._remaining_deadline(ticket),
                 seed=ticket.seed,
+                topk=ticket.topk,
             )
             if handle.send(request):
                 return
@@ -817,6 +827,13 @@ class ShardedService:
             status="failed",
             queue_wait_seconds=started - ticket.created_at,
         )
+        if ticket.topk > 1:
+            # The shared fallback optimizer is single-best; ranked tickets
+            # get a per-request one carrying their k (rare path — it only
+            # runs with every shard down).
+            optimizer = ResilientOptimizer(
+                topk=ticket.topk, **self._fallback_config
+            )
         try:
             result = optimizer.optimize(ticket.query)
         except Exception as error:  # typed failure, never a lost request
@@ -829,6 +846,10 @@ class ShardedService:
             response.degraded = result.degraded
             response.result = result
             response.attempts = 1
+            if ticket.topk > 1:
+                response.ranked_costs = tuple(
+                    plan.cost for plan in result.ranked
+                )
         response.service_seconds = self._clock() - started
         self._finish(ticket, response)
 

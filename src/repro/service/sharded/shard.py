@@ -201,6 +201,7 @@ def _submit(
             priority=request.priority,
             deadline_seconds=request.deadline_seconds,
             seed=request.seed,
+            topk=request.topk,
         )
     except ServiceOverloadError as error:
         bridge.finish(request.request_id)

@@ -78,6 +78,7 @@ class WireRequest:
     priority: int = 0
     deadline_seconds: Optional[float] = None
     seed: int = 0
+    topk: int = 1
 
 
 @dataclass(frozen=True)

@@ -78,6 +78,37 @@ class TestContextDiscipline:
             == []
         )
 
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "from repro.plans.memo import MemoTable\n"
+            "def f():\n    return MemoTable()\n",
+            "import repro.plans.memo as memo\n"
+            "def f(k):\n    return memo.MemoTable(k=k)\n",
+        ],
+    )
+    def test_direct_memotable_construction_flagged(self, lint, snippet):
+        # A hand-rolled MemoTable silently ignores context.topk; the hint
+        # points at letting a plan generator build it.
+        diagnostics = lint(snippet, "context-discipline")
+        assert _rules_of(diagnostics) == ["context-discipline"]
+        assert "k=context.topk" in diagnostics[0].message
+
+    @pytest.mark.parametrize(
+        "filename",
+        [
+            "repro/plans/memo.py",
+            "repro/core/plangen.py",
+            "repro/baselines/dpccp.py",
+        ],
+    )
+    def test_memotable_allowed_in_generator_modules(self, lint, filename):
+        code = (
+            "from repro.plans.memo import MemoTable\n"
+            "def f(k):\n    return MemoTable(k=k)\n"
+        )
+        assert lint(code, "context-discipline", filename=filename) == []
+
 
 class TestSeededRng:
     def test_unseeded_random_flagged(self, lint):

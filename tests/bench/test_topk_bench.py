@@ -1,0 +1,69 @@
+"""The top-k rank-stability benchmark: tau math, invariants, CLI."""
+
+import json
+
+import pytest
+
+from repro.bench.topk import kendall_tau, main, run_topk_benchmark
+
+# Small enough for a unit test, big enough that every family appears.
+TINY_WORKLOAD = (("chain", 6), ("star", 5), ("cycle", 6), ("clique", 5))
+
+
+class TestKendallTau:
+    def test_identical_orders_are_plus_one(self):
+        assert kendall_tau([1, 2, 3, 4], [1, 2, 3, 4]) == 1.0
+
+    def test_reversed_orders_are_minus_one(self):
+        assert kendall_tau([1, 2, 3, 4], [4, 3, 2, 1]) == -1.0
+
+    def test_single_swap(self):
+        # One discordant pair of three: (2 - 1) / 3.
+        assert kendall_tau([1, 2, 3], [2, 1, 3]) == pytest.approx(1.0 / 3.0)
+
+    def test_degenerate_rankings_are_plus_one(self):
+        assert kendall_tau([], []) == 1.0
+        assert kendall_tau([7], [7]) == 1.0
+
+    def test_mismatched_item_sets_rejected(self):
+        with pytest.raises(ValueError):
+            kendall_tau([1, 2], [1, 3])
+
+    def test_symmetry(self):
+        a, b = [1, 2, 3, 4, 5], [3, 1, 5, 2, 4]
+        assert kendall_tau(a, b) == kendall_tau(b, a)
+
+
+class TestRunTopkBenchmark:
+    def test_report_shape_and_invariants(self):
+        report = run_topk_benchmark(k=3, draws=2, workload=TINY_WORKLOAD)
+        assert report["failures"] == []
+        assert len(report["queries"]) == len(TINY_WORKLOAD)
+        for entry in report["queries"]:
+            assert 1 <= entry["k_retained"] <= 3
+            assert entry["rank1_cost"] == entry["ranked_costs"][0]
+            assert all(-1.0 <= tau <= 1.0 for tau in entry["taus"])
+            assert len(entry["taus"]) == 2
+        assert set(report["mean_tau_by_family"]) == {
+            family for family, _ in TINY_WORKLOAD
+        }
+
+    def test_benchmark_is_seeded_deterministic(self):
+        first = run_topk_benchmark(k=3, draws=2, workload=TINY_WORKLOAD)
+        second = run_topk_benchmark(k=3, draws=2, workload=TINY_WORKLOAD)
+        for a, b in zip(first["queries"], second["queries"]):
+            assert a["ranked_costs"] == b["ranked_costs"]
+            assert a["taus"] == b["taus"]
+
+    def test_cli_writes_the_report(self, tmp_path, monkeypatch, capsys):
+        out = tmp_path / "BENCH_topk.json"
+        monkeypatch.setattr(
+            "repro.bench.topk.DEFAULT_WORKLOAD", TINY_WORKLOAD
+        )
+        exit_code = main(["--out", str(out), "--k", "3", "--draws", "2"])
+        report = json.loads(out.read_text(encoding="utf-8"))
+        assert exit_code == 0
+        assert report["failures"] == []
+        assert report["benchmark"] == "topk"
+        printed = capsys.readouterr().out
+        assert "rank stability" in printed

@@ -121,6 +121,38 @@ class TestOptimizerIntegration:
         assert bare.stats.plan_cache_misses == 0
 
 
+class TestRankedEntries:
+    def test_cached_plan_stores_the_canonical_ranked_tuple(self, query):
+        context = OptimizationContext.for_query(query)
+        ranked = run_dpccp(query, topk=3).ranked
+        fp = fingerprint(query)
+        canonical = tuple(plan.relabel(fp.mapping) for plan in ranked)
+        entry = CachedPlan(canonical[0], fp.payload, canonical)
+        assert entry.canonical_ranked == canonical
+        assert isinstance(entry.canonical_ranked, tuple)
+        for plan in entry.canonical_ranked:
+            replayed = replay_plan(plan, fp.mapping, context)
+            validate_plan(replayed, query)
+
+    def test_canonical_ranked_defaults_empty(self, query):
+        entry, _, _ = _cached_entry(query)
+        assert entry.canonical_ranked == ()
+
+    def test_topk_hit_and_miss_counters_match_single_best(self, query):
+        # One miss then one hit — the ranked payload rides along without
+        # perturbing the cache's observable accounting.
+        cache = PlanCache()
+        optimizer = Optimizer(plan_cache=cache, topk=3)
+        cold = optimizer.optimize_topk(query, k=3)
+        warm = optimizer.optimize_topk(query, k=3)
+        assert cache.hits == 1 and cache.misses == 1
+        assert cold.stats.plan_cache_misses == 1
+        assert warm.stats.plan_cache_hits == 1
+        assert [p.cost.hex() for p in warm.ranked] == [
+            p.cost.hex() for p in cold.ranked
+        ]
+
+
 class TestThreadSafety:
     """The cache is shared by service workers; its LRU + counters must
     survive concurrent hammering without losing structural integrity."""

@@ -9,8 +9,11 @@ runs, and can be executed as a script to (re)capture the golden outputs::
     PYTHONPATH=src:tests python tests/integration/golden_workload.py
 
 The resulting ``golden_plans.json`` was captured on the pre-refactor tree
-(commit a02e55e) and is committed; regenerate it only when an intentional
-behavior change is being made, never to paper over a regression.
+(commit a02e55e) and re-captured when the memo's deterministic
+(cost, fingerprint) tie-break landed — every re-captured cost was verified
+bit-identical to the previous capture; only equal-cost tie winners moved.
+Regenerate it only when an intentional behavior change is being made,
+never to paper over a regression.
 """
 
 from __future__ import annotations

@@ -2,12 +2,19 @@
 
 import math
 
-from repro.plans.join_tree import JoinNode, LeafNode
+import pytest
+
+from repro.plans.join_tree import JoinNode, LeafNode, plan_fingerprint
 from repro.plans.memo import MemoTable
 
 
 def _pair_tree(cost: float) -> JoinNode:
     return JoinNode(LeafNode(0, 10), LeafNode(1, 10), 5.0, operator_cost=cost)
+
+
+def _reversed_pair_tree(cost: float) -> JoinNode:
+    """Same plan class and cost as ``_pair_tree``, different fingerprint."""
+    return JoinNode(LeafNode(1, 10), LeafNode(0, 10), 5.0, operator_cost=cost)
 
 
 class TestRegister:
@@ -39,6 +46,118 @@ class TestRegister:
         assert memo.best(first.vertex_set) is first
 
 
+class TestTieBreakTotalOrder:
+    """The deterministic (cost, canonical-fingerprint) total order.
+
+    On an exact cost tie the lexicographically smaller fingerprint wins —
+    regardless of insertion order — so armed/disarmed and sharded replays
+    that visit ccps in different orders still converge on one plan.
+    """
+
+    def test_fingerprints_differ_for_mirrored_joins(self):
+        assert plan_fingerprint(_pair_tree(5.0)) == "(0.1)"
+        assert plan_fingerprint(_reversed_pair_tree(5.0)) == "(1.0)"
+
+    def test_smaller_fingerprint_replaces_on_exact_tie(self):
+        memo = MemoTable()
+        larger = _reversed_pair_tree(5.0)  # "(1.0)"
+        memo.register(larger)
+        smaller = _pair_tree(5.0)  # "(0.1)" < "(1.0)"
+        assert memo.register(smaller)
+        assert memo.best(smaller.vertex_set) is smaller
+
+    def test_larger_fingerprint_rejected_on_exact_tie(self):
+        memo = MemoTable()
+        smaller = _pair_tree(5.0)
+        memo.register(smaller)
+        assert not memo.register(_reversed_pair_tree(5.0))
+        assert memo.best(smaller.vertex_set) is smaller
+
+    def test_winner_is_insertion_order_independent(self):
+        forward = MemoTable()
+        forward.register(_pair_tree(5.0))
+        forward.register(_reversed_pair_tree(5.0))
+        backward = MemoTable()
+        backward.register(_reversed_pair_tree(5.0))
+        backward.register(_pair_tree(5.0))
+        assert plan_fingerprint(forward.best(0b11)) == plan_fingerprint(
+            backward.best(0b11)
+        )
+
+    def test_ranked_store_uses_the_same_order(self):
+        memo = MemoTable(k=2)
+        memo.register(_reversed_pair_tree(5.0))
+        memo.register(_pair_tree(5.0))
+        ranked = memo.best_k(0b11)
+        assert [plan_fingerprint(t) for t in ranked] == ["(0.1)", "(1.0)"]
+
+
+class TestTopK:
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MemoTable(k=0)
+
+    def test_default_k_is_one(self):
+        memo = MemoTable()
+        assert memo.k == 1
+
+    def test_k1_allocates_no_ranked_store(self):
+        # The memory-parity contract: at k=1 the table is exactly the
+        # pre-top-k single-best dict, with no per-class ranked lists.
+        assert MemoTable()._ranked is None
+        assert MemoTable(k=3)._ranked == {}
+
+    def test_best_k_at_k1_wraps_the_scalar(self):
+        memo = MemoTable()
+        tree = _pair_tree(5.0)
+        memo.register(tree)
+        assert memo.best_k(tree.vertex_set) == [tree]
+        assert memo.best_k(0b1100) == []
+
+    def test_kth_cost_at_k1_is_best_cost(self):
+        memo = MemoTable()
+        memo.register(_pair_tree(5.0))
+        assert memo.kth_cost(0b11) == memo.best_cost(0b11)
+
+    def test_kth_cost_infinite_until_k_retained(self):
+        memo = MemoTable(k=2)
+        memo.register(_pair_tree(5.0))
+        assert math.isinf(memo.kth_cost(0b11))
+        memo.register(_reversed_pair_tree(7.0))
+        assert memo.kth_cost(0b11) == 7.0
+
+    def test_retains_k_cheapest_sorted(self):
+        memo = MemoTable(k=2)
+        a, b, c = _pair_tree(9.0), _reversed_pair_tree(3.0), _pair_tree(6.0)
+        assert memo.register(a)
+        assert memo.register(b)
+        assert memo.register(c)  # evicts a (9.0)
+        ranked = memo.best_k(0b11)
+        assert [t.cost for t in ranked] == sorted(t.cost for t in ranked)
+        assert len(ranked) == 2
+        assert ranked[0] is b
+        assert memo.best(0b11) is b
+
+    def test_rejects_beyond_kth_cost(self):
+        memo = MemoTable(k=2)
+        memo.register(_pair_tree(3.0))
+        memo.register(_reversed_pair_tree(5.0))
+        assert not memo.register(_pair_tree(9.0))
+
+    def test_duplicate_plan_never_occupies_two_slots(self):
+        memo = MemoTable(k=3)
+        memo.register(_pair_tree(5.0))
+        assert not memo.register(_pair_tree(5.0))
+        assert len(memo.best_k(0b11)) == 1
+
+    def test_best_agrees_with_rank_one(self):
+        memo = MemoTable(k=3)
+        memo.register(_pair_tree(9.0))
+        memo.register(_reversed_pair_tree(4.0))
+        assert memo.best(0b11) is memo.best_k(0b11)[0]
+        assert memo.best_cost(0b11) == 4.0
+
+
 class TestLookups:
     def test_best_of_unknown_is_none(self):
         assert MemoTable().best(0b11) is None
@@ -67,6 +186,18 @@ class TestPlanClassCounting:
         memo.register(_pair_tree(1.0))
         assert len(memo) == 3
         assert memo.n_plan_classes() == 1
+
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_count_is_invariant_in_k(self, k):
+        # Table III's *s* counter counts plan *classes*, not retained
+        # plans: widening the memo must never inflate it.
+        memo = MemoTable(k=k)
+        memo.register(LeafNode(0, 1.0))
+        memo.register(LeafNode(1, 1.0))
+        memo.register(_pair_tree(1.0))
+        memo.register(_reversed_pair_tree(2.0))  # second plan, same class
+        assert memo.n_plan_classes() == 1
+        assert len(memo) == 3
 
     def test_entries_iterates_everything(self):
         memo = MemoTable()

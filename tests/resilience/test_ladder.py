@@ -65,6 +65,61 @@ class TestBestSoFarRung:
         assert result.report.budget["exhausted"] == "expansions"
 
 
+class TestRankedSalvage:
+    """Top-k best-so-far: the rung yields from the ranked stream."""
+
+    def test_topk_salvage_returns_rank_ordered_stream(self):
+        query = _query("clique", n=8)
+        result = ResilientOptimizer(topk=3).optimize(
+            query, budget=Budget(max_expansions=10)
+        )
+        assert result.rung == "best_so_far"
+        ranked = result.ranked
+        assert ranked[0] is result.plan
+        costs = [plan.cost for plan in ranked]
+        assert costs == sorted(costs)
+        for plan in ranked:
+            check_finite(plan)
+            validate_plan(plan, query)
+
+    def test_poisoned_rank_one_salvages_rank_two(self, monkeypatch):
+        from repro.errors import BudgetExceeded
+        from repro.plans.join_tree import JoinNode
+
+        query = _query("chain", n=5)
+        ranked = ResilientOptimizer(topk=2).optimize(query).ranked
+        assert len(ranked) == 2
+        clean_first, clean_second = ranked
+        # A structurally valid rank-1 plan whose root cost is NaN — what a
+        # faulting cost model leaves behind in the interrupted memo.
+        poisoned = JoinNode(
+            clean_first.left,
+            clean_first.right,
+            clean_first.cardinality,
+            operator_cost=float("nan"),
+        )
+
+        resilient = ResilientOptimizer(topk=2)
+
+        def interrupted(query, budget=None, context=None):
+            error = BudgetExceeded("deadline", "synthetic interruption")
+            error.partial_plan = poisoned
+            error.partial_ranked = (poisoned, clean_second)
+            raise error
+
+        monkeypatch.setattr(resilient._optimizer, "optimize", interrupted)
+        result = resilient.optimize(query)
+        assert result.rung == "best_so_far"
+        assert result.plan is clean_second
+        check_finite(result.plan)
+        validate_plan(result.plan, query)
+        attempt = next(
+            a for a in result.report.attempts if a.rung == "best_so_far"
+        )
+        assert attempt.detail == "salvaged rank 2"
+        assert result.ranked == (clean_second,)
+
+
 class TestHeuristicRungs:
     def test_falls_to_first_heuristic_without_a_partial(self):
         query = _query("clique", n=8)

@@ -517,3 +517,74 @@ class TestHealth:
             # the worker loop keeps answering).
             follow_up = service.optimize(query)
             assert follow_up.status == "failed"
+
+
+class TestTopK:
+    """Ranked serving: topk requests, breaker-suspect rank-2 fallback."""
+
+    def test_topk_request_fills_ranked_costs(self, query):
+        from repro.telemetry import MetricRegistry, Telemetry
+
+        registry = MetricRegistry(enabled=True)
+        with make_service(
+            telemetry=Telemetry(registry=registry)
+        ) as service:
+            response = service.optimize(query, topk=3)
+        assert response.ok
+        assert response.rank == 1
+        assert len(response.ranked_costs) > 1
+        assert list(response.ranked_costs) == sorted(response.ranked_costs)
+        assert response.cost == response.ranked_costs[0]
+        validate_plan(response.plan, query)
+        served = registry.counter(
+            "repro_topk_requests_total",
+            labels={"served": str(len(response.ranked_costs))},
+        )
+        assert served.value == 1
+
+    def test_single_best_request_is_unchanged(self, query):
+        with make_service() as service:
+            response = service.optimize(query)
+        assert response.rank == 1
+        assert response.ranked_costs == ()
+
+    def test_topk_must_be_positive(self, query):
+        with make_service() as service:
+            with pytest.raises(ValueError):
+                service.optimize(query, topk=0)
+
+    def test_open_cost_model_breaker_serves_rank_two(self, query):
+        from repro.telemetry import MetricRegistry, Telemetry
+
+        registry = MetricRegistry(enabled=True)
+        # Stuck-open breaker (huge cooldown): past breaker_wait_limit the
+        # attempt proceeds ungated, so the request is served while the
+        # cost model is still suspect at response time.
+        board = BreakerBoard(failure_threshold=1, cooldown_seconds=3600.0)
+        board.breaker("cost_model").record_failure()
+        assert board.breaker("cost_model").state == OPEN
+        with make_service(
+            workers=1,
+            breakers=board,
+            breaker_wait_limit=3,
+            sleep=lambda seconds: None,
+            telemetry=Telemetry(registry=registry),
+        ) as service:
+            response = service.optimize(query, topk=3)
+        assert response.ok
+        assert response.rank == 2
+        assert response.cost == response.ranked_costs[1]
+        assert response.cost >= response.ranked_costs[0]
+        validate_plan(response.plan, query)
+        assert registry.counter("repro_topk_fallback_total").value == 1
+
+    def test_closed_breaker_never_triggers_the_fallback(self, query):
+        from repro.telemetry import MetricRegistry, Telemetry
+
+        registry = MetricRegistry(enabled=True)
+        with make_service(
+            telemetry=Telemetry(registry=registry)
+        ) as service:
+            response = service.optimize(query, topk=3)
+        assert response.rank == 1
+        assert registry.counter("repro_topk_fallback_total").value == 0
