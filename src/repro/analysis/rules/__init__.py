@@ -6,6 +6,7 @@ from repro.analysis.rules import (  # noqa: F401
     bench_clock,
     bitset_discipline,
     context_discipline,
+    durable_write,
     float_cost_eq,
     metric_discipline,
     mutable_default,
@@ -20,6 +21,7 @@ __all__ = [
     "bench_clock",
     "bitset_discipline",
     "context_discipline",
+    "durable_write",
     "float_cost_eq",
     "metric_discipline",
     "mutable_default",

@@ -27,6 +27,7 @@ from repro.bench.harness import (
     run_workload,
 )
 from repro.bench.tables import render_series, render_table2, render_table3
+from repro.context.store import atomic_write_text
 from repro.core.advancements import ADVANCEMENT_NAMES, AdvancementConfig
 from repro.workload.generator import QueryGenerator
 from repro.workload.suite import WorkloadSuite, default_suite
@@ -64,11 +65,14 @@ class ExperimentResult:
         """Persist text and JSON under ``directory``; returns the JSON path."""
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
-        (directory / f"{self.name}.txt").write_text(
-            f"{self.description}\n\n{self.text}\n"
+        atomic_write_text(
+            str(directory / f"{self.name}.txt"),
+            f"{self.description}\n\n{self.text}\n",
         )
         json_path = directory / f"{self.name}.json"
-        json_path.write_text(json.dumps(self.data, indent=2, default=str))
+        atomic_write_text(
+            str(json_path), json.dumps(self.data, indent=2, default=str)
+        )
         return json_path
 
 

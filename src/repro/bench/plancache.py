@@ -24,6 +24,7 @@ from typing import Dict, List
 
 from repro.context import PlanCache
 from repro.core.optimizer import Optimizer
+from repro.context.store import atomic_write_text
 from repro.query import Query
 from repro.workload.generator import QueryGenerator
 
@@ -130,9 +131,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     report = run_plancache_benchmark(args.enumerator, args.pruning)
-    with open(args.out, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2)
-        handle.write("\n")
+    atomic_write_text(args.out, json.dumps(report, indent=2) + "\n")
 
     print(
         f"plan cache: cold {report['cold_seconds']:.3f}s, "

@@ -25,6 +25,7 @@ import sys
 import time
 from typing import Dict, List
 
+from repro.context.store import atomic_write_text
 from repro.core.optimizer import optimize
 from repro.query import Query
 from repro.telemetry import MetricRegistry, Telemetry, Tracer
@@ -145,9 +146,7 @@ def main(argv=None) -> int:
     report = run_overhead_benchmark(
         rounds=args.rounds, threshold=args.threshold
     )
-    with open(args.out, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2)
-        handle.write("\n")
+    atomic_write_text(args.out, json.dumps(report, indent=2) + "\n")
 
     print(
         f"telemetry overhead: disarmed {report['disarmed_best']:.3f}s, "

@@ -30,6 +30,7 @@ from typing import Dict, List, Sequence, Tuple
 from repro.catalog.catalog import Catalog
 from repro.context.context import OptimizationContext
 from repro.context.plancache import replay_plan
+from repro.context.store import atomic_write_text
 from repro.core.optimizer import Optimizer
 from repro.plans.join_tree import JoinTree, plan_fingerprint
 from repro.query import Query
@@ -242,9 +243,7 @@ def main(argv=None) -> int:
         jitter=args.jitter,
         draws=args.draws,
     )
-    with open(args.out, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2)
-        handle.write("\n")
+    atomic_write_text(args.out, json.dumps(report, indent=2) + "\n")
 
     for family, tau in sorted(report["mean_tau_by_family"].items()):
         print(f"topk rank stability: {family:7s} mean tau {tau:+.3f}")

@@ -22,6 +22,14 @@ from repro.context.plancache import (
     PlanCache,
     replay_plan,
 )
+from repro.context.store import (
+    AdmissionPolicy,
+    DurableStore,
+    RecoveryReport,
+    TieredPlanCache,
+    atomic_write_text,
+    default_store_epoch,
+)
 
 __all__ = [
     "OptimizationContext",
@@ -35,4 +43,10 @@ __all__ = [
     "CachedPlan",
     "replay_plan",
     "DEFAULT_CACHE_CAPACITY",
+    "AdmissionPolicy",
+    "DurableStore",
+    "RecoveryReport",
+    "TieredPlanCache",
+    "atomic_write_text",
+    "default_store_epoch",
 ]

@@ -42,13 +42,22 @@ DEFAULT_CACHE_CAPACITY = 512
 class CachedPlan:
     """One cache entry: a canonical-numbered optimal tree plus provenance."""
 
-    __slots__ = ("canonical_plan", "canonical_cost", "payload", "canonical_ranked")
+    __slots__ = (
+        "canonical_plan",
+        "canonical_cost",
+        "payload",
+        "canonical_ranked",
+        "cold_seconds",
+        "expansions",
+    )
 
     def __init__(
         self,
         canonical_plan: JoinTree,
         payload: str,
         canonical_ranked: Sequence[JoinTree] = (),
+        cold_seconds: float = 0.0,
+        expansions: int = 0,
     ):
         self.canonical_plan = canonical_plan
         self.canonical_cost = canonical_plan.cost
@@ -57,6 +66,31 @@ class CachedPlan:
         #: Canonical-numbered top-k list (rank 1 first) for ranked entries;
         #: empty for single-best entries.  Replayed plan by plan on a hit.
         self.canonical_ranked = tuple(canonical_ranked)
+        #: Cold-run provenance: wall time and ccp expansions the original
+        #: optimization spent.  Diagnostics and L2 admission only — never
+        #: part of any plan decision (the durable tier's
+        #: :class:`~repro.context.store.AdmissionPolicy` reads them to
+        #: decide whether the entry is worth persisting).
+        self.cold_seconds = cold_seconds
+        self.expansions = expansions
+
+    def clone(self) -> "CachedPlan":
+        """A deep, independent copy (identity relabel of every tree).
+
+        :meth:`PlanCache.get` hands these out so no caller can mutate the
+        entry shared by every other thread behind its back.
+        """
+        indices = self.canonical_plan.relation_indices()
+        for tree in self.canonical_ranked:
+            indices.extend(tree.relation_indices())
+        identity = range(max(indices) + 1)
+        return CachedPlan(
+            self.canonical_plan.relabel(identity),
+            self.payload,
+            tuple(tree.relabel(identity) for tree in self.canonical_ranked),
+            cold_seconds=self.cold_seconds,
+            expansions=self.expansions,
+        )
 
     def __repr__(self) -> str:
         return (
@@ -107,7 +141,13 @@ class PlanCache:
             return key in self._entries
 
     def get(self, key: str) -> Optional[CachedPlan]:
-        """Look up ``key``; counts the hit/miss and refreshes recency."""
+        """Look up ``key``; counts the hit/miss and refreshes recency.
+
+        Returns a *defensive copy* of the entry, never the live object:
+        the cache is shared by every worker thread, and a caller mutating
+        the returned trees (or holding them across an eviction) must not
+        be able to poison what the next hit replays.
+        """
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
@@ -115,7 +155,9 @@ class PlanCache:
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
-            return entry
+        # Clone outside the lock: the copy walks the whole tree, and the
+        # snapshot taken under the lock is already consistent.
+        return entry.clone()
 
     def put(self, key: str, entry: CachedPlan) -> None:
         """Insert/refresh ``key``, evicting the LRU entry beyond capacity."""

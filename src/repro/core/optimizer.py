@@ -392,9 +392,20 @@ class Optimizer:
         canonical_ranked = tuple(
             ranked_plan.relabel(fp.mapping) for ranked_plan in result.ranked_plans
         )
-        # The taint on `result` is its wall-clock `elapsed` field; only the
-        # relabeled plan trees (deterministic) are cached, never the timing.
-        cache.put(key, CachedPlan(canonical, fp.payload, canonical_ranked))  # repro: disable=determinism
+        # The taint on `result` is its wall-clock `elapsed` field; the
+        # relabeled plan trees (deterministic) are what gets served, and
+        # the timing rides along only as admission provenance for the
+        # durable tier — it never influences any plan decision.
+        cache.put(  # repro: disable=determinism
+            key,
+            CachedPlan(
+                canonical,
+                fp.payload,
+                canonical_ranked,
+                cold_seconds=result.elapsed,
+                expansions=result.stats.ccps_enumerated,
+            ),
+        )
         return result
 
     # -- simple strategies (none / acb / pcb / apcb) -----------------------

@@ -23,6 +23,9 @@ __all__ = [
     "CircuitOpenError",
     "RetriesExhaustedError",
     "TelemetryError",
+    "StoreError",
+    "StoreCorruptionError",
+    "StoreEpochError",
 ]
 
 
@@ -150,6 +153,32 @@ class RetriesExhaustedError(ServiceError):
         super().__init__(f"all {attempts} attempts failed{detail}")
         self.attempts = attempts
         self.last_error = last_error
+
+
+class StoreError(ReproError):
+    """Raised for durable plan-store failures (write errors, poisoned
+    writers, read-only misuse).
+
+    The tiered cache treats every ``StoreError`` as a fail-open signal —
+    the request is served from L1/enumeration and only durability is
+    lost — so this must never escape :mod:`repro.context.store` callers
+    as a request failure.
+    """
+
+
+class StoreCorruptionError(StoreError):
+    """Raised when store bytes pass framing but fail to decode.
+
+    Recovery never raises this for on-disk damage (corrupt records are
+    quarantined, not propagated); it surfaces only when a CRC-valid
+    record is semantically broken — a buggy writer, not a torn disk.
+    """
+
+
+class StoreEpochError(StoreError):
+    """Raised when a store's epoch stamp does not match the running
+    configuration (cost-model / fingerprint / top-k versioning) — the
+    entries are from another world and must not be replayed."""
 
 
 class TelemetryError(ReproError):

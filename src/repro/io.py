@@ -27,6 +27,7 @@ from typing import Dict, List, Union
 
 from repro.catalog.catalog import Catalog
 from repro.catalog.relation import DEFAULT_TUPLE_WIDTH, RelationStats
+from repro.context.store import atomic_write_text
 from repro.errors import CatalogError
 from repro.graph.query_graph import QueryGraph
 from repro.plans.join_tree import JoinNode, JoinTree, LeafNode
@@ -126,7 +127,7 @@ def query_from_dict(payload: Dict) -> Query:
 
 def save_query(query: Query, path: Union[str, Path]) -> None:
     """Write a query document to ``path`` as pretty-printed JSON."""
-    Path(path).write_text(json.dumps(query_to_dict(query), indent=2))
+    atomic_write_text(str(path), json.dumps(query_to_dict(query), indent=2))
 
 
 def load_query(path: Union[str, Path]) -> Query:

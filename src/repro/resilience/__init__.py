@@ -20,7 +20,13 @@ See ``docs/resilience.md`` for the full design.
 from repro.errors import BudgetExceeded, InjectedFaultError, ResilienceError
 from repro.resilience.budget import Budget
 from repro.resilience.fallback import structural_fallback_plan
-from repro.resilience.faults import COST_FAULT_MODES, FaultInjector
+from repro.resilience.faults import (
+    COST_FAULT_MODES,
+    IO_FAULT_MODES,
+    STORE_FAULT_KINDS,
+    FaultInjector,
+    StoreFaultInjector,
+)
 from repro.resilience.optimizer import (
     DEFAULT_HEURISTIC_LADDER,
     DegradationReport,
@@ -33,9 +39,12 @@ __all__ = [
     "Budget",
     "BudgetExceeded",
     "COST_FAULT_MODES",
+    "IO_FAULT_MODES",
+    "STORE_FAULT_KINDS",
     "DEFAULT_HEURISTIC_LADDER",
     "DegradationReport",
     "FaultInjector",
+    "StoreFaultInjector",
     "InjectedFaultError",
     "ResilienceError",
     "ResilientOptimizer",

@@ -48,7 +48,13 @@ from repro.graph.query_graph import QueryGraph
 from repro.partitioning.base import PartitioningStrategy
 from repro.query import Query
 
-__all__ = ["FaultInjector", "COST_FAULT_MODES"]
+__all__ = [
+    "FaultInjector",
+    "StoreFaultInjector",
+    "COST_FAULT_MODES",
+    "IO_FAULT_MODES",
+    "STORE_FAULT_KINDS",
+]
 
 #: Supported cost-model fault modes.  ``latency`` leaves every returned
 #: cost untouched and instead injects a deterministic delay (via the
@@ -56,6 +62,17 @@ __all__ = ["FaultInjector", "COST_FAULT_MODES"]
 #: exercises timeout / retry / circuit-breaker paths without corrupting
 #: plan choice.
 COST_FAULT_MODES = ("raise", "nan", "inf", "latency")
+
+#: Supported ``io`` fault modes for wrapped file objects (:meth:`FaultInjector.file`):
+#: ``raise`` fails the write outright, ``torn`` writes a seeded prefix then
+#: fails (a crash mid-``write(2)``), ``bitflip`` silently corrupts one
+#: seeded bit and reports success (at-rest corruption a CRC must catch).
+IO_FAULT_MODES = ("raise", "torn", "bitflip")
+
+#: Store-fault kinds understood by :class:`StoreFaultInjector`: the three
+#: ``io`` modes plus ``stale_epoch`` (the store's version stamp goes stale
+#: under the writer).
+STORE_FAULT_KINDS = IO_FAULT_MODES + ("stale_epoch",)
 
 
 class FaultInjector:
@@ -184,6 +201,19 @@ class FaultInjector:
             family=query.family,
             seed=query.seed,
         )
+
+    def file(self, handle, mode: str = "raise"):
+        """Wrap a *binary* file object so armed writes fail in ``mode``.
+
+        The wrapper delegates everything except ``write``; with the
+        injector disarmed it is a pure pass-through (bit-identical output,
+        covered by tests), so it can stay installed permanently.
+        """
+        if mode not in IO_FAULT_MODES:
+            raise ValueError(
+                f"unknown io fault mode {mode!r}; available: {IO_FAULT_MODES}"
+            )
+        return _FaultyFile(self, handle, mode)
 
     def __repr__(self) -> str:
         state = "armed" if self.active else "disarmed"
@@ -334,3 +364,126 @@ class _FaultyCatalog(Catalog):
 
     def __repr__(self) -> str:
         return f"_FaultyCatalog({self._inner!r}, drop=R{self._drop})"
+
+
+class _FaultyFile:
+    """Delegating binary-file wrapper with injectable write failures.
+
+    ``raise`` fails before any byte lands; ``torn`` writes a seeded
+    prefix, flushes it (so the partial really is on disk, exactly like a
+    crash mid-write) and then fails; ``bitflip`` flips one seeded bit and
+    *succeeds* — the silent-corruption case only a checksum can catch.
+    Reads, seeks, ``flush``/``fileno``/``close`` all delegate untouched,
+    and a disarmed injector makes ``write`` a pure pass-through.
+    """
+
+    def __init__(self, injector: FaultInjector, inner, mode: str):
+        self._injector = injector
+        self._inner = inner
+        self._mode = mode
+
+    def write(self, data: bytes) -> int:
+        if not data or not self._injector._fire("io"):
+            return self._inner.write(data)
+        rng = self._injector._rng
+        if self._mode == "raise":
+            raise InjectedFaultError("injected io failure (mode=raise)")
+        if self._mode == "torn":
+            cut = rng.randrange(len(data))
+            self._inner.write(data[:cut])
+            self._inner.flush()
+            raise InjectedFaultError(
+                f"injected torn write ({cut}/{len(data)} bytes landed)"
+            )
+        # bitflip: corrupt exactly one bit, then report a clean success.
+        corrupted = bytearray(data)
+        index = rng.randrange(len(corrupted))
+        # This is a byte-level corruption mask, not a relation bitset.
+        corrupted[index] ^= 1 << rng.randrange(8)  # repro: disable=bitset-discipline
+        return self._inner.write(bytes(corrupted))
+
+    def __getattr__(self, name: str):
+        return getattr(self._inner, name)
+
+    def __enter__(self) -> "_FaultyFile":
+        self._inner.__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return self._inner.__exit__(exc_type, exc, tb)
+
+    def __repr__(self) -> str:
+        return f"_FaultyFile({self._inner!r}, mode={self._mode!r})"
+
+
+class StoreFaultInjector:
+    """Seeded fault source for the durable plan store.
+
+    Composes the :class:`FaultInjector` ``io`` family with one
+    store-specific failure — ``stale_epoch``, the store's version stamp
+    going stale under a live writer — behind the duck-typed surface
+    :class:`repro.context.store.DurableStore` consumes
+    (``wrap_handle`` / ``epoch_fires``).  Same contracts as every other
+    injector: deterministic under a seed, pass-through when disarmed,
+    armable as a context manager.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        rate: float = 1.0,
+        after: int = 0,
+        kind: str = "raise",
+    ):
+        if kind not in STORE_FAULT_KINDS:
+            raise ValueError(
+                f"unknown store fault kind {kind!r}; available: "
+                f"{STORE_FAULT_KINDS}"
+            )
+        self.kind = kind
+        self._injector = FaultInjector(seed=seed, rate=rate, after=after)
+
+    # -- DurableStore surface -------------------------------------------
+
+    def wrap_handle(self, handle):
+        """The store's writer handle, fault-wrapped for io kinds."""
+        if self.kind in IO_FAULT_MODES:
+            return self._injector.file(handle, self.kind)
+        return handle
+
+    def epoch_fires(self) -> bool:
+        """One stale-epoch firing decision (False for every other kind)."""
+        if self.kind != "stale_epoch":
+            return False
+        return self._injector._fire("store_epoch")
+
+    # -- arming ----------------------------------------------------------
+
+    def arm(self) -> "StoreFaultInjector":
+        self._injector.arm()
+        return self
+
+    def disarm(self) -> None:
+        self._injector.disarm()
+
+    def __enter__(self) -> "StoreFaultInjector":
+        return self.arm()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.disarm()
+        return False
+
+    @property
+    def active(self) -> bool:
+        return self._injector.active
+
+    @property
+    def injected(self) -> Dict[str, int]:
+        return self._injector.injected
+
+    @property
+    def total_injected(self) -> int:
+        return self._injector.total_injected
+
+    def __repr__(self) -> str:
+        return f"StoreFaultInjector(kind={self.kind!r}, {self._injector!r})"

@@ -149,6 +149,13 @@ class ShardedService:
     seed:
         Cluster seed; per-request seeds derive from it exactly as the
         single-process service derives them.
+    store_dir / store_min_expansions:
+        Durable plan-store directory for the cluster (``None`` disables
+        the L2 tier).  Each shard appends to its own
+        ``shard-<id>.rpl`` segment (single-writer) and warms on (re)spawn
+        from the shared read-only ``snapshot.rpl`` plus its own segment,
+        so a killed shard's respawn starts with the state it died with;
+        ``repro-cache compact`` merges segments offline.
     heartbeat_interval / heartbeat_miss_limit / spawn_grace_seconds:
         A shard is declared wedged after ``miss_limit`` intervals without
         a heartbeat (or ``spawn_grace_seconds`` without its first one).
@@ -175,6 +182,8 @@ class ShardedService:
         plan_cache_capacity: int = 256,
         seed: int = 0,
         chaos_rate: float = 0.0,
+        store_dir: Optional[str] = None,
+        store_min_expansions: int = 0,
         heartbeat_interval: float = 0.05,
         heartbeat_miss_limit: int = 8,
         spawn_grace_seconds: float = 10.0,
@@ -223,6 +232,8 @@ class ShardedService:
                 plan_cache_capacity=plan_cache_capacity,
                 seed=seed,
                 chaos_rate=chaos_rate,
+                store_dir=store_dir,
+                store_min_expansions=store_min_expansions,
                 heartbeat_interval=heartbeat_interval,
             )
             backoff = RespawnBackoff(

@@ -85,6 +85,15 @@ class ShardConfig:
     retry_max_delay: float = 0.1
     breaker_failure_threshold: int = 2
     breaker_cooldown_seconds: float = 0.1
+    #: Directory of the durable plan-store tier, or ``None`` for L1-only.
+    #: Single-writer discipline: this shard appends exclusively to its own
+    #: ``shard-<id>.rpl`` segment and warms from the shared read-only
+    #: ``snapshot.rpl`` (if present) plus its own recovered segment — a
+    #: SIGKILLed shard's respawn re-opens the same segment, repairs any
+    #: torn tail, and starts warm.
+    store_dir: Optional[str] = None
+    #: L2 admission floor on cold ccp expansions (0 persists everything).
+    store_min_expansions: int = 0
 
 
 class _ShardBridge:
@@ -145,6 +154,19 @@ class _ShardBridge:
             return self._sequence
 
 
+def _make_plan_cache(config: ShardConfig) -> PlanCache:
+    if config.store_dir is None:
+        return PlanCache(config.plan_cache_capacity)
+    from repro.context.store import AdmissionPolicy, TieredPlanCache
+
+    return TieredPlanCache.open(
+        os.path.join(config.store_dir, f"shard-{config.shard_id}.rpl"),
+        capacity=config.plan_cache_capacity,
+        snapshot_paths=(os.path.join(config.store_dir, "snapshot.rpl"),),
+        admission=AdmissionPolicy(min_expansions=config.store_min_expansions),
+    )
+
+
 def _make_service(config: ShardConfig) -> OptimizationService:
     chaos = None
     if config.chaos_rate > 0.0:
@@ -168,7 +190,7 @@ def _make_service(config: ShardConfig) -> OptimizationService:
             failure_threshold=config.breaker_failure_threshold,
             cooldown_seconds=config.breaker_cooldown_seconds,
         ),
-        plan_cache=PlanCache(config.plan_cache_capacity),
+        plan_cache=_make_plan_cache(config),
         chaos=chaos,
         seed=config.seed,
     )

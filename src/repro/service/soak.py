@@ -32,14 +32,30 @@ single-process disarmed replay, and the respawns/fail-overs must be
 visible in the cluster ``healthz()``.  A future that never resolves is
 counted as *lost* and fails the run.  That is what the CI
 ``shard-chaos-smoke`` job keys on.
+
+``--store-dir DIR`` arms the durable L2 plan store under the shards
+(single-writer ``shard-<id>.rpl`` segments), and ``--kill-during-write``
+hardens the kill-shards contract into the crash-safe cache contract:
+SIGKILLs now land while shards are appending cache records, and after
+the run every segment is re-opened through recovery and the report
+asserts (a) **zero corrupt replays** — torn tails truncated, CRC
+mismatches quarantined, every surviving record decodes; (b) **warm hits
+bit-identical to cold** — a cache warmed from the recovered segments
+serves exactly the plans a cache-less optimizer computes; and (c)
+**fail-open certification** — for every store fault kind, armed vs
+disarmed injection produces bit-identical plans.  That is what the CI
+``cache-durability-smoke`` job keys on.
 """
 
 from __future__ import annotations
 
 import argparse
+import glob
 import json
+import os
 import random
 import sys
+import tempfile
 import threading
 import time
 from collections import deque
@@ -49,8 +65,9 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.service import service_failure_counts
+from repro.context.store import atomic_write_text
 from repro.cost.model import CostModel
-from repro.errors import ServiceOverloadError
+from repro.errors import ReproError, ServiceOverloadError
 from repro.plans.validation import check_finite, validate_plan
 from repro.query import Query
 from repro.resilience.faults import FaultInjector
@@ -575,6 +592,10 @@ class ShardedSoakReport:
     #: Responses per serving shard (``None`` key = front-end fallback).
     shard_histogram: Dict[str, int] = field(default_factory=dict)
     cluster: Optional[Dict[str, object]] = None
+    #: Durable-store verification section (``--store-dir`` runs only):
+    #: per-segment recovery reports, corrupt-replay count, warm-vs-cold
+    #: bit-identity and the per-fault-kind fail-open certification.
+    store: Optional[Dict[str, object]] = None
     violations: List[str] = field(default_factory=list)
 
     @property
@@ -618,6 +639,7 @@ class ShardedSoakReport:
             "rung_histogram": dict(self.rung_histogram),
             "shard_histogram": dict(self.shard_histogram),
             "cluster": self.cluster,
+            "store": self.store,
             "violations": list(self.violations),
         }
 
@@ -640,6 +662,18 @@ class ShardedSoakReport:
             f"rungs      : {self.rung_histogram}",
             f"shards     : {self.shard_histogram}",
         ]
+        if self.store is not None:
+            lines.append(
+                f"store      : {self.store.get('entries', 0)} entries "
+                f"recovered from {len(self.store.get('segments', ()))} "
+                f"file(s), {self.store.get('corrupt_replays', 0)} corrupt "
+                f"replays, {self.store.get('quarantined_records', 0)} "
+                f"quarantined, {self.store.get('warm_l2_hits', 0)}/"
+                f"{self.store.get('warm_checked', 0)} warm L2 hits "
+                f"({self.store.get('warm_mismatches', 0)} mismatches), "
+                f"fail-open certified for "
+                f"{len(self.store.get('fail_open', ()))} fault kind(s)"
+            )
         for kill in self.kills:
             lines.append(
                 f"  kill @{kill['elapsed']:.1f}s: shard {kill['shard']} "
@@ -649,6 +683,28 @@ class ShardedSoakReport:
             lines.append("violations:")
             lines.extend(f"  {violation}" for violation in self.violations)
         return "\n".join(lines)
+
+
+def _store_has_a_complete_record(store_dir: str) -> bool:
+    """True once any shard segment holds at least one decodeable entry.
+
+    Kill-during-write holds its SIGKILLs behind this gate: killing a
+    shard before anything reached disk would make the zero-corruption
+    assertion vacuous (there would be nothing for recovery to protect).
+    """
+    from repro.context.store import DurableStore
+
+    for path in sorted(glob.glob(os.path.join(store_dir, "shard-*.rpl"))):
+        try:
+            segment = DurableStore(path, writable=False, fsync=False)
+        except (ReproError, OSError):  # repro: disable=no-silent-fallback
+            continue  # mid-write segment poll; the next tick retries
+        try:
+            if segment.report.entries_replayed:
+                return True
+        finally:
+            segment.close()
+    return False
 
 
 def run_sharded_soak(
@@ -666,6 +722,8 @@ def run_sharded_soak(
     replay: bool = True,
     max_requests: Optional[int] = None,
     resolve_timeout: float = 120.0,
+    store_dir: Optional[str] = None,
+    kill_during_write: bool = False,
     progress: Optional[Callable[[str], None]] = None,
     telemetry: Optional[Telemetry] = None,
 ) -> ShardedSoakReport:
@@ -677,8 +735,20 @@ def run_sharded_soak(
     within ``resolve_timeout`` — to a validated plan or an honest typed
     failure — no matter how many shards died under it; anything else is
     recorded as *lost* and fails the run.
+
+    ``store_dir`` gives every shard a durable L2 plan-store segment under
+    that directory; after the run :func:`_verify_store` re-opens the
+    segments through recovery and appends its verdicts to the report.
+    ``kill_during_write`` additionally *requires* the crash path to have
+    been productive: the recovered store must be non-empty and must
+    produce warm L2 hits for the query pool (a vacuous pass is a fail).
     """
     from repro.service.sharded import ShardedService
+
+    if kill_during_write and store_dir is None:
+        raise ValueError("kill_during_write requires store_dir")
+    if kill_during_write and kill_shards <= 0:
+        raise ValueError("kill_during_write requires kill_shards > 0")
 
     pool = build_query_pool(
         seed,
@@ -701,6 +771,7 @@ def run_sharded_soak(
         shard_queue_capacity=queue_capacity,
         seed=seed,
         chaos_rate=rate,
+        store_dir=store_dir,
         telemetry=telemetry,
     )
     records: List[SoakRecord] = []
@@ -757,6 +828,10 @@ def run_sharded_soak(
                 break
             elapsed = time.perf_counter() - started
             while kill_times and elapsed >= kill_times[0]:
+                if kill_during_write and not _store_has_a_complete_record(
+                    store_dir
+                ):
+                    break  # hold the kill until a shard has appended
                 kill_times.pop(0)
                 victims = [
                     status.shard_id
@@ -803,6 +878,15 @@ def run_sharded_soak(
         # path the number of times they asked for.
         for _ in list(kill_times):
             kill_times.pop(0)
+            if kill_during_write:
+                # Give in-flight appends a moment to land so the kill
+                # has something on disk to threaten.
+                gate_deadline = time.perf_counter() + 5.0
+                while (
+                    not _store_has_a_complete_record(store_dir)
+                    and time.perf_counter() < gate_deadline
+                ):
+                    time.sleep(0.05)
             victims = [
                 status.shard_id
                 for status in service.healthz().shards
@@ -821,6 +905,20 @@ def run_sharded_soak(
             )
         drain(block=True)
         health = service.healthz()
+        # Kills delivered after the last request race the supervisor's
+        # monitor tick; give it a moment to notice the deaths before
+        # the snapshot, or the respawn count reads as a (false) miss.
+        if (
+            report.kills
+            and health.respawns == 0
+            and health.fallback_served == 0
+        ):
+            settle_deadline = time.perf_counter() + 5.0
+            while time.perf_counter() < settle_deadline:
+                time.sleep(0.05)
+                health = service.healthz()
+                if health.respawns or health.fallback_served:
+                    break
 
     # -- aggregate ------------------------------------------------------
     report.completed = sum(1 for r in records if r.status == "ok")
@@ -902,7 +1000,195 @@ def run_sharded_soak(
             "shards were killed but neither a respawn nor a fallback serve "
             "is visible in cluster healthz"
         )
+
+    # -- durable store: recovery, warm bit-identity, fail-open ----------
+    if store_dir is not None:
+        _verify_store(report, store_dir, pool, kill_during_write, progress)
     return report
+
+
+def _verify_store(
+    report: ShardedSoakReport,
+    store_dir: str,
+    pool: Sequence[Tuple[str, Query]],
+    kill_during_write: bool,
+    progress: Optional[Callable[[str], None]] = None,
+) -> None:
+    """Post-run durable-store contract checks (``--store-dir`` runs).
+
+    Three assertions, matching the crash-safe cache contract:
+
+    * **zero corrupt replays** — every segment (and the snapshot, if
+      present) re-opens through :class:`DurableStore` recovery, which
+      truncates torn tails and quarantines CRC mismatches; every record
+      that recovery *did* replay must then decode cleanly.  A record
+      that passes the CRC but fails decode is corruption that escaped
+      the frame check and fails the run.
+    * **warm hits bit-identical to cold** — a fresh
+      :class:`TieredPlanCache` warmed from the merged recovered records
+      must serve every pool query with exactly the plan (same
+      s-expression, same cost ``repr``) a cache-less optimizer computes.
+    * **fail-open certification** — for every store fault kind, an
+      optimizer over a fault-armed store produces plans bit-identical to
+      the same setup with the injector disarmed: store faults degrade
+      durability, never plan choice.
+    """
+    from repro.context.store import DurableStore, TieredPlanCache, decode_entry
+    from repro.resilience.faults import STORE_FAULT_KINDS, StoreFaultInjector
+
+    summary: Dict[str, object] = {
+        "store_dir": store_dir,
+        "kill_during_write": kill_during_write,
+        "segments": [],
+    }
+    snapshot_path = os.path.join(store_dir, "snapshot.rpl")
+    paths = sorted(glob.glob(os.path.join(store_dir, "shard-*.rpl")))
+    if os.path.exists(snapshot_path):
+        paths.insert(0, snapshot_path)
+    merged: Dict[str, Dict[str, object]] = {}
+    corrupt_replays = 0
+    quarantined = 0
+    torn_tails = 0
+    for path in paths:
+        store = DurableStore(path, writable=False)
+        undecodable = 0
+        for key, record in store.records.items():
+            try:
+                decode_entry(record)
+            except ReproError as error:
+                undecodable += 1
+                corrupt_replays += 1
+                if len(report.violations) < 40:
+                    report.violations.append(
+                        f"store segment {os.path.basename(path)} replayed "
+                        f"a corrupt record for {key!r}: {error}"
+                    )
+                continue
+            merged[key] = record
+        quarantined += store.report.quarantined_records
+        torn_tails += 1 if store.report.torn_tail else 0
+        summary["segments"].append(
+            {
+                "path": os.path.basename(path),
+                "entries": len(store.records),
+                "undecodable": undecodable,
+                "recovery": store.report.as_dict(),
+            }
+        )
+        store.close()
+    summary["entries"] = len(merged)
+    summary["corrupt_replays"] = corrupt_replays
+    summary["quarantined_records"] = quarantined
+    summary["torn_tails"] = torn_tails
+    if corrupt_replays:
+        report.violations.append(
+            f"{corrupt_replays} corrupt store record(s) survived recovery "
+            "and would have been replayed"
+        )
+    if kill_during_write and not merged:
+        report.violations.append(
+            "kill-during-write soak recovered zero store entries: the "
+            "crash-during-append path was never exercised"
+        )
+
+    # Warm-vs-cold bit-identity over the merged recovered state.  The
+    # warm optimizer is built exactly as the serving tier builds its own
+    # (ResilientOptimizer over the cache), so cache keys line up.
+    warm_cache = TieredPlanCache(
+        capacity=max(64, 2 * len(merged)), warm_records=merged
+    )
+    warm_optimizer = ResilientOptimizer(plan_cache=warm_cache)
+    cold_optimizer = ResilientOptimizer()
+    warm_mismatches = 0
+    for key, query in pool:
+        warm = warm_optimizer.optimize(query)
+        cold = cold_optimizer.optimize(query)
+        if (
+            warm.plan.sexpr() != cold.plan.sexpr()
+            or repr(warm.cost) != repr(cold.cost)  # repro: disable=no-float-cost-eq
+        ):
+            warm_mismatches += 1
+            if len(report.violations) < 40:
+                report.violations.append(
+                    f"warm store hit for pool query {key!r} is not "
+                    f"bit-identical to cold optimization: got "
+                    f"{warm.plan.sexpr()} @ {warm.cost!r}, want "
+                    f"{cold.plan.sexpr()} @ {cold.cost!r}"
+                )
+    summary["warm_checked"] = len(pool)
+    summary["warm_l2_hits"] = warm_cache.l2_hits
+    summary["warm_mismatches"] = warm_mismatches
+    if warm_mismatches:
+        report.violations.append(
+            f"{warm_mismatches} warm store hit(s) diverged from cold "
+            "optimization"
+        )
+    if kill_during_write and merged and warm_cache.l2_hits == 0:
+        report.violations.append(
+            "recovered store entries never produced a warm L2 hit for "
+            "the query pool: the warm-start path went unexercised"
+        )
+    warm_cache.close()
+
+    # Fail-open certification: per fault kind, a fault-armed store must
+    # not change plan choice relative to the identical disarmed setup.
+    fail_open: Dict[str, Dict[str, object]] = {}
+    cert_pool = list(pool)[: min(3, len(pool))]
+    for offset, kind in enumerate(STORE_FAULT_KINDS):
+        kind_report: Dict[str, object] = {"injected": 0, "mismatches": 0}
+        baseline: List[Tuple[str, str]] = []
+        for armed in (False, True):
+            label = "armed" if armed else "disarmed"
+            path = os.path.join(store_dir, f".failopen-{kind}-{label}.rpl")
+            injector = StoreFaultInjector(
+                seed=report.seed * 131 + offset, rate=1.0, kind=kind
+            )
+            cache = TieredPlanCache.open(path, fault_injector=injector)
+            if armed:
+                injector.arm()
+            optimizer = ResilientOptimizer(plan_cache=cache)
+            plans = [
+                (result.plan.sexpr(), repr(result.cost))
+                for result in (
+                    optimizer.optimize(query) for _, query in cert_pool
+                )
+            ]
+            cache.close()
+            injector.disarm()
+            for leftover in (path, path + ".quarantine", path + ".stale"):
+                if os.path.exists(leftover):
+                    os.unlink(leftover)
+            if not armed:
+                baseline = plans
+                continue
+            kind_report["injected"] = injector.total_injected
+            mismatches = sum(
+                1 for got, want in zip(plans, baseline) if got != want
+            )
+            kind_report["mismatches"] = mismatches
+            if mismatches:
+                report.violations.append(
+                    f"store fault kind {kind!r}: armed run produced "
+                    f"{mismatches} plan(s) not bit-identical to the "
+                    "disarmed run (fail-open broken)"
+                )
+            if injector.total_injected == 0:
+                report.violations.append(
+                    f"store fault kind {kind!r}: armed injector never "
+                    "fired, certification is vacuous"
+                )
+            kind_report["certified"] = (
+                mismatches == 0 and injector.total_injected > 0
+            )
+        fail_open[kind] = kind_report
+    summary["fail_open"] = fail_open
+    report.store = summary
+    if progress is not None:
+        progress(
+            f"store: {len(merged)} entries recovered from {len(paths)} "
+            f"file(s), {corrupt_replays} corrupt replays, "
+            f"{summary['warm_l2_hits']} warm L2 hits"
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -946,6 +1232,23 @@ def _build_parser() -> argparse.ArgumentParser:
         help="SIGKILL K random live shards, evenly spaced over the run "
         "(requires --shards)",
     )
+    parser.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help="arm the durable L2 plan store: each shard appends to its "
+        "own segment under DIR and the post-run store verification runs "
+        "(requires --shards)",
+    )
+    parser.add_argument(
+        "--kill-during-write",
+        action="store_true",
+        help="crash-safe cache soak: SIGKILL shards while they append to "
+        "the durable store, then assert zero corrupt replays, warm hits "
+        "bit-identical to cold, and per-fault-kind fail-open (implies "
+        "--store-dir under a temp dir and --kill-shards N if unset; "
+        "requires --shards)",
+    )
     parser.add_argument("--queue", type=int, default=64, metavar="CAPACITY")
     parser.add_argument("--pool", type=int, default=12, metavar="QUERIES")
     parser.add_argument(
@@ -987,6 +1290,20 @@ def main(argv=None) -> int:
     if args.kill_shards and not args.shards:
         print("--kill-shards requires --shards N", file=sys.stderr)
         return 2
+    if (args.store_dir or args.kill_during_write) and not args.shards:
+        print(
+            "--store-dir/--kill-during-write require --shards N",
+            file=sys.stderr,
+        )
+        return 2
+    store_dir = args.store_dir
+    if args.kill_during_write:
+        if args.kill_shards == 0:
+            args.kill_shards = args.shards
+        if store_dir is None:
+            store_dir = tempfile.mkdtemp(prefix="repro-soak-store-")
+            if progress is not None:
+                progress(f"store dir (temp): {store_dir}")
     if args.shards:
         from repro.telemetry import MetricRegistry
 
@@ -1008,14 +1325,17 @@ def main(argv=None) -> int:
             kill_shards=args.kill_shards,
             replay=not args.no_replay,
             max_requests=args.max_requests,
+            store_dir=store_dir,
+            kill_during_write=args.kill_during_write,
             progress=progress,
             telemetry=telemetry,
         )
         if sink is not None:
             sink.close()
         if args.json is not None:
-            args.json.write_text(
-                json.dumps(sharded_report.as_dict(), indent=2)
+            atomic_write_text(
+                str(args.json),
+                json.dumps(sharded_report.as_dict(), indent=2),
             )
         print(sharded_report.describe())
         return 0 if sharded_report.passed else 1
@@ -1038,7 +1358,7 @@ def main(argv=None) -> int:
         sink.close()
         print(f"wrote {sink.written} trace(s) to {sink.path}", flush=True)
     if args.json is not None:
-        args.json.write_text(json.dumps(report.as_dict(), indent=2))
+        atomic_write_text(str(args.json), json.dumps(report.as_dict(), indent=2))
     print(report.describe())
     return 0 if report.passed else 1
 

@@ -189,7 +189,10 @@ class TraceSink:
         line = json.dumps(span.as_dict(), sort_keys=True)
         with self._lock:
             if self._file is None:
-                self._file = open(self.path, "a", encoding="utf-8")
+                # A streaming JSONL sink cannot use the tmp-file/rename
+                # helper (it would clobber earlier lines per emit); a torn
+                # final line only truncates the trace being written.
+                self._file = open(self.path, "a", encoding="utf-8")  # repro: disable=durable-write
             self._file.write(line + "\n")
             self._file.flush()
             self.written += 1

@@ -17,6 +17,7 @@ EXPECTED_RULES = {
     "bench-clock",
     "bitset-discipline",
     "context-discipline",
+    "durable-write",
     "metric-discipline",
     "no-bare-except",
     "no-float-cost-eq",

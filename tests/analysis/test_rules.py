@@ -398,3 +398,67 @@ class TestSyntaxError:
     def test_unparsable_file_reported(self, lint):
         diagnostics = lint("def broken(:\n", "no-bare-except")
         assert _rules_of(diagnostics) == ["syntax-error"]
+
+
+class TestDurableWrite:
+    def test_bare_write_open_flagged_in_library_code(self, lint):
+        code = 'def f(path):\n    with open(path, "w") as h:\n        h.write("x")\n'
+        diagnostics = lint(
+            code, "durable-write", filename="src/repro/module.py"
+        )
+        assert _rules_of(diagnostics) == ["durable-write"]
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            'def f(p):\n    p.write_text("x")\n',
+            "def f(p):\n    p.write_bytes(b'x')\n",
+            'def f(p):\n    return p.open("a")\n',
+            'def f(p):\n    return open(p, mode="r+b")\n',
+        ],
+    )
+    def test_other_write_shapes_flagged(self, lint, snippet):
+        diagnostics = lint(
+            snippet, "durable-write", filename="src/repro/module.py"
+        )
+        assert _rules_of(diagnostics) == ["durable-write"]
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            'def f(p):\n    return open(p, "rb").read()\n',
+            'def f(p):\n    return open(p).read()\n',
+            'def f(p):\n    return p.open("rb")\n',
+            # A constant first arg that is a filename, not a mode.
+            'def f(z):\n    return z.open("a.gz")\n',
+            "def f(p, m):\n    return open(p, m)\n",  # non-constant mode
+        ],
+    )
+    def test_reads_and_non_modes_pass(self, lint, snippet):
+        assert (
+            lint(snippet, "durable-write", filename="src/repro/module.py")
+            == []
+        )
+
+    def test_outside_src_repro_exempt(self, lint):
+        code = 'def f(p):\n    p.write_text("x")\n'
+        assert lint(code, "durable-write", filename="benchmarks/bench.py") == []
+        assert (
+            lint(code, "durable-write", filename="src/repro/tests/test_x.py")
+            == []
+        )
+
+    def test_store_module_itself_exempt(self, lint):
+        code = 'def f(p):\n    return open(p, "ab")\n'
+        assert (
+            lint(code, "durable-write", filename="src/repro/context/store.py")
+            == []
+        )
+
+    def test_pragma_opts_a_line_out(self, lint):
+        code = (
+            "def f(p):\n"
+            '    with open(p, "a") as h:  # repro: disable=durable-write\n'
+            '        h.write("x")\n'
+        )
+        assert lint(code, "durable-write", filename="src/repro/module.py") == []

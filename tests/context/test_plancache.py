@@ -32,7 +32,10 @@ class TestLruMechanics:
         entry, fp, _ = _cached_entry(query)
         assert cache.get("a") is None
         cache.put("a", entry)
-        assert cache.get("a") is entry
+        found = cache.get("a")
+        # Defensive copy: an equal entry, never the live cached object.
+        assert found is not entry
+        assert found.canonical_plan.sexpr() == entry.canonical_plan.sexpr()
         assert cache.hits == 1 and cache.misses == 1
         assert cache.hit_rate == 0.5
 
@@ -153,6 +156,62 @@ class TestRankedEntries:
         ]
 
 
+class TestDefensiveCopies:
+    """Regression: ``get`` must never hand out the live cached object.
+
+    A caller that mutated the returned ``CachedPlan`` (or the trees
+    hanging off it) used to poison the shared L1 entry for every later
+    hit; ``get`` now returns a deep clone."""
+
+    def test_get_returns_a_clone_not_the_cached_object(self, query):
+        cache = PlanCache()
+        entry, _, _ = _cached_entry(query)
+        cache.put("a", entry)
+        first = cache.get("a")
+        second = cache.get("a")
+        assert first is not entry and second is not entry
+        assert first is not second
+        assert first.canonical_plan is not entry.canonical_plan
+        assert (
+            first.canonical_plan.sexpr() == entry.canonical_plan.sexpr()
+        )
+
+    def test_mutating_a_returned_entry_cannot_poison_the_cache(self, query):
+        cache = PlanCache()
+        entry, fp, context = _cached_entry(query)
+        original_sexpr = entry.canonical_plan.sexpr()
+        cache.put("a", entry)
+        stolen = cache.get("a")
+        # Hostile caller: rewrite the returned tree in place.
+        node = stolen.canonical_plan
+        while hasattr(node, "left"):
+            node = node.left
+        node.cardinality = -1.0
+        node.name = "poisoned"
+        clean = cache.get("a")
+        assert clean.canonical_plan.sexpr() == original_sexpr
+        replayed = replay_plan(clean.canonical_plan, fp.mapping, context)
+        validate_plan(replayed, query)
+
+    def test_clone_preserves_ranked_plans_and_provenance(self, query):
+        ranked = run_dpccp(query, topk=3).ranked
+        fp = fingerprint(query)
+        canonical = tuple(plan.relabel(fp.mapping) for plan in ranked)
+        entry = CachedPlan(
+            canonical[0],
+            fp.payload,
+            canonical,
+            cold_seconds=1.5,
+            expansions=42,
+        )
+        clone = entry.clone()
+        assert clone.cold_seconds == 1.5 and clone.expansions == 42
+        assert len(clone.canonical_ranked) == len(canonical)
+        for ours, theirs in zip(clone.canonical_ranked, canonical):
+            assert ours is not theirs
+            assert ours.sexpr() == theirs.sexpr()
+
+
 class TestThreadSafety:
     """The cache is shared by service workers; its LRU + counters must
     survive concurrent hammering without losing structural integrity."""
@@ -172,7 +231,10 @@ class TestThreadSafety:
                     key = f"w{worker_id}-k{i % 12}"
                     cache.put(key, entry)
                     found = cache.get(key)
-                    assert found is None or found is entry
+                    assert found is None or (
+                        found is not entry
+                        and found.payload == entry.payload
+                    )
                     if i % 50 == 0:
                         cache.snapshot()
                         len(cache)

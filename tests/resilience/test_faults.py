@@ -232,3 +232,86 @@ class TestLatencyMode:
     def test_negative_latency_rejected(self):
         with pytest.raises(ValueError):
             FaultInjector(latency_seconds=-0.1)
+
+
+class TestIoFaults:
+    """The ``io`` fault family: seeded write corruption for file handles."""
+
+    def _wrapped(self, tmp_path, kind, seed=7, rate=1.0):
+        from repro.resilience import StoreFaultInjector
+
+        injector = StoreFaultInjector(seed=seed, rate=rate, kind=kind)
+        handle = open(tmp_path / f"{kind}.bin", "wb")
+        return injector, injector.wrap_handle(handle)
+
+    def test_disarmed_wrapper_is_bit_identical(self, tmp_path):
+        injector, handle = self._wrapped(tmp_path, "bitflip")
+        payload = bytes(range(256)) * 4
+        with handle:
+            handle.write(payload)
+        assert (tmp_path / "bitflip.bin").read_bytes() == payload
+        assert injector.total_injected == 0
+
+    def test_raise_mode_lands_no_bytes(self, tmp_path):
+        injector, handle = self._wrapped(tmp_path, "raise")
+        with injector, handle:
+            with pytest.raises(InjectedFaultError):
+                handle.write(b"abcdef")
+        assert (tmp_path / "raise.bin").read_bytes() == b""
+
+    def test_torn_mode_flushes_a_strict_prefix(self, tmp_path):
+        injector, handle = self._wrapped(tmp_path, "torn")
+        payload = b"0123456789" * 10
+        with injector, handle:
+            with pytest.raises(InjectedFaultError):
+                handle.write(payload)
+        landed = (tmp_path / "torn.bin").read_bytes()
+        assert len(landed) < len(payload)
+        assert payload.startswith(landed)
+
+    def test_bitflip_mode_flips_exactly_one_bit(self, tmp_path):
+        injector, handle = self._wrapped(tmp_path, "bitflip")
+        payload = bytes(range(256))
+        with injector, handle:
+            handle.write(payload)  # reports success
+        landed = (tmp_path / "bitflip.bin").read_bytes()
+        assert len(landed) == len(payload)
+        flipped = [
+            bin(a ^ b).count("1") for a, b in zip(landed, payload) if a != b
+        ]
+        assert flipped == [1]
+
+    def test_io_faults_are_seeded_and_deterministic(self, tmp_path):
+        corruptions = []
+        for attempt in range(2):
+            from repro.resilience import StoreFaultInjector
+
+            injector = StoreFaultInjector(seed=13, kind="bitflip")
+            path = tmp_path / f"det-{attempt}.bin"
+            with injector, injector.wrap_handle(open(path, "wb")) as handle:
+                handle.write(bytes(64))
+            corruptions.append(path.read_bytes())
+        assert corruptions[0] == corruptions[1]
+
+    def test_store_injector_rejects_unknown_kind(self):
+        from repro.resilience import StoreFaultInjector
+
+        with pytest.raises(ValueError):
+            StoreFaultInjector(kind="gamma-ray")
+
+    def test_stale_epoch_kind_leaves_handles_untouched(self, tmp_path):
+        from repro.resilience import StoreFaultInjector
+
+        injector = StoreFaultInjector(seed=1, kind="stale_epoch")
+        raw = open(tmp_path / "plain.bin", "wb")
+        assert injector.wrap_handle(raw) is raw
+        assert not injector.epoch_fires()  # disarmed: never fires
+        with injector:
+            assert injector.epoch_fires()
+        raw.close()
+
+    def test_mode_catalogues_are_exported(self):
+        from repro.resilience import IO_FAULT_MODES, STORE_FAULT_KINDS
+
+        assert IO_FAULT_MODES == ("raise", "torn", "bitflip")
+        assert set(STORE_FAULT_KINDS) == set(IO_FAULT_MODES) | {"stale_epoch"}

@@ -588,3 +588,43 @@ class TestTopK:
             response = service.optimize(query, topk=3)
         assert response.rank == 1
         assert registry.counter("repro_topk_fallback_total").value == 0
+
+
+class TestDurableWarmStart:
+    """``store_path=`` gives the service an L2 tier it owns end to end."""
+
+    def test_restarted_service_serves_warm_from_the_store(
+        self, tmp_path, query
+    ):
+        path = str(tmp_path / "service.rpl")
+        with make_service(store_path=path) as service:
+            cold = service.optimize(query)
+        assert cold.ok
+
+        # "Restart": a fresh service over the same segment file.
+        with make_service(store_path=path) as service:
+            cache = service._plan_cache
+            warm = service.optimize(query)
+        assert warm.ok
+        assert cache.l2_hits == 1
+        assert warm.plan.sexpr() == cold.plan.sexpr()
+        assert repr(warm.cost) == repr(cold.cost)
+
+    def test_explicit_plan_cache_wins_over_store_path(self, tmp_path, query):
+        cache = PlanCache(16)
+        with make_service(
+            plan_cache=cache, store_path=str(tmp_path / "ignored.rpl")
+        ) as service:
+            assert service.optimize(query).ok
+        assert not (tmp_path / "ignored.rpl").exists()
+
+    def test_shutdown_closes_the_store_the_service_owns(
+        self, tmp_path, query
+    ):
+        path = str(tmp_path / "service.rpl")
+        service = make_service(store_path=path).start()
+        assert service.optimize(query).ok
+        store = service._plan_cache.store
+        assert store is not None and store._handle is not None
+        assert service.shutdown(drain=True)
+        assert store._handle is None
