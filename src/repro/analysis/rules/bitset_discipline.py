@@ -2,8 +2,8 @@
 
 Vertex sets are plain ``int`` bitsets and ``repro/graph/bitset.py`` is, by
 contract (docs/architecture.md), the only module that knows the encoding.
-Raw ``1 << v``, ``s & -s``, ``.bit_length()`` and ``bin(s).count("1")``
-spellings anywhere else bypass that vocabulary; they should call
+Raw ``1 << v``, ``s & -s``, ``.bit_length()``, ``bin(s).count("1")`` and
+``s.bit_count()`` spellings anywhere else bypass that vocabulary; they should call
 :func:`~repro.graph.bitset.singleton`, :func:`~repro.graph.bitset.lowest_bit`
 and friends instead.  Hot loops that deliberately inline the tricks carry a
 ``# repro: disable=bitset-discipline`` pragma with a justification.
@@ -63,14 +63,28 @@ def _findings(tree: ast.Module) -> Iterable[Tuple[ast.AST, str]]:
                     'raw `bin(s).count("1")` popcount; use '
                     "bitset.bit_count() instead"
                 )
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr == "bit_count"
+                and not node.args
+                and not node.keywords
+            ):
+                # `s.bit_count()` (no arguments) is the raw int method;
+                # `bitset.bit_count(s)` / `bit_count(s)` are the module's
+                # functions and carry the set argument, so they never
+                # match this arity.
+                yield node, (
+                    "raw `.bit_count()` method popcount; use "
+                    "bitset.bit_count() instead"
+                )
 
 
 @register_rule
 class BitsetDiscipline(Rule):
     id = "bitset-discipline"
     description = (
-        "raw bitset tricks (1 << v, s & -s, .bit_length(), bin().count) are "
-        "only allowed inside repro/graph/bitset.py"
+        "raw bitset tricks (1 << v, s & -s, .bit_length(), bin().count, "
+        ".bit_count()) are only allowed inside repro/graph/bitset.py"
     )
 
     def check_module(self, module):

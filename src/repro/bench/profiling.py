@@ -61,9 +61,12 @@ class EnumerationProfile:
             f"(cascade factor {self.cascade_factor():.2f})"
         ]
         for vertex_set, count in self.re_enumerated_classes()[:limit]:
+            # .get, not [] — a pass recorded in `passes` whose generator was
+            # abandoned before producing anything (budget exhaustion mid-
+            # class) must render as 0 ccps, not raise KeyError mid-report.
             lines.append(
                 f"  {bitset.format_set(vertex_set):<32} enumerated "
-                f"{count} times ({self.ccps[vertex_set]} ccps total)"
+                f"{count} times ({self.ccps.get(vertex_set, 0)} ccps total)"
             )
         return "\n".join(lines)
 
@@ -86,10 +89,14 @@ class InstrumentedPartitioning(PartitioningStrategy):  # repro: disable=registry
     def partitions(
         self, graph: QueryGraph, vertex_set: int
     ) -> Iterator[Tuple[int, int]]:
+        # Record into both maps *before* yielding anything, so a consumer
+        # that abandons the generator mid-pass (budget exhaustion, pruning
+        # cutoffs) can never leave a class present in `passes` but missing
+        # from `ccps` — the asymmetry that used to crash render().
         profile = self.profile
         profile.passes[vertex_set] = profile.passes.get(vertex_set, 0) + 1
-        produced = 0
+        profile.ccps[vertex_set] = profile.ccps.get(vertex_set, 0)
+        ccps = profile.ccps
         for pair in self._inner.partitions(graph, vertex_set):
-            produced += 1
+            ccps[vertex_set] += 1
             yield pair
-        profile.ccps[vertex_set] = profile.ccps.get(vertex_set, 0) + produced

@@ -27,6 +27,8 @@ from pathlib import Path
 
 from repro.bench.harness import PAPER_ALGORITHMS
 from repro.core.optimizer import algorithm_label, optimize, run_dpccp
+from repro.cost.cout import CoutCostModel
+from repro.cost.haas import HaasCostModel
 from repro.errors import ReproError
 from repro.io import load_query, plan_to_dict
 from repro.partitioning.registry import available_partitionings
@@ -34,6 +36,9 @@ from repro.resilience import Budget, ResilientOptimizer
 from repro.workload.generator import generate_query
 
 __all__ = ["main"]
+
+#: ``--cost-model`` choice -> factory.
+_COST_MODELS = {"haas": HaasCostModel, "cout": CoutCostModel}
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -68,8 +73,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--pruning",
-        choices=["none", "acb", "pcb", "apcb", "apcbi", "apcbi_opt"],
+        choices=["none", "acb", "pcb", "apcb", "apcbi", "apcbi_opt", "dpconv"],
         default="apcbi",
+        help="pruning policy; 'dpconv' selects the subset-convolution "
+        "fast path (falls back to DPccp outside its envelope)",
+    )
+    parser.add_argument(
+        "--cost-model",
+        choices=["haas", "cout"],
+        default="haas",
+        help="cost model: 'haas' (the paper's, default) or 'cout' "
+        "(output-cardinality; required for the DPconv fast path)",
     )
     parser.add_argument(
         "--heuristic",
@@ -157,6 +171,14 @@ def main(argv=None) -> int:
         telemetry = Telemetry(
             registry=MetricRegistry(), tracer=Tracer(sink=sink)
         )
+    cost_model_factory = _COST_MODELS[args.cost_model]
+    if args.via_service and cost_model_factory is not HaasCostModel:
+        print(
+            "error: --via-service always prices with the Haas model; "
+            "drop --cost-model",
+            file=sys.stderr,
+        )
+        return 1
     report = None
     service_meta = None
     try:
@@ -231,6 +253,7 @@ def main(argv=None) -> int:
             resilient = ResilientOptimizer(
                 enumerator=args.enumerator,
                 pruning=args.pruning,
+                cost_model_factory=cost_model_factory,
                 heuristic=args.heuristic,
                 telemetry=telemetry,
             ).optimize(query, budget=budget)
@@ -245,6 +268,7 @@ def main(argv=None) -> int:
                 query,
                 enumerator=args.enumerator,
                 pruning=args.pruning,
+                cost_model_factory=cost_model_factory,
                 heuristic=args.heuristic,
                 budget=budget,
                 telemetry=telemetry,
@@ -257,7 +281,8 @@ def main(argv=None) -> int:
 
     verified = None
     if args.verify and (report is None or not report.degraded):
-        baseline = run_dpccp(query)
+        # The cross-check must price with the same model as the main run.
+        baseline = run_dpccp(query, cost_model_factory=cost_model_factory)
         verified = abs(cost - baseline.cost) <= 1e-6 * max(1.0, baseline.cost)
 
     if args.json:

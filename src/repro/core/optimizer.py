@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple, Type
 
 from repro.baselines.dpccp import DPccp
+from repro.baselines.dpconv import DPconv, eligible as dpconv_eligible
 from repro.context.context import OptimizationContext
 from repro.context.fingerprint import fingerprint
 from repro.context.plancache import CachedPlan, PlanCache, replay_plan
@@ -36,6 +37,7 @@ from repro.core.apcbi import ApcbiPlanGenerator
 from repro.core.goo import run_goo
 from repro.core.pcb import PcbPlanGenerator
 from repro.core.plangen import PlanGeneratorBase, TopDownPlanGenerator
+from repro.cost.cout import CoutCostModel
 from repro.cost.haas import HaasCostModel
 from repro.cost.model import CostModel
 from repro.errors import BudgetExceeded, UnknownAlgorithmError
@@ -61,10 +63,18 @@ __all__ = [
     "optimize",
     "optimize_topk",
     "run_dpccp",
+    "run_dpconv",
+    "DPCONV_AUTO_MIN_RELATIONS",
     "PRUNING_STRATEGIES",
     "PRUNING_SUFFIXES",
     "algorithm_label",
 ]
+
+#: The automatic DPconv fast path engages from this many relations up.
+#: Below it, per-query enumeration is cheap enough that the requested
+#: top-down algorithm's richer counters/anytime behavior win; from here on
+#: the O(3^n) constant factor dominates per-query latency.
+DPCONV_AUTO_MIN_RELATIONS = 12
 
 #: Pruning name -> plan generator class for the simple (non-APCBI) variants.
 PRUNING_STRATEGIES: Dict[str, Type[PlanGeneratorBase]] = {
@@ -87,6 +97,9 @@ PRUNING_SUFFIXES: Dict[str, str] = {
 
 def algorithm_label(enumerator: str, pruning: str) -> str:
     """Paper-style display name, e.g. ``TDMcC_APCBI`` (Table I)."""
+    if pruning == "dpconv":
+        # A bottom-up baseline: no partitioning strategy, no suffix.
+        return "DPconv"
     partitioning = get_partitioning(enumerator)
     try:
         suffix = PRUNING_SUFFIXES[pruning]
@@ -124,6 +137,8 @@ class OptimizationResult:
         """Paper-style algorithm name (Table I)."""
         if self.pruning == "dpccp":
             return "DPccp"
+        if self.pruning == "dpconv":
+            return "DPconv"
         return algorithm_label(self.enumerator, self.pruning)
 
     def explain(self) -> str:
@@ -140,8 +155,11 @@ class Optimizer:
         Partitioning strategy name (``"naive"``, ``"mincut_lazy"``,
         ``"mincut_branch"``, ``"mincut_conservative"``).
     pruning:
-        ``"none"``, ``"acb"``, ``"pcb"``, ``"apcb"``, ``"apcbi"`` or
-        ``"apcbi_opt"``.
+        ``"none"``, ``"acb"``, ``"pcb"``, ``"apcb"``, ``"apcbi"``,
+        ``"apcbi_opt"`` or ``"dpconv"`` (the bottom-up subset-convolution
+        fast path; falls back to DPccp when the bound cost model is not
+        ``C_out``-shaped or ``topk > 1`` — the fallback is honest, the
+        result reports ``pruning == "dpccp"``).
     cost_model_factory:
         Zero-argument callable producing a fresh cost model per query
         (models may bind per-query state, e.g. :class:`CoutCostModel`).
@@ -161,6 +179,15 @@ class Optimizer:
         record ``enumerate`` spans and the cache path emits
         ``plan_cache_hit`` events.  Telemetry never influences plan
         choice.
+    dpconv_auto:
+        When True (the default), unbudgeted single-best runs on
+        :data:`DPCONV_AUTO_MIN_RELATIONS`-or-larger queries whose bound
+        cost model is ``C_out``-shaped are served by the DPconv
+        subset-convolution fast path instead of the requested top-down
+        algorithm.  Every algorithm involved is exact, so the optimal
+        *cost* is unchanged; only wall-clock (and, on exact-cost ties,
+        plan shape) can differ.  The result reports
+        ``pruning == "dpconv"`` whenever the fast path actually ran.
     """
 
     def __init__(
@@ -173,6 +200,7 @@ class Optimizer:
         plan_cache: Optional[PlanCache] = None,
         telemetry: Optional["Telemetry"] = None,
         topk: int = 1,
+        dpconv_auto: bool = True,
     ):
         if topk < 1:
             raise ValueError(f"topk must be >= 1, got {topk}")
@@ -184,14 +212,15 @@ class Optimizer:
         self.plan_cache = plan_cache
         self.telemetry = telemetry
         self.topk = topk
+        self.dpconv_auto = dpconv_auto
         self._signature: Optional[str] = None
         # Fail fast on typos.
         get_partitioning(enumerator)
         get_heuristic(heuristic)
-        if pruning not in PRUNING_SUFFIXES:
+        if pruning not in PRUNING_SUFFIXES and pruning != "dpconv":
             raise UnknownAlgorithmError(
                 f"unknown pruning strategy {pruning!r}; "
-                f"available: {sorted(PRUNING_SUFFIXES)}"
+                f"available: {sorted(PRUNING_SUFFIXES) + ['dpconv']}"
             )
 
     # ------------------------------------------------------------------
@@ -325,9 +354,137 @@ class Optimizer:
         budget: Optional["Budget"],
         context: Optional[OptimizationContext],
     ) -> OptimizationResult:
+        if self.pruning == "dpconv" or self._auto_fastpath_candidate(
+            query, budget, context
+        ):
+            # Deciding eligibility needs the *bound* cost model, so the
+            # per-query context is built here (outside the measured
+            # interval, like APCBI's pre-pass machinery).
+            if context is None:
+                context = self._context_for(query, budget)
+            if dpconv_eligible(context):
+                return self._optimize_dpconv(query, budget, context)
+            if self.pruning == "dpconv":
+                return self._fallback_dpccp(query, budget, context)
+            # Auto candidate that turned out ineligible: run what was
+            # asked for, on the context already built.
         if self.pruning in PRUNING_STRATEGIES:
             return self._optimize_simple(query, budget, context)
         return self._optimize_apcbi(query, budget, context)
+
+    def _auto_fastpath_candidate(
+        self,
+        query: Query,
+        budget: Optional["Budget"],
+        context: Optional[OptimizationContext],
+    ) -> bool:
+        """Cheap pre-context screen for the automatic DPconv fast path.
+
+        Auto-selection is reserved for unbudgeted single-best large-n
+        runs: a budgeted run wants the top-down generators' anytime
+        best-so-far salvage, and ranked retention needs per-class
+        candidate lists DPconv does not keep.  The C_out-shape half of the
+        test needs the bound model and happens in :func:`dpconv_eligible`.
+        """
+        if not self.dpconv_auto or budget is not None:
+            return False
+        if (context.topk if context is not None else self.topk) != 1:
+            return False
+        return query.n_relations >= DPCONV_AUTO_MIN_RELATIONS
+
+    def _optimize_dpconv(
+        self,
+        query: Query,
+        budget: Optional["Budget"],
+        context: OptimizationContext,
+    ) -> OptimizationResult:
+        """The subset-convolution fast path (see repro/baselines/dpconv.py)."""
+        started = time.perf_counter()
+        algorithm = DPconv(context=context, budget=budget)
+        try:
+            if self.telemetry is not None:
+                with self.telemetry.span(
+                    "enumerate",
+                    enumerator="dpconv",
+                    pruning="dpconv",
+                    relations=query.n_relations,
+                ) as span:
+                    plan = algorithm.run()
+                    span.set(ccps_enumerated=context.stats.ccps_enumerated)
+            else:
+                plan = algorithm.run()
+        except BudgetExceeded as error:
+            error.partial_plan = algorithm.memo.best(query.graph.all_vertices)
+            error.partial_ranked = tuple(
+                algorithm.memo.best_k(query.graph.all_vertices)
+            )
+            error.memo_entries = len(algorithm.memo)
+            raise
+        elapsed = time.perf_counter() - started
+        return OptimizationResult(
+            plan=plan,
+            cost=plan.cost,
+            stats=context.stats,
+            elapsed=elapsed,
+            enumerator="dpconv",
+            pruning="dpconv",
+            memo_entries=len(algorithm.memo),
+            query=query,
+        )
+
+    def _fallback_dpccp(
+        self,
+        query: Query,
+        budget: Optional["Budget"],
+        context: OptimizationContext,
+    ) -> OptimizationResult:
+        """Honest fallback when ``pruning="dpconv"`` is not eligible.
+
+        Runs DPccp — same plan space, any cost model, ranked retention —
+        and labels the result ``dpccp`` so callers can see what actually
+        served them; a ``dpconv_fallback`` telemetry event records why.
+        """
+        started = time.perf_counter()
+        algorithm = DPccp(context=context, budget=budget)
+        try:
+            if self.telemetry is not None:
+                with self.telemetry.span(
+                    "enumerate",
+                    enumerator="dpccp",
+                    pruning="dpccp",
+                    relations=query.n_relations,
+                ) as span:
+                    span.event(
+                        "dpconv_fallback",
+                        cost_model=context.cost_model.name,
+                        topk=context.topk,
+                        relations=query.n_relations,
+                    )
+                    plan = algorithm.run()
+            else:
+                plan = algorithm.run()
+        except BudgetExceeded as error:
+            error.partial_plan = algorithm.memo.best(query.graph.all_vertices)
+            error.partial_ranked = tuple(
+                algorithm.memo.best_k(query.graph.all_vertices)
+            )
+            error.memo_entries = len(algorithm.memo)
+            raise
+        elapsed = time.perf_counter() - started
+        ranked: Tuple[JoinTree, ...] = ()
+        if context.topk > 1:
+            ranked = tuple(algorithm.ranked_plans())
+        return OptimizationResult(
+            plan=plan,
+            cost=plan.cost,
+            stats=context.stats,
+            elapsed=elapsed,
+            enumerator="dpccp",
+            pruning="dpccp",
+            memo_entries=len(algorithm.memo),
+            query=query,
+            ranked_plans=ranked,
+        )
 
     # -- plan cache --------------------------------------------------------
 
@@ -616,6 +773,55 @@ def optimize_topk(
         telemetry=telemetry,
         topk=k,
     ).optimize_topk(query, k=k, budget=budget)
+
+
+def run_dpconv(
+    query: Query,
+    cost_model_factory: Callable[[], CostModel] = CoutCostModel,
+    budget: Optional["Budget"] = None,
+    telemetry: Optional["Telemetry"] = None,
+) -> OptimizationResult:
+    """Run the DPconv baseline with the same result envelope as DPccp.
+
+    Unlike ``Optimizer(pruning="dpconv")`` this does **not** fall back:
+    an ineligible configuration (non-``C_out``-shaped model) raises
+    :class:`~repro.errors.OptimizationError`, which is what a benchmark
+    harness comparing the two baselines wants.  The default cost model is
+    therefore :class:`~repro.cost.cout.CoutCostModel`, the one shipped
+    model inside DPconv's envelope.
+    """
+    started = time.perf_counter()
+    if budget is not None:
+        budget.start()
+    context = OptimizationContext.for_query(
+        query,
+        cost_model=cost_model_factory,
+        budget=budget,
+        telemetry=telemetry,
+    )
+    algorithm = DPconv(context=context, budget=budget)
+    if telemetry is not None:
+        with telemetry.span(
+            "enumerate",
+            enumerator="dpconv",
+            pruning="dpconv",
+            relations=query.n_relations,
+        ) as span:
+            plan = algorithm.run()
+            span.set(ccps_enumerated=context.stats.ccps_enumerated)
+    else:
+        plan = algorithm.run()
+    elapsed = time.perf_counter() - started
+    return OptimizationResult(
+        plan=plan,
+        cost=plan.cost,
+        stats=context.stats,
+        elapsed=elapsed,
+        enumerator="dpconv",
+        pruning="dpconv",
+        memo_entries=len(algorithm.memo),
+        query=query,
+    )
 
 
 def run_dpccp(

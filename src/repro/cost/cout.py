@@ -28,6 +28,11 @@ class CoutCostModel(CostModel):
 
     name = "cout"
 
+    #: ``join_cost`` is exactly the union set's output cardinality, which
+    #: makes this model eligible for the DPconv subset-convolution fast
+    #: path (see :attr:`repro.cost.model.CostModel.cout_shaped`).
+    cout_shaped = True
+
     def __init__(self) -> None:
         self._provider: StatisticsProvider | None = None
 

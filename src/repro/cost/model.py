@@ -32,6 +32,18 @@ class CostModel(ABC):
     #: Registry/display name, overridden by subclasses.
     name = "abstract"
 
+    #: True when the operator cost is a function of the *union* set alone:
+    #: ``join_cost(outer, inner)`` must equal the provider's estimated
+    #: cardinality of ``outer.vertex_set | inner.vertex_set`` for every
+    #: split and both argument orders (the ``C_out`` shape).  This is the
+    #: eligibility contract of the DPconv subset-convolution fast path
+    #: (:class:`repro.baselines.dpconv.DPconv`): with a union-shaped cost
+    #: the join-order DP is a true subset convolution in the (min, +)
+    #: semiring, so per-layer sweeps replace per-pair tree construction.
+    #: Models whose cost depends on the *pair* of inputs (Haas I/O costs,
+    #: fault-injection wrappers) must leave this False.
+    cout_shaped = False
+
     def bind(self, provider: StatisticsProvider) -> "CostModel":
         """Return the model to use with ``provider``'s query.
 

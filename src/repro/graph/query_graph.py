@@ -33,7 +33,7 @@ class QueryGraph:
         orientation are normalized away.
     """
 
-    __slots__ = ("_n", "_edges", "_adjacency", "_all")
+    __slots__ = ("_n", "_edges", "_adjacency", "_all", "_nbr_cache")
 
     def __init__(self, n_vertices: int, edges: Iterable[Tuple[int, int]]):
         if n_vertices < 1:
@@ -54,6 +54,8 @@ class QueryGraph:
             adjacency[v] |= bitset.singleton(u)
         self._edges = frozenset(normalized)
         self._adjacency = tuple(adjacency)
+        # subset -> N(subset) memo; see neighborhood().
+        self._nbr_cache: dict = {}
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -93,16 +95,26 @@ class QueryGraph:
         that set, yielding the neighborhood inside an induced subgraph
         ``G|within``.
         """
-        result = 0
-        remaining = subset
-        # The hottest loop in the library (every partitioning strategy funnels
-        # through it); the lowest-bit trick stays inlined rather than paying a
-        # bitset.iter_bits() generator per neighborhood probe.
-        while remaining:
-            low = remaining & -remaining  # repro: disable=bitset-discipline
-            result |= self._adjacency[low.bit_length() - 1]  # repro: disable=bitset-discipline
-            remaining ^= low
-        result &= ~subset
+        # The hottest call in the library (every partitioning strategy
+        # funnels through it), and enumeration probes the same subsets over
+        # and over — emit/reject/recurse visits each connected subgraph many
+        # times.  Memoize the unrestricted N(subset); ``within`` is a cheap
+        # mask applied after the lookup, so restricted probes share the
+        # cache.  The graph is immutable, so entries never invalidate, and
+        # the cache holds only subsets actually probed (bounded by the
+        # enumeration's own work, not by 2^n).
+        result = self._nbr_cache.get(subset)
+        if result is None:
+            result = 0
+            remaining = subset
+            # The lowest-bit trick stays inlined rather than paying a
+            # bitset.iter_bits() generator per neighborhood probe.
+            while remaining:
+                low = remaining & -remaining  # repro: disable=bitset-discipline
+                result |= self._adjacency[low.bit_length() - 1]  # repro: disable=bitset-discipline
+                remaining ^= low
+            result &= ~subset
+            self._nbr_cache[subset] = result
         if within >= 0:
             result &= within
         return result

@@ -27,31 +27,42 @@ def plan_fingerprint(tree: "JoinTree") -> str:
     processes for structurally identical plans.  The memotable uses it as
     the second component of its (cost, fingerprint) total order, making
     exact-cost tie-breaks deterministic regardless of insertion order.
+
+    Trees are immutable, so the fingerprint is computed once per node and
+    cached; a join's fingerprint composes its children's cached strings,
+    which makes repeated tie-breaks over shared subtrees O(1) amortized
+    instead of O(tree size) per comparison (cost models with many exact
+    ties — ``C_out`` on symmetric graphs — hit this hard).
     """
+    cached = tree._fingerprint
+    if cached is not None:
+        return cached
     if isinstance(tree, LeafNode):
-        return str(tree.relation)
-    parts = []
-    stack = [tree]
-    while stack:
-        node = stack.pop()
-        if isinstance(node, str):
-            parts.append(node)
-        elif isinstance(node, LeafNode):
-            parts.append(str(node.relation))
-        else:
-            stack.extend((")", node.right, ".", node.left, "("))
-    return "".join(parts)
+        fingerprint = str(tree.relation)
+    else:
+        fingerprint = (
+            "("
+            + plan_fingerprint(tree.left)
+            + "."
+            + plan_fingerprint(tree.right)
+            + ")"
+        )
+    tree._fingerprint = fingerprint
+    return fingerprint
 
 
 class JoinTree:
     """Common interface of leaf and join nodes."""
 
-    __slots__ = ("vertex_set", "cost", "cardinality")
+    __slots__ = ("vertex_set", "cost", "cardinality", "_fingerprint")
 
     def __init__(self, vertex_set: int, cost: float, cardinality: float):
         self.vertex_set = vertex_set
         self.cost = cost
         self.cardinality = cardinality
+        # Lazily filled by plan_fingerprint(); structural identity never
+        # changes after construction.
+        self._fingerprint: "str | None" = None
 
     # -- structure ------------------------------------------------------
 

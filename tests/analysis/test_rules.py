@@ -17,6 +17,7 @@ class TestBitsetDiscipline:
             "def f(s):\n    return s & -s\n",
             "def f(s):\n    return s.bit_length() - 1\n",
             'def f(s):\n    return bin(s).count("1")\n',
+            "def f(s):\n    return s.bit_count()\n",
         ],
     )
     def test_raw_tricks_flagged(self, lint, snippet):
@@ -25,6 +26,15 @@ class TestBitsetDiscipline:
 
     def test_clean_code_passes(self, lint):
         code = "from repro.graph import bitset\n\ndef f(v):\n    return bitset.singleton(v)\n"
+        assert lint(code, "bitset-discipline") == []
+
+    def test_module_bit_count_helper_passes(self, lint):
+        # The module function takes the set as an argument — only the
+        # zero-argument raw int *method* is the flagged spelling.
+        code = (
+            "from repro.graph import bitset\n\n"
+            "def f(s):\n    return bitset.bit_count(s)\n"
+        )
         assert lint(code, "bitset-discipline") == []
 
     def test_allowed_inside_bitset_module(self, lint):

@@ -1,0 +1,204 @@
+"""Tests for the DPconv subset-convolution fast path.
+
+The contract under test is *bit-exactness*: inside its eligibility
+envelope (``C_out``-shaped cost model, ``topk == 1``) DPconv must return
+the same optimal cost as DPccp down to the last ulp, refuse everything
+outside the envelope, and the :class:`Optimizer` facade must only ever
+engage it when that envelope holds.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.dpconv import DPconv, _MAX_RELATIONS, eligible
+from repro.context.context import OptimizationContext
+from repro.core.optimizer import (
+    DPCONV_AUTO_MIN_RELATIONS,
+    Optimizer,
+    optimize_topk,
+    run_dpccp,
+    run_dpconv,
+)
+from repro.cost.cout import CoutCostModel
+from repro.cost.haas import HaasCostModel
+from repro.errors import BudgetExceeded, OptimizationError
+from repro.plans.validation import validate_plan
+from repro.resilience.budget import Budget
+from repro.workload.generator import QueryGenerator
+from tests.conftest import small_queries
+
+
+class TestBitExactness:
+    @given(small_queries())
+    @settings(max_examples=40, deadline=None)
+    def test_cost_bit_identical_to_dpccp_under_cout(self, query):
+        reference = run_dpccp(query, cost_model_factory=CoutCostModel)
+        fast = run_dpconv(query)
+        assert fast.cost.hex() == reference.cost.hex()
+
+    @given(small_queries())
+    @settings(max_examples=20, deadline=None)
+    def test_plans_validate(self, query):
+        result = run_dpconv(query)
+        validate_plan(result.plan, query)
+
+    def test_single_relation_query(self):
+        query = QueryGenerator(seed=7).generate("chain", 1)
+        result = run_dpconv(query)
+        assert result.plan.vertex_set == query.graph.all_vertices
+        assert result.cost == pytest.approx(0.0)
+
+    def test_counts_the_full_convolution_work(self):
+        # On a clique every subset is connected, so the sweep's per-class
+        # split count is exact: sum over layers of C(n, s) * (2^(s-1)-1).
+        query = QueryGenerator(seed=11).generate("clique", 6)
+        result = run_dpconv(query)
+        import math
+
+        expected = sum(
+            math.comb(6, s) * (2 ** (s - 1) - 1) for s in range(2, 7)
+        )
+        assert result.stats.ccps_enumerated == expected
+        assert result.stats.plan_classes_built == 2**6 - 1 - 6
+
+
+class TestEligibility:
+    def _context(self, query, cost_model=None, topk=1):
+        return OptimizationContext.for_query(
+            query, cost_model=cost_model or CoutCostModel(), topk=topk
+        )
+
+    def test_cout_topk1_is_eligible(self):
+        query = QueryGenerator(seed=3).generate("star", 6)
+        assert eligible(self._context(query))
+
+    def test_haas_model_is_not_eligible(self):
+        query = QueryGenerator(seed=3).generate("star", 6)
+        context = self._context(query, cost_model=HaasCostModel())
+        assert not eligible(context)
+        with pytest.raises(OptimizationError, match="cout_shaped"):
+            DPconv(context=context)
+
+    def test_ranked_retention_is_not_eligible(self):
+        query = QueryGenerator(seed=3).generate("star", 6)
+        context = self._context(query, topk=3)
+        assert not eligible(context)
+        with pytest.raises(OptimizationError, match="topk"):
+            DPconv(context=context)
+
+    def test_oversized_query_is_not_eligible(self):
+        query = QueryGenerator(seed=3).generate("chain", _MAX_RELATIONS + 1)
+        context = self._context(query)
+        assert not eligible(context)
+        with pytest.raises(OptimizationError, match="dense"):
+            DPconv(context=context)
+
+    def test_budget_exhaustion_raises(self):
+        query = QueryGenerator(seed=5).generate("clique", 8)
+        budget = Budget(max_expansions=10)
+        budget.start()
+        with pytest.raises(BudgetExceeded):
+            DPconv(query, cost_model=CoutCostModel(), budget=budget).run()
+
+
+class TestFacadeRouting:
+    def test_explicit_dpconv_runs_the_fast_path(self):
+        query = QueryGenerator(seed=9).generate("cycle", 7)
+        result = Optimizer(
+            pruning="dpconv", cost_model_factory=CoutCostModel
+        ).optimize(query)
+        assert result.pruning == "dpconv"
+        assert result.enumerator == "dpconv"
+        assert result.label == "DPconv"
+
+    def test_explicit_dpconv_falls_back_honestly_under_haas(self):
+        query = QueryGenerator(seed=9).generate("cycle", 7)
+        result = Optimizer(pruning="dpconv").optimize(query)
+        assert result.pruning == "dpccp"
+        reference = run_dpccp(query)
+        assert result.cost.hex() == reference.cost.hex()
+
+    def test_fallback_emits_a_telemetry_event(self):
+        from repro.telemetry import MetricRegistry, Telemetry, Tracer
+
+        telemetry = Telemetry(registry=MetricRegistry(), tracer=Tracer())
+        query = QueryGenerator(seed=9).generate("cycle", 7)
+        Optimizer(pruning="dpconv", telemetry=telemetry).optimize(query)
+        events = [
+            event
+            for span in telemetry.tracer.finished_spans()
+            for event in span.events
+            if event["name"] == "dpconv_fallback"
+        ]
+        assert events, "fallback must be observable in the trace"
+
+    def test_auto_fast_path_engages_on_large_cout_queries(self):
+        query = QueryGenerator(seed=2).generate(
+            "chain", DPCONV_AUTO_MIN_RELATIONS
+        )
+        result = Optimizer(cost_model_factory=CoutCostModel).optimize(query)
+        assert result.pruning == "dpconv"
+
+    def test_auto_fast_path_matches_the_requested_algorithm(self):
+        query = QueryGenerator(seed=2).generate(
+            "chain", DPCONV_AUTO_MIN_RELATIONS
+        )
+        auto = Optimizer(cost_model_factory=CoutCostModel).optimize(query)
+        exact = Optimizer(
+            cost_model_factory=CoutCostModel, dpconv_auto=False
+        ).optimize(query)
+        assert auto.cost.hex() == exact.cost.hex()
+
+    def test_auto_fast_path_respects_opt_out(self):
+        query = QueryGenerator(seed=2).generate(
+            "chain", DPCONV_AUTO_MIN_RELATIONS
+        )
+        result = Optimizer(
+            cost_model_factory=CoutCostModel, dpconv_auto=False
+        ).optimize(query)
+        assert result.pruning == "apcbi"
+
+    def test_auto_fast_path_stays_off_below_the_size_floor(self):
+        query = QueryGenerator(seed=2).generate(
+            "chain", DPCONV_AUTO_MIN_RELATIONS - 1
+        )
+        result = Optimizer(cost_model_factory=CoutCostModel).optimize(query)
+        assert result.pruning == "apcbi"
+
+    def test_auto_fast_path_stays_off_under_a_budget(self):
+        # DPconv has weak partial-plan salvage; anytime runs must keep
+        # the algorithm the caller configured.
+        query = QueryGenerator(seed=2).generate(
+            "chain", DPCONV_AUTO_MIN_RELATIONS
+        )
+        result = Optimizer(cost_model_factory=CoutCostModel).optimize(
+            query, budget=Budget(max_expansions=10**9)
+        )
+        assert result.pruning == "apcbi"
+
+    @given(
+        st.sampled_from(["chain", "star", "cycle"]),
+        st.integers(3, 9),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_auto_never_engages_for_non_cout_models(self, family, n, seed):
+        query = QueryGenerator(seed=seed).generate(family, n)
+        result = Optimizer(pruning="apcb").optimize(query)
+        assert result.pruning == "apcb"
+
+    @given(st.integers(2, 4), st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_auto_never_engages_for_ranked_retention(self, k, seed):
+        query = QueryGenerator(seed=seed).generate(
+            "chain", DPCONV_AUTO_MIN_RELATIONS
+        )
+        result = optimize_topk(query, k=k, cost_model_factory=CoutCostModel)
+        assert result.pruning == "apcbi"
+        assert len(result.ranked) >= 1
+
+    def test_unknown_pruning_still_rejected(self):
+        from repro.errors import UnknownAlgorithmError
+
+        with pytest.raises(UnknownAlgorithmError):
+            Optimizer(pruning="dpconvv")

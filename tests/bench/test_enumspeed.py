@@ -1,0 +1,141 @@
+"""Tests for the enumspeed benchmark and its perf-regression gate."""
+
+import copy
+
+import pytest
+
+from repro.bench.enumspeed import check_against, run_benchmark
+
+
+def _entry(family, relations, normed, seconds=None, gated=True):
+    names = list(normed)
+    seconds = seconds or {name: normed[name] * 1.0 for name in names}
+    return {
+        "family": family,
+        "relations": relations,
+        "seconds": seconds,
+        "normed": normed,
+        "cost_hex": "0x1.0p+0",
+        "gated": gated,
+    }
+
+
+def _report(entries, divergences=()):
+    return {
+        "benchmark": "enumspeed",
+        "seed": 1,
+        "rounds": 1,
+        "algorithms": ["dpccp", "dpconv", "topdown_apcbi"],
+        "min_seconds": 0.05,
+        "entries": entries,
+        "cost_divergences": list(divergences),
+    }
+
+
+class TestRunBenchmark:
+    def test_small_matrix_agrees_bit_for_bit(self):
+        report = run_benchmark(
+            rounds=1, workload=(("chain", 5), ("clique", 6))
+        )
+        assert report["cost_divergences"] == []
+        assert [e["family"] for e in report["entries"]] == ["chain", "clique"]
+        for entry in report["entries"]:
+            # DPccp is the normalizer: its normed time is 1.0 by
+            # construction, and every algorithm got measured.
+            assert entry["normed"]["dpccp"] == pytest.approx(1.0)
+            assert set(entry["seconds"]) == {
+                "dpccp",
+                "dpconv",
+                "topdown_apcbi",
+            }
+
+    def test_rejects_zero_rounds(self):
+        with pytest.raises(ValueError):
+            run_benchmark(rounds=0)
+
+
+class TestCheckAgainst:
+    BASE = _report(
+        [
+            _entry(
+                "clique",
+                12,
+                {"dpccp": 1.0, "dpconv": 0.1, "topdown_apcbi": 0.9},
+                seconds={"dpccp": 1.0, "dpconv": 0.1, "topdown_apcbi": 0.9},
+            ),
+            _entry(
+                "chain",
+                8,
+                {"dpccp": 1.0, "dpconv": 0.5, "topdown_apcbi": 0.9},
+                seconds={
+                    "dpccp": 0.001,
+                    "dpconv": 0.0005,
+                    "topdown_apcbi": 0.0009,
+                },
+                gated=False,
+            ),
+        ]
+    )
+
+    def test_identical_report_passes(self):
+        assert check_against(copy.deepcopy(self.BASE), self.BASE) == []
+
+    def test_injected_regression_fails(self):
+        # The fast path got 2x slower relative to DPccp: 15% tolerance
+        # must not absorb that.
+        slow = copy.deepcopy(self.BASE)
+        slow["entries"][0]["normed"]["dpconv"] = 0.2
+        slow["entries"][0]["seconds"]["dpconv"] = 0.2
+        failures = check_against(slow, self.BASE)
+        assert len(failures) == 1
+        assert "dpconv" in failures[0] and "clique-12" in failures[0]
+
+    def test_slowdown_within_threshold_passes(self):
+        wobble = copy.deepcopy(self.BASE)
+        wobble["entries"][0]["normed"]["dpconv"] = 0.11
+        wobble["entries"][0]["seconds"]["dpconv"] = 0.11
+        assert check_against(wobble, self.BASE) == []
+
+    def test_cost_divergence_always_fails(self):
+        diverged = copy.deepcopy(self.BASE)
+        diverged["cost_divergences"] = [
+            "clique-12: dpconv cost 0x1.1p+0 != dpccp cost 0x1.0p+0"
+        ]
+        failures = check_against(diverged, self.BASE)
+        assert failures == diverged["cost_divergences"]
+
+    def test_missing_entry_fails(self):
+        trimmed = copy.deepcopy(self.BASE)
+        trimmed["entries"] = trimmed["entries"][1:]
+        failures = check_against(trimmed, self.BASE)
+        assert len(failures) == 1
+        assert "missing" in failures[0]
+
+    def test_ungated_noise_entries_are_not_compared(self):
+        # chain-8 is below the noise floor on both sides; even a 10x
+        # normed-time swing there must not fail the gate.
+        noisy = copy.deepcopy(self.BASE)
+        noisy["entries"][1]["normed"]["dpconv"] = 5.0
+        assert check_against(noisy, self.BASE) == []
+
+    def test_sub_floor_timings_of_gated_entries_are_skipped(self):
+        # Entry is gated (DPccp spends real time) but one algorithm
+        # finishes in microseconds on both sides: its ratio is noise.
+        base = _report(
+            [
+                _entry(
+                    "star",
+                    10,
+                    {"dpccp": 1.0, "dpconv": 0.01, "topdown_apcbi": 0.9},
+                    seconds={
+                        "dpccp": 0.5,
+                        "dpconv": 0.005,
+                        "topdown_apcbi": 0.45,
+                    },
+                )
+            ]
+        )
+        wobbly = copy.deepcopy(base)
+        wobbly["entries"][0]["normed"]["dpconv"] = 0.02
+        wobbly["entries"][0]["seconds"]["dpconv"] = 0.01
+        assert check_against(wobbly, base) == []

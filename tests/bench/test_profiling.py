@@ -73,3 +73,40 @@ class TestEnumerationProfile:
         assert profile.cascade_factor() == 0.0
         assert profile.total_passes == 0
         assert "0 classes" in profile.render()
+
+    def test_render_survives_a_pass_with_no_recorded_ccps(self):
+        # Regression: a class recorded in `passes` but absent from `ccps`
+        # (legacy profiles built before the atomic recording fix) used to
+        # raise KeyError mid-report.
+        profile = EnumerationProfile(passes={0b111: 3}, ccps={})
+        text = profile.render()
+        assert "0 ccps total" in text
+
+    def test_abandoned_pass_records_both_maps(self, small_query):
+        # A consumer that abandons the generator mid-pass (the budget /
+        # pruning cutoff shape) must still leave the class in *both* maps.
+        instrumented = InstrumentedPartitioning(MinCutConservative())
+        root = small_query.graph.all_vertices
+        iterator = instrumented.partitions(small_query.graph, root)
+        next(iterator)
+        iterator.close()
+        profile = instrumented.profile
+        assert profile.passes[root] == 1
+        assert profile.ccps[root] == 1  # exactly what was consumed
+        assert "enumeration passes" in profile.render()
+
+    def test_zero_ccp_pass_renders_as_zero(self, small_query):
+        # A pass whose inner strategy produces nothing at all must land in
+        # both maps and render as 0 ccps instead of crashing.
+        class _EmptyStrategy(MinCutConservative):
+            def partitions(self, graph, vertex_set):
+                return iter(())
+
+        instrumented = InstrumentedPartitioning(_EmptyStrategy())
+        root = small_query.graph.all_vertices
+        for _ in range(2):
+            assert list(instrumented.partitions(small_query.graph, root)) == []
+        profile = instrumented.profile
+        assert profile.passes[root] == 2
+        assert profile.ccps[root] == 0
+        assert "(0 ccps total)" in profile.render()

@@ -4,6 +4,7 @@ import pytest
 from hypothesis import given
 
 from repro.exec.data import synthesize
+from repro.graph import bitset
 from repro.workload.generator import generate_query
 from tests.conftest import small_queries
 
@@ -35,7 +36,7 @@ class TestColumns:
         database = synthesize(small_query, row_budget=500)
         for relation in range(small_query.n_relations):
             table = database.table(relation)
-            degree = bin(small_query.graph.adjacency(relation)).count("1")
+            degree = bitset.bit_count(small_query.graph.adjacency(relation))
             assert len(table.columns) == degree
             for row in table.rows:
                 assert len(row) == degree

@@ -41,6 +41,28 @@ class TestRoundTrips:
     def test_bit_count_matches_set_size(self, indices):
         assert bitset.bit_count(bitset.from_iterable(indices)) == len(indices)
 
+
+class TestBitCountDispatch:
+    """The import-time native/portable popcount dispatch (Python 3.9 floor)."""
+
+    def test_dispatch_picked_the_native_implementation_when_available(self):
+        if hasattr(int, "bit_count"):
+            assert bitset.bit_count is bitset._bit_count_native
+        else:
+            assert bitset.bit_count is bitset._bit_count_portable
+
+    @given(st.integers(0, 2**80))
+    def test_portable_and_native_implementations_agree(self, value):
+        portable = bitset._bit_count_portable(value)
+        assert portable == bitset.bit_count(value)
+        if hasattr(int, "bit_count"):
+            assert portable == bitset._bit_count_native(value)
+
+    @given(small_sets)
+    def test_portable_spelling_matches_set_size(self, indices):
+        value = bitset.from_iterable(indices)
+        assert bitset._bit_count_portable(value) == len(indices)
+
     @given(small_sets)
     def test_iter_bits_ascending(self, indices):
         listed = list(bitset.iter_bits(bitset.from_iterable(indices)))

@@ -51,6 +51,26 @@ def test_all_algorithms_are_bit_identical_to_the_golden_capture(
     assert not mismatches, "\n".join(mismatches)
 
 
+def test_dpconv_is_bit_identical_to_dpccp_on_the_golden_workload():
+    # DPconv's eligibility envelope is the C_out model, which is not the
+    # capture's (Haas) model — so the fast path is checked against a fresh
+    # DPccp run under C_out on the same 14 golden queries, cost compared
+    # via float.hex: exact, not within-tolerance.
+    from repro.core.optimizer import run_dpccp, run_dpconv
+    from repro.cost.cout import CoutCostModel
+
+    mismatches = []
+    for query in golden_queries():
+        reference = run_dpccp(query, cost_model_factory=CoutCostModel)
+        fast = run_dpconv(query)
+        if fast.cost.hex() != reference.cost.hex():
+            mismatches.append(
+                f"{query.describe()}: dpconv {fast.cost.hex()} vs "
+                f"dpccp {reference.cost.hex()}"
+            )
+    assert not mismatches, "\n".join(mismatches)
+
+
 def test_armed_telemetry_is_bit_identical_to_the_golden_capture(golden):
     # The telemetry determinism contract: arming metrics + tracing (with
     # the expensive per-partition spans on) must not perturb a single

@@ -6,6 +6,7 @@ import pytest
 
 from repro.core.optimizer import Optimizer
 from repro.cost.haas import HaasCostModel
+from repro.graph import bitset
 from repro.errors import CatalogError, InjectedFaultError
 from repro.partitioning.registry import get_partitioning
 from repro.resilience import COST_FAULT_MODES, FaultInjector
@@ -277,7 +278,7 @@ class TestIoFaults:
         landed = (tmp_path / "bitflip.bin").read_bytes()
         assert len(landed) == len(payload)
         flipped = [
-            bin(a ^ b).count("1") for a, b in zip(landed, payload) if a != b
+            bitset.bit_count(a ^ b) for a, b in zip(landed, payload) if a != b
         ]
         assert flipped == [1]
 
